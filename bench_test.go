@@ -1,0 +1,103 @@
+// Package repro's root benchmarks regenerate each table and figure of the
+// paper at a reduced scale, one testing.B benchmark per artifact
+// (DESIGN.md §3). Full-scale reproduction is cmd/caem-bench; these keep
+// `go test -bench=.` under a minute while exercising the same code paths.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+)
+
+// benchOpts runs experiments small: 20 nodes, ~1/5 horizons, thin sweeps.
+func benchOpts() experiment.Options {
+	return experiment.Options{Seed: 1, Scale: 0.2}
+}
+
+func benchReport(b *testing.B, run func(experiment.Options) experiment.Report) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := run(benchOpts())
+		if len(r.Table.Rows) == 0 {
+			b.Fatal("empty report")
+		}
+	}
+}
+
+// BenchmarkTableI_ToneChannel regenerates paper Table I (tone pulse
+// intervals per channel state).
+func BenchmarkTableI_ToneChannel(b *testing.B) { benchReport(b, experiment.TableI) }
+
+// BenchmarkTableII_Parameters regenerates paper Table II (simulation
+// parameters).
+func BenchmarkTableII_Parameters(b *testing.B) { benchReport(b, experiment.TableII) }
+
+// BenchmarkFigure8_RemainingEnergy regenerates paper Fig. 8 (average
+// remaining energy vs time, three protocols).
+func BenchmarkFigure8_RemainingEnergy(b *testing.B) { benchReport(b, experiment.Figure8) }
+
+// BenchmarkFigure9_NodesAlive regenerates paper Fig. 9 (alive nodes vs
+// time and the lifetime gains).
+func BenchmarkFigure9_NodesAlive(b *testing.B) { benchReport(b, experiment.Figure9) }
+
+// BenchmarkFigure10_LifetimeVsLoad regenerates paper Fig. 10 (network
+// lifetime vs traffic load).
+func BenchmarkFigure10_LifetimeVsLoad(b *testing.B) { benchReport(b, experiment.Figure10) }
+
+// BenchmarkFigure11_EnergyPerPacket regenerates paper Fig. 11 (average
+// energy per delivered packet vs load).
+func BenchmarkFigure11_EnergyPerPacket(b *testing.B) { benchReport(b, experiment.Figure11) }
+
+// BenchmarkFigure12_QueueFairness regenerates paper Fig. 12 (queue-length
+// standard deviation vs load).
+func BenchmarkFigure12_QueueFairness(b *testing.B) { benchReport(b, experiment.Figure12) }
+
+// BenchmarkNetworkPerformance regenerates the §IV.A long-version metrics
+// (delay, throughput, delivery rate).
+func BenchmarkNetworkPerformance(b *testing.B) { benchReport(b, experiment.NetworkPerformance) }
+
+// BenchmarkAblationThreshold runs the A1 ablation (Q_th, m sweep).
+func BenchmarkAblationThreshold(b *testing.B) { benchReport(b, experiment.AblationThresholdParams) }
+
+// BenchmarkAblationDoppler runs the A2 ablation (channel dynamics sweep).
+func BenchmarkAblationDoppler(b *testing.B) { benchReport(b, experiment.AblationDoppler) }
+
+// BenchmarkAblationBurst runs the A3 ablation (burst-size rules sweep).
+func BenchmarkAblationBurst(b *testing.B) { benchReport(b, experiment.AblationBurst) }
+
+// BenchmarkAblationCSINoise runs the A4 ablation (CSI estimation error).
+func BenchmarkAblationCSINoise(b *testing.B) { benchReport(b, experiment.AblationCSINoise) }
+
+// BenchmarkAblationRician runs the A5 ablation (Rice factor sweep).
+func BenchmarkAblationRician(b *testing.B) { benchReport(b, experiment.AblationRician) }
+
+// BenchmarkSeedVariance runs the A6 realization-variance study.
+func BenchmarkSeedVariance(b *testing.B) { benchReport(b, experiment.SeedVariance) }
+
+// BenchmarkSimulatedSecond measures the raw cost of one simulated second
+// at the paper's full scale (100 nodes, load 5), per protocol — the
+// hot-path benchmark for the event engine, channel sampling, and MAC.
+func BenchmarkSimulatedSecond(b *testing.B) {
+	for _, pc := range []struct {
+		name   string
+		policy queueing.ThresholdPolicy
+	}{
+		{"PureLEACH", queueing.PolicyNone},
+		{"Scheme1", queueing.PolicyAdaptive},
+		{"Scheme2", queueing.PolicyFixedHighest},
+	} {
+		b.Run(pc.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Policy = pc.policy
+			cfg.Horizon = sim.Time(b.N) * sim.Second
+			cfg.SampleInterval = 1000 * sim.Second
+			b.ReportAllocs()
+			b.ResetTimer()
+			core.New(cfg).Run()
+		})
+	}
+}

@@ -1,0 +1,277 @@
+// Package caem is the public API of the CAEM reproduction: channel
+// adaptive energy management for wireless sensor networks (Lin & Kwok,
+// ICPP Workshops 2005).
+//
+// The package runs whole-network discrete-event simulations of a
+// cluster-based (LEACH) sensor network under one of three protocols:
+//
+//   - PureLEACH — the baseline without channel-adaptive scheduling: a
+//     node transmits whenever it holds a minimum burst and the channel is
+//     idle, regardless of link quality.
+//   - Scheme2 — CAEM with the transmission threshold fixed at the highest
+//     ABICM class (2 Mbps): maximal energy saving, worst fairness.
+//   - Scheme1 — CAEM with adaptive threshold adjustment driven by queue
+//     dynamics: a balance between energy and service quality.
+//
+// A minimal run:
+//
+//	cfg := caem.DefaultConfig()
+//	cfg.Protocol = caem.Scheme1
+//	res, err := caem.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Println(res.Summary())
+//
+// Everything is deterministic given Config.Seed.
+package caem
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Protocol selects the energy-management variant under test.
+type Protocol int
+
+const (
+	// PureLEACH is the non-channel-adaptive baseline.
+	PureLEACH Protocol = iota
+	// Scheme1 is CAEM with adaptive threshold adjustment.
+	Scheme1
+	// Scheme2 is CAEM with the threshold fixed at the highest class.
+	Scheme2
+)
+
+// Protocols returns all variants in presentation order (baseline first).
+func Protocols() []Protocol { return []Protocol{PureLEACH, Scheme1, Scheme2} }
+
+func (p Protocol) String() string {
+	switch p {
+	case PureLEACH:
+		return "pure-LEACH"
+	case Scheme1:
+		return "CAEM-scheme1"
+	case Scheme2:
+		return "CAEM-scheme2"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+func (p Protocol) policy() (queueing.ThresholdPolicy, error) {
+	switch p {
+	case PureLEACH:
+		return queueing.PolicyNone, nil
+	case Scheme1:
+		return queueing.PolicyAdaptive, nil
+	case Scheme2:
+		return queueing.PolicyFixedHighest, nil
+	default:
+		return 0, fmt.Errorf("caem: unknown protocol %d", int(p))
+	}
+}
+
+// Advanced exposes the less commonly varied model parameters. The zero
+// value of any field means "use the paper default" (DESIGN.md §4).
+type Advanced struct {
+	// RoundLengthSeconds is the LEACH round duration.
+	RoundLengthSeconds float64
+	// HeadFraction is LEACH's P, the expected cluster-head fraction.
+	HeadFraction float64
+	// DopplerHz scales the microscopic fading rate (channel coherence
+	// time ≈ 9/(16π·Doppler)).
+	DopplerHz float64
+	// ShadowingSigmaDB is the log-normal shadowing spread. Negative
+	// disables shadowing entirely.
+	ShadowingSigmaDB float64
+	// PathLossExponent is the log-distance path loss slope.
+	PathLossExponent float64
+	// ReferenceSNRdB is the link budget: mean SNR at 10 m.
+	ReferenceSNRdB float64
+	// QueueThreshold is Scheme 1's Q_th activation level.
+	QueueThreshold int
+	// SampleEvery is Scheme 1's m (queue sampled every m arrivals).
+	SampleEvery int
+	// MinBurst / MaxBurst bound the packets per transmission.
+	MinBurst, MaxBurst int
+	// MaxRetries caps per-packet retransmissions.
+	MaxRetries int
+	// StartupTimeMicros is the data radio's sleep→active time.
+	StartupTimeMicros float64
+}
+
+// Config parameterizes one simulation run. DefaultConfig returns the
+// paper's Table II operating point.
+type Config struct {
+	// Protocol is the variant under test.
+	Protocol Protocol
+	// Seed makes the run reproducible; equal seeds give identical runs.
+	Seed uint64
+	// Nodes is the network size.
+	Nodes int
+	// FieldWidthM and FieldHeightM give the deployment area in meters.
+	FieldWidthM, FieldHeightM float64
+	// TrafficLoad is the per-node Poisson packet rate (the paper's
+	// "added traffic load", packets/second).
+	TrafficLoad float64
+	// PacketSizeBits is the information payload per packet.
+	PacketSizeBits int
+	// BufferCapacity is the per-node queue limit in packets
+	// (0 = unbounded, as the paper's fairness experiment uses).
+	BufferCapacity int
+	// InitialEnergyJ is the per-node battery budget.
+	InitialEnergyJ float64
+	// DurationSeconds bounds simulated time.
+	DurationSeconds float64
+	// StopWhenNetworkDead ends the run once 80% of nodes are exhausted
+	// (the network-lifetime event) instead of running to the horizon.
+	StopWhenNetworkDead bool
+	// SampleIntervalSeconds sets the metric time-series cadence.
+	SampleIntervalSeconds float64
+	// Advanced optionally overrides deeper model parameters.
+	Advanced Advanced
+	// TraceCSV, when non-nil, receives the full protocol event stream
+	// (rounds, bursts, deliveries, collisions, drops, deferrals, deaths)
+	// as CSV rows while the simulation runs. Expect millions of rows for
+	// saturated full-scale runs.
+	TraceCSV io.Writer
+}
+
+// DefaultConfig returns the paper's simulation parameters (Table II):
+// 100 nodes on a 100 m × 100 m field, 2 Kbit packets at 5 pkt/s, 50-packet
+// buffers, 10 J batteries, Scheme 1.
+func DefaultConfig() Config {
+	return Config{
+		Protocol:              Scheme1,
+		Seed:                  1,
+		Nodes:                 100,
+		FieldWidthM:           100,
+		FieldHeightM:          100,
+		TrafficLoad:           5,
+		PacketSizeBits:        2000,
+		BufferCapacity:        50,
+		InitialEnergyJ:        10,
+		DurationSeconds:       600,
+		SampleIntervalSeconds: 5,
+	}
+}
+
+func (c Config) simConfig() (core.Config, error) {
+	policy, err := c.Protocol.policy()
+	if err != nil {
+		return core.Config{}, err
+	}
+	sc := core.DefaultConfig()
+	sc.Seed = c.Seed
+	sc.Nodes = c.Nodes
+	sc.FieldWidth = c.FieldWidthM
+	sc.FieldHeight = c.FieldHeightM
+	sc.Policy = policy
+	sc.ArrivalRatePerSecond = c.TrafficLoad
+	sc.PacketSizeBits = c.PacketSizeBits
+	sc.BufferCapacity = c.BufferCapacity
+	sc.InitialEnergyJ = c.InitialEnergyJ
+	sc.Horizon = sim.FromSeconds(c.DurationSeconds)
+	sc.StopWhenNetworkDead = c.StopWhenNetworkDead
+	if c.SampleIntervalSeconds > 0 {
+		sc.SampleInterval = sim.FromSeconds(c.SampleIntervalSeconds)
+	}
+
+	a := c.Advanced
+	if a.RoundLengthSeconds > 0 {
+		sc.RoundLength = sim.FromSeconds(a.RoundLengthSeconds)
+	}
+	if a.HeadFraction > 0 {
+		sc.HeadFraction = a.HeadFraction
+	}
+	if a.DopplerHz > 0 {
+		sc.Channel.DopplerHz = a.DopplerHz
+	}
+	if a.ShadowingSigmaDB > 0 {
+		sc.Channel.ShadowingSigmaDB = a.ShadowingSigmaDB
+	} else if a.ShadowingSigmaDB < 0 {
+		sc.Channel.ShadowingSigmaDB = 0
+	}
+	if a.PathLossExponent > 0 {
+		sc.Channel.PathLossExponent = a.PathLossExponent
+	}
+	if a.ReferenceSNRdB > 0 {
+		sc.Channel.ReferenceSNRdB = a.ReferenceSNRdB
+	}
+	if a.QueueThreshold > 0 {
+		sc.Adjust.QueueThreshold = a.QueueThreshold
+	}
+	if a.SampleEvery > 0 {
+		sc.Adjust.SampleEvery = a.SampleEvery
+	}
+	if a.MinBurst > 0 {
+		sc.MAC.MinBurst = a.MinBurst
+	}
+	if a.MaxBurst > 0 {
+		sc.MAC.MaxBurst = a.MaxBurst
+	}
+	if a.MaxRetries > 0 {
+		sc.MAC.MaxRetries = a.MaxRetries
+	}
+	if a.StartupTimeMicros > 0 {
+		sc.Device.DataStartupTime = sim.Time(a.StartupTimeMicros + 0.5)
+	}
+	return sc, nil
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	sc, err := c.simConfig()
+	if err != nil {
+		return err
+	}
+	return sc.Validate()
+}
+
+// Run executes one simulation and returns its results.
+func Run(c Config) (Result, error) {
+	sc, err := c.simConfig()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := sc.Validate(); err != nil {
+		return Result{}, err
+	}
+	var traceErr func() error
+	if c.TraceCSV != nil {
+		sc.Trace, traceErr = trace.StreamCSV(c.TraceCSV)
+	}
+	net := core.New(sc)
+	res := publicResult(c, net.Run())
+	if traceErr != nil {
+		if err := traceErr(); err != nil {
+			return res, fmt.Errorf("caem: trace stream failed: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// RunComparison runs the same configuration under each protocol (same
+// seed, same topology, same channel realizations) and returns the results
+// keyed in Protocols() order. This is the paper's core experimental
+// pattern: hold everything fixed, vary only the energy-management policy.
+func RunComparison(c Config, protocols ...Protocol) ([]Result, error) {
+	if len(protocols) == 0 {
+		protocols = Protocols()
+	}
+	out := make([]Result, 0, len(protocols))
+	for _, p := range protocols {
+		cc := c
+		cc.Protocol = p
+		r, err := Run(cc)
+		if err != nil {
+			return nil, fmt.Errorf("caem: %v run failed: %w", p, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,222 @@
+package caem
+
+import (
+	"math"
+	"testing"
+)
+
+// quickConfig is a small, fast public-API configuration.
+func quickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 20
+	cfg.FieldWidthM, cfg.FieldHeightM = 50, 50
+	cfg.DurationSeconds = 40
+	cfg.SampleIntervalSeconds = 2
+	return cfg
+}
+
+func TestDefaultConfigMatchesTableII(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Nodes != 100 {
+		t.Errorf("Nodes = %d, want 100", cfg.Nodes)
+	}
+	if cfg.PacketSizeBits != 2000 {
+		t.Errorf("PacketSizeBits = %d, want 2000 (2 Kbits)", cfg.PacketSizeBits)
+	}
+	if cfg.BufferCapacity != 50 {
+		t.Errorf("BufferCapacity = %d, want 50", cfg.BufferCapacity)
+	}
+	if cfg.InitialEnergyJ != 10 {
+		t.Errorf("InitialEnergyJ = %v, want 10", cfg.InitialEnergyJ)
+	}
+	if cfg.TrafficLoad != 5 {
+		t.Errorf("TrafficLoad = %v, want 5", cfg.TrafficLoad)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	if PureLEACH.String() != "pure-LEACH" || Scheme1.String() != "CAEM-scheme1" || Scheme2.String() != "CAEM-scheme2" {
+		t.Fatal("protocol names wrong")
+	}
+	if len(Protocols()) != 3 {
+		t.Fatal("Protocols() should list 3 variants")
+	}
+}
+
+func TestRunProducesConsistentResult(t *testing.T) {
+	cfg := quickConfig()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != cfg.Protocol {
+		t.Error("result protocol mismatch")
+	}
+	if res.DurationSeconds <= 0 || res.Rounds <= 0 {
+		t.Errorf("duration %v, rounds %d", res.DurationSeconds, res.Rounds)
+	}
+	if res.Generated == 0 || res.Delivered == 0 {
+		t.Fatal("no traffic moved")
+	}
+	if res.DeliveryRate < 0 || res.DeliveryRate > 1 {
+		t.Errorf("delivery rate %v", res.DeliveryRate)
+	}
+	if len(res.Nodes) != cfg.Nodes {
+		t.Errorf("node outcomes %d, want %d", len(res.Nodes), cfg.Nodes)
+	}
+	if len(res.EnergySeries) == 0 || len(res.AliveSeries) == 0 {
+		t.Error("time series empty")
+	}
+	var share float64
+	for _, s := range res.ModeShare {
+		share += s
+	}
+	if math.Abs(share-1) > 1e-9 {
+		t.Errorf("mode shares sum to %v", share)
+	}
+	if res.Summary() == "" {
+		t.Error("empty summary")
+	}
+	// Energy breakdown sums to total consumed.
+	var sum float64
+	for _, j := range res.EnergyBreakdown {
+		sum += j
+	}
+	if math.Abs(sum-res.TotalConsumedJ) > 1e-6 {
+		t.Errorf("breakdown %v != consumed %v", sum, res.TotalConsumedJ)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := quickConfig()
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalConsumedJ != b.TotalConsumedJ || a.Delivered != b.Delivered || a.MeanDelayMs != b.MeanDelayMs {
+		t.Fatal("equal configs diverged")
+	}
+}
+
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Nodes = 0
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted an invalid config")
+	}
+	cfg = quickConfig()
+	cfg.Protocol = Protocol(99)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("Run accepted an unknown protocol")
+	}
+}
+
+func TestRunComparison(t *testing.T) {
+	results, err := RunComparison(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("comparison returned %d results", len(results))
+	}
+	for i, p := range Protocols() {
+		if results[i].Protocol != p {
+			t.Errorf("result %d is %v, want %v", i, results[i].Protocol, p)
+		}
+	}
+	// All variants face the same topology + traffic (same seed).
+	if results[0].Generated != results[1].Generated || results[1].Generated != results[2].Generated {
+		t.Error("comparison runs generated different traffic")
+	}
+	// The paper's headline ordering.
+	leach, s1, s2 := results[0], results[1], results[2]
+	if !(s2.TotalConsumedJ < s1.TotalConsumedJ && s1.TotalConsumedJ < leach.TotalConsumedJ) {
+		t.Errorf("energy ordering: leach=%.1f s1=%.1f s2=%.1f",
+			leach.TotalConsumedJ, s1.TotalConsumedJ, s2.TotalConsumedJ)
+	}
+}
+
+func TestRunComparisonSubset(t *testing.T) {
+	results, err := RunComparison(quickConfig(), Scheme2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0].Protocol != Scheme2 {
+		t.Fatal("subset comparison wrong")
+	}
+}
+
+func TestAdvancedOverrides(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Advanced = Advanced{
+		RoundLengthSeconds: 5,
+		DopplerHz:          4,
+		QueueThreshold:     10,
+		MinBurst:           2,
+		MaxBurst:           4,
+		StartupTimeMicros:  100,
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 s / 5 s rounds = 8 rounds (+1 tolerance at the boundary).
+	if res.Rounds < 8 || res.Rounds > 9 {
+		t.Errorf("rounds = %d with 5 s rounds over 40 s", res.Rounds)
+	}
+	// Disabling shadowing via the negative sentinel still validates.
+	cfg.Advanced.ShadowingSigmaDB = -1
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStopWhenNetworkDeadPublic(t *testing.T) {
+	cfg := quickConfig()
+	cfg.InitialEnergyJ = 0.2
+	cfg.DurationSeconds = 1000
+	cfg.StopWhenNetworkDead = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NetworkDead {
+		t.Fatal("network survived on 0.2 J")
+	}
+	if res.DurationSeconds >= 1000 {
+		t.Fatal("did not stop early")
+	}
+	if res.NetworkLifetimeSeconds <= 0 || res.NetworkLifetimeSeconds > res.DurationSeconds {
+		t.Fatalf("lifetime %v outside run (%v)", res.NetworkLifetimeSeconds, res.DurationSeconds)
+	}
+}
+
+func TestRoundOutcomesExposed(t *testing.T) {
+	res, err := Run(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RoundOutcomes) != res.Rounds {
+		t.Fatalf("round outcomes %d != rounds %d", len(res.RoundOutcomes), res.Rounds)
+	}
+	var delivered uint64
+	for _, r := range res.RoundOutcomes {
+		if r.Heads < 1 {
+			t.Fatalf("round %d has no head", r.Index)
+		}
+		delivered += r.Delivered
+	}
+	if delivered != res.Delivered {
+		t.Fatalf("per-round delivered %d != total %d", delivered, res.Delivered)
+	}
+}

@@ -1,0 +1,95 @@
+package caem
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analytic"
+	"repro/internal/channel"
+	"repro/internal/phy"
+	"repro/internal/sim"
+)
+
+// LinkPrediction is the closed-form link-budget analysis for one
+// sensor-to-cluster-head distance under the configured channel model. It
+// answers, before running any simulation, the questions CAEM's design
+// hinges on: how often is the channel good, how long does a node wait for
+// the top class, and how much transmit energy does waiting save.
+type LinkPrediction struct {
+	// DistanceM is the analyzed link distance.
+	DistanceM float64
+	// MeanSNRdB is the local-mean SNR (path loss at this distance).
+	MeanSNRdB float64
+	// ModeOccupancy[i] is the probability that the instantaneous channel
+	// admits exactly ABICM class i (0 = 250 kbps ... 3 = 2 Mbps).
+	ModeOccupancy []float64
+	// BelowAllProb is the probability the channel is below every class —
+	// where pure LEACH transmits and likely fails.
+	BelowAllProb float64
+	// ExpectedAirtimeMs is the mean per-packet airtime of the
+	// transmit-immediately policy (pure LEACH).
+	ExpectedAirtimeMs float64
+	// TopClassAirtimeMs is the airtime at the highest class (what a
+	// waiting policy pays).
+	TopClassAirtimeMs float64
+	// ExpectedWaitTopClassMs is the mean time a sensor polling at the
+	// idle-tone period waits until the channel admits the top class.
+	ExpectedWaitTopClassMs float64
+	// PredictedSaving is the transmit-energy fraction the
+	// wait-for-top-class policy saves over transmit-immediately.
+	PredictedSaving float64
+}
+
+// PredictLink computes the analytic link budget at the given distance for
+// a configuration. The prediction assumes Rayleigh fading (the model's
+// default); it intentionally ignores shadowing, contention, and queueing —
+// it is the first-order story that the full simulation then refines.
+func PredictLink(c Config, distanceM float64) (LinkPrediction, error) {
+	sc, err := c.simConfig()
+	if err != nil {
+		return LinkPrediction{}, err
+	}
+	if err := sc.Validate(); err != nil {
+		return LinkPrediction{}, err
+	}
+	if distanceM <= 0 {
+		return LinkPrediction{}, fmt.Errorf("caem: non-positive link distance %v", distanceM)
+	}
+	return predictLink(sc.Channel, sc.Modes, sc.PacketSizeBits, sc.Tone.Pattern(toneIdlePattern).Interval, distanceM), nil
+}
+
+// toneIdlePattern avoids importing tone's State type into the public
+// signature; the idle pattern's interval is the CSI polling period.
+const toneIdlePattern = 0 // tone.Idle
+
+func predictLink(ch channel.Params, modes phy.Table, packetBits int, poll sim.Time, distanceM float64) LinkPrediction {
+	mean := ch.PathLossSNRdB(distanceM)
+	occ, below := analytic.ModeOccupancy(mean, modes)
+	return LinkPrediction{
+		DistanceM:         distanceM,
+		MeanSNRdB:         mean,
+		ModeOccupancy:     occ,
+		BelowAllProb:      below,
+		ExpectedAirtimeMs: analytic.ExpectedAirtime(mean, modes, packetBits).Millis(),
+		TopClassAirtimeMs: modes.Highest().Airtime(packetBits).Millis(),
+		ExpectedWaitTopClassMs: 1000 * analytic.ExpectedWaitForClass(
+			mean, modes.Highest().ThresholdSNRdB, poll),
+		PredictedSaving: analytic.PredictedSavingVsTopClass(mean, modes, packetBits),
+	}
+}
+
+// Summary renders the prediction for humans.
+func (p LinkPrediction) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "link @ %.0f m: mean SNR %.1f dB\n", p.DistanceM, p.MeanSNRdB)
+	b.WriteString("mode occupancy:  ")
+	for i, o := range p.ModeOccupancy {
+		fmt.Fprintf(&b, "class%d=%.1f%% ", i, 100*o)
+	}
+	fmt.Fprintf(&b, "below-all=%.1f%%\n", 100*p.BelowAllProb)
+	fmt.Fprintf(&b, "airtime/packet:  transmit-now %.2f ms vs top-class %.2f ms\n",
+		p.ExpectedAirtimeMs, p.TopClassAirtimeMs)
+	fmt.Fprintf(&b, "wait for 2 Mbps: %.0f ms expected\n", p.ExpectedWaitTopClassMs)
+	fmt.Fprintf(&b, "predicted tx-energy saving from waiting: %.0f%%\n", 100*p.PredictedSaving)
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package caem
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPredictLinkBasics(t *testing.T) {
+	cfg := DefaultConfig()
+	p, err := PredictLink(cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DistanceM != 20 {
+		t.Errorf("distance = %v", p.DistanceM)
+	}
+	sum := p.BelowAllProb
+	for _, o := range p.ModeOccupancy {
+		if o < 0 || o > 1 {
+			t.Fatalf("occupancy out of range: %v", p.ModeOccupancy)
+		}
+		sum += o
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("occupancies sum to %v", sum)
+	}
+	if p.ExpectedAirtimeMs < p.TopClassAirtimeMs {
+		t.Fatal("transmit-now airtime below the top-class floor")
+	}
+	if p.PredictedSaving < 0 || p.PredictedSaving >= 1 {
+		t.Fatalf("predicted saving = %v", p.PredictedSaving)
+	}
+	if p.Summary() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestPredictLinkMonotoneInDistance(t *testing.T) {
+	cfg := DefaultConfig()
+	var prevSNR float64 = math.Inf(1)
+	var prevWait float64 = -1
+	for _, d := range []float64{10, 20, 40, 80} {
+		p, err := PredictLink(cfg, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.MeanSNRdB >= prevSNR {
+			t.Fatalf("mean SNR did not fall with distance at %v m", d)
+		}
+		if p.ExpectedWaitTopClassMs < prevWait {
+			t.Fatalf("expected wait fell with distance at %v m", d)
+		}
+		prevSNR, prevWait = p.MeanSNRdB, p.ExpectedWaitTopClassMs
+	}
+}
+
+func TestPredictLinkRejectsBadInput(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := PredictLink(cfg, 0); err == nil {
+		t.Fatal("accepted zero distance")
+	}
+	cfg.Nodes = 0
+	if _, err := PredictLink(cfg, 10); err == nil {
+		t.Fatal("accepted invalid config")
+	}
+}
+
+// The analytic prediction and a simulation must agree on the *direction*
+// and rough size of the saving: the simulated Scheme 2 saving lies below
+// the per-link analytic bound but well above zero.
+func TestPredictionBoundsSimulation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.DurationSeconds = 60
+	results, err := RunComparison(cfg, PureLEACH, Scheme2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSaving := 1 - results[1].EnergyPerPacketMilliJ/results[0].EnergyPerPacketMilliJ
+	if simSaving <= 0.05 {
+		t.Fatalf("simulated saving %.2f suspiciously small", simSaving)
+	}
+	// Analytic saving at a conservative far-link distance (half the field
+	// diagonal): with few clusters on a small field, in-cluster distances
+	// reach this scale, and the per-link saving grows with distance, so
+	// this bounds the network-level saving from above.
+	far := 0.5 * math.Hypot(cfg.FieldWidthM, cfg.FieldHeightM)
+	pred, err := PredictLink(cfg, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simSaving > pred.PredictedSaving+0.15 {
+		t.Fatalf("simulated saving %.2f far exceeds analytic far-link bound %.2f", simSaving, pred.PredictedSaving)
+	}
+}

@@ -1,0 +1,212 @@
+package caem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// SeriesPoint is one sample of a simulation time series.
+type SeriesPoint struct {
+	TimeSeconds float64
+	Value       float64
+}
+
+// RoundOutcome summarizes one LEACH round.
+type RoundOutcome struct {
+	Index        int
+	StartSeconds float64
+	EndSeconds   float64
+	Heads        int
+	AliveAtStart int
+	Delivered    uint64
+	ConsumedJ    float64
+	Collisions   uint64
+}
+
+// NodeOutcome is the per-node slice of a Result.
+type NodeOutcome struct {
+	Index          int
+	RemainingJ     float64
+	ConsumedJ      float64
+	Dead           bool
+	DiedAtSeconds  float64
+	QueueLen       int
+	DeliveredCount uint64
+}
+
+// Result holds everything one simulation run measured. Fields follow the
+// paper's evaluation metrics (§IV.A).
+type Result struct {
+	Protocol Protocol
+
+	// DurationSeconds is the simulated time actually covered.
+	DurationSeconds float64
+	// Rounds is the number of LEACH rounds started.
+	Rounds int
+
+	// Energy and lifetime.
+	AvgRemainingJ          float64
+	TotalConsumedJ         float64
+	AliveAtEnd             int
+	FirstDeathSeconds      float64
+	FirstDeathValid        bool
+	NetworkLifetimeSeconds float64
+	NetworkDead            bool
+	// EnergyPerPacketMilliJ is the communication energy per successfully
+	// delivered packet (Fig. 11's metric).
+	EnergyPerPacketMilliJ float64
+	// EnergyBreakdown maps consumption cause to Joules network-wide.
+	EnergyBreakdown map[string]float64
+
+	// Network performance.
+	Generated      uint64
+	Delivered      uint64
+	DroppedBuffer  uint64
+	DroppedRetry   uint64
+	DeliveryRate   float64
+	ThroughputKbps float64
+	MeanDelayMs    float64
+	MaxDelayMs     float64
+
+	// Fairness: time-averaged standard deviation of per-node queue
+	// lengths (Fig. 12's metric).
+	QueueStdDev float64
+
+	// MAC behaviour.
+	Collisions    uint64
+	ChannelFails  uint64
+	DeferralsCSI  uint64
+	DeferralsBusy uint64
+	// ModeShare[i] is the fraction of delivered packets sent at ABICM
+	// class i (0 = 250 kbps ... 3 = 2 Mbps).
+	ModeShare []float64
+
+	// Time series for the figure-style plots.
+	EnergySeries []SeriesPoint // average remaining J vs time (Fig. 8)
+	AliveSeries  []SeriesPoint // alive node count vs time (Fig. 9)
+
+	// Per-node outcomes.
+	Nodes []NodeOutcome
+
+	// Rounds detail, one entry per LEACH round.
+	RoundOutcomes []RoundOutcome
+}
+
+func publicResult(c Config, r core.Result) Result {
+	out := Result{
+		Protocol:              c.Protocol,
+		DurationSeconds:       r.Elapsed.Seconds(),
+		Rounds:                r.Rounds,
+		AvgRemainingJ:         r.AvgRemainingJ,
+		TotalConsumedJ:        r.TotalConsumedJ,
+		AliveAtEnd:            r.AliveAtEnd,
+		Generated:             r.Generated,
+		Delivered:             r.Delivered,
+		DroppedBuffer:         r.DroppedBuffer,
+		DroppedRetry:          r.DroppedRetry,
+		DeliveryRate:          r.DeliveryRate,
+		ThroughputKbps:        r.AggregateKbps,
+		MeanDelayMs:           r.MeanDelayMs,
+		MaxDelayMs:            r.MaxDelayMs,
+		QueueStdDev:           r.QueueStdDev,
+		Collisions:            r.MAC.Collisions,
+		ChannelFails:          r.MAC.ChannelFails,
+		DeferralsCSI:          r.MAC.DeferralsCSI,
+		DeferralsBusy:         r.MAC.DeferralsBusy,
+		EnergyBreakdown:       make(map[string]float64, len(r.EnergyByCause)),
+		EnergyPerPacketMilliJ: 1000 * r.EnergyPerPktJ,
+	}
+	if r.FirstDeathValid {
+		out.FirstDeathSeconds, out.FirstDeathValid = r.FirstDeath.Seconds(), true
+	}
+	if r.NetworkDead {
+		out.NetworkLifetimeSeconds, out.NetworkDead = r.NetworkLifetime.Seconds(), true
+	}
+	for c, j := range r.EnergyByCause {
+		out.EnergyBreakdown[c.String()] = j
+	}
+	var totalModes uint64
+	for _, m := range r.ModeCounts {
+		totalModes += m
+	}
+	out.ModeShare = make([]float64, len(r.ModeCounts))
+	if totalModes > 0 {
+		for i, m := range r.ModeCounts {
+			out.ModeShare[i] = float64(m) / float64(totalModes)
+		}
+	}
+	for _, p := range r.EnergySeries.Points() {
+		out.EnergySeries = append(out.EnergySeries, SeriesPoint{p.T.Seconds(), p.V})
+	}
+	for _, p := range r.AliveSeries.Points() {
+		out.AliveSeries = append(out.AliveSeries, SeriesPoint{p.T.Seconds(), p.V})
+	}
+	for _, rr := range r.RoundReports {
+		out.RoundOutcomes = append(out.RoundOutcomes, RoundOutcome{
+			Index:        rr.Index,
+			StartSeconds: rr.Start.Seconds(),
+			EndSeconds:   rr.End.Seconds(),
+			Heads:        rr.Heads,
+			AliveAtStart: rr.AliveAtStart,
+			Delivered:    rr.Delivered,
+			ConsumedJ:    rr.ConsumedJ,
+			Collisions:   rr.Collisions,
+		})
+	}
+	for _, n := range r.Nodes {
+		out.Nodes = append(out.Nodes, NodeOutcome{
+			Index:          n.Index,
+			RemainingJ:     n.RemainingJ,
+			ConsumedJ:      n.ConsumedJ,
+			Dead:           n.Dead,
+			DiedAtSeconds:  n.DiedAt.Seconds(),
+			QueueLen:       n.QueueLen,
+			DeliveredCount: n.ServiceShare,
+		})
+	}
+	return out
+}
+
+// Summary renders a human-readable digest of the run.
+func (r Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol          %v\n", r.Protocol)
+	fmt.Fprintf(&b, "elapsed           %.1f s over %d LEACH rounds\n", r.DurationSeconds, r.Rounds)
+	fmt.Fprintf(&b, "energy            avg remaining %.3f J, total consumed %.2f J\n", r.AvgRemainingJ, r.TotalConsumedJ)
+	fmt.Fprintf(&b, "alive             %d/%d at end", r.AliveAtEnd, len(r.Nodes))
+	if r.FirstDeathValid {
+		fmt.Fprintf(&b, " (first death %.1f s)", r.FirstDeathSeconds)
+	}
+	if r.NetworkDead {
+		fmt.Fprintf(&b, ", network lifetime %.1f s", r.NetworkLifetimeSeconds)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "traffic           generated %d, delivered %d (%.1f%%), drops: buffer %d retry %d\n",
+		r.Generated, r.Delivered, 100*r.DeliveryRate, r.DroppedBuffer, r.DroppedRetry)
+	fmt.Fprintf(&b, "performance       %.1f kbps, mean delay %.2f ms, queue stddev %.2f\n",
+		r.ThroughputKbps, r.MeanDelayMs, r.QueueStdDev)
+	fmt.Fprintf(&b, "per-packet energy %.3f mJ\n", r.EnergyPerPacketMilliJ)
+	fmt.Fprintf(&b, "mac               collisions %d, channel fails %d, deferrals csi/busy %d/%d\n",
+		r.Collisions, r.ChannelFails, r.DeferralsCSI, r.DeferralsBusy)
+	if len(r.ModeShare) > 0 {
+		b.WriteString("mode share       ")
+		for i, s := range r.ModeShare {
+			fmt.Fprintf(&b, " class%d=%.1f%%", i, 100*s)
+		}
+		b.WriteByte('\n')
+	}
+	keys := make([]string, 0, len(r.EnergyBreakdown))
+	for k := range r.EnergyBreakdown {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return r.EnergyBreakdown[keys[i]] > r.EnergyBreakdown[keys[j]] })
+	b.WriteString("energy breakdown ")
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%.2fJ", k, r.EnergyBreakdown[k])
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,101 @@
+// Command caem-bench regenerates every table and figure of the paper's
+// evaluation (and the DESIGN.md ablations), printing each report and
+// optionally writing CSVs.
+//
+// Usage:
+//
+//	caem-bench                       # everything, full scale
+//	caem-bench -experiment figure9   # one artifact
+//	caem-bench -scale 0.3 -quiet     # quick pass
+//	caem-bench -out results/         # also write CSV files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		which = flag.String("experiment", "all",
+			"which artifact to regenerate: all | table1 | table2 | figure8 | figure9 | figure10 | figure11 | figure12 | netperf | ablation-threshold | ablation-doppler | ablation-burst | ablation-csinoise | ablation-rician | seedvar")
+		scale = flag.Float64("scale", 1.0, "experiment scale in (0, 1]: nodes, horizons, sweep sizes")
+		seed  = flag.Uint64("seed", 1, "master random seed")
+		out   = flag.String("out", "", "directory to write per-experiment CSV files (empty = don't)")
+		quiet = flag.Bool("quiet", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	opts := experiment.Options{Seed: *seed, Scale: *scale}
+	if !*quiet {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	runners := map[string]func(experiment.Options) experiment.Report{
+		"table1":             experiment.TableI,
+		"table2":             experiment.TableII,
+		"figure8":            experiment.Figure8,
+		"figure9":            experiment.Figure9,
+		"figure10":           experiment.Figure10,
+		"figure11":           experiment.Figure11,
+		"figure12":           experiment.Figure12,
+		"netperf":            experiment.NetworkPerformance,
+		"ablation-threshold": experiment.AblationThresholdParams,
+		"ablation-doppler":   experiment.AblationDoppler,
+		"ablation-burst":     experiment.AblationBurst,
+		"ablation-csinoise":  experiment.AblationCSINoise,
+		"ablation-rician":    experiment.AblationRician,
+		"seedvar":            experiment.SeedVariance,
+	}
+
+	var reports []experiment.Report
+	switch strings.ToLower(*which) {
+	case "all":
+		reports = experiment.All(opts)
+	default:
+		run, ok := runners[strings.ToLower(*which)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "caem-bench: unknown experiment %q\n", *which)
+			os.Exit(2)
+		}
+		reports = []experiment.Report{run(opts)}
+	}
+
+	for _, r := range reports {
+		fmt.Println(r.Render())
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "caem-bench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range reports {
+			path := filepath.Join(*out, r.ID+".csv")
+			if err := os.WriteFile(path, []byte(r.Table.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "caem-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+			for ci, chart := range r.Charts {
+				name := r.ID + ".svg"
+				if ci > 0 {
+					name = fmt.Sprintf("%s-%d.svg", r.ID, ci+1)
+				}
+				spath := filepath.Join(*out, name)
+				if err := os.WriteFile(spath, []byte(chart.SVG()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "caem-bench: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s\n", spath)
+			}
+		}
+	}
+}

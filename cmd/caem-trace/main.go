@@ -1,0 +1,114 @@
+// Command caem-trace inspects a single sensor-to-head wireless link: it
+// prints the CSI trace, the ABICM mode occupancy, and the per-mode airtime
+// a 2 Kbit packet would need. This is the calibration tool behind the
+// DESIGN.md §4 link-budget choices — it answers "how often is the channel
+// above each transmission threshold at distance d?".
+//
+// Usage:
+//
+//	caem-trace -distance 25 -duration 60 -step 50ms
+//	caem-trace -distance 40 -doppler 4 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analytic"
+	"repro/internal/channel"
+	"repro/internal/phy"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		distance = flag.Float64("distance", 25, "link distance in meters")
+		duration = flag.Float64("duration", 60, "trace duration in seconds")
+		stepMs   = flag.Float64("step", 50, "sampling step in milliseconds (the idle-tone period)")
+		doppler  = flag.Float64("doppler", 0, "override max Doppler in Hz (0 = default)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		csv      = flag.Bool("csv", false, "emit the raw time,snr,class trace as CSV")
+	)
+	flag.Parse()
+
+	params := channel.DefaultParams()
+	if *doppler > 0 {
+		params.DopplerHz = *doppler
+	}
+	if err := params.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "caem-trace: %v\n", err)
+		os.Exit(2)
+	}
+	modes := phy.Default4Mode()
+	link := channel.NewLink(params, *distance, rng.NewSource(*seed).Stream("trace", 0))
+
+	step := sim.FromSeconds(*stepMs / 1000)
+	horizon := sim.FromSeconds(*duration)
+	samples := 0
+	classCount := make([]int, modes.Len())
+	belowCnt := 0
+	var sumSNR, minSNR, maxSNR float64
+	minSNR = 1e9
+	maxSNR = -1e9
+
+	if *csv {
+		fmt.Println("time_s,snr_db,class")
+	}
+	for t := sim.Time(0); t <= horizon; t += step {
+		snr := link.SNRdB(t)
+		samples++
+		sumSNR += snr
+		if snr < minSNR {
+			minSNR = snr
+		}
+		if snr > maxSNR {
+			maxSNR = snr
+		}
+		m, ok := modes.PickMode(snr)
+		cls := -1
+		if ok {
+			cls = m.Index
+			classCount[m.Index]++
+		} else {
+			belowCnt++
+		}
+		if *csv {
+			fmt.Printf("%.3f,%.2f,%d\n", t.Seconds(), snr, cls)
+		}
+	}
+	if *csv {
+		return
+	}
+
+	fmt.Printf("link:       distance %.1f m, path-loss SNR %.1f dB, coherence time %.1f ms\n",
+		*distance, link.MeanSNRdB(), params.CoherenceTime().Millis())
+	fmt.Printf("trace:      %d samples over %.0f s every %.0f ms\n", samples, *duration, *stepMs)
+	fmt.Printf("snr:        mean %.1f dB, min %.1f dB, max %.1f dB\n", sumSNR/float64(samples), minSNR, maxSNR)
+	fmt.Printf("below all thresholds: %.1f%% of samples (pure LEACH transmits here and likely fails)\n",
+		100*float64(belowCnt)/float64(samples))
+	// Analytic (Rayleigh, local-mean) expectations next to the empirical
+	// trace: the trace includes shadowing, so moderate disagreement at one
+	// distance is expected; the shapes should match.
+	occ, below := analytic.ModeOccupancy(link.MeanSNRdB(), modes)
+	fmt.Println("\nclass  mode                  threshold  occupancy  analytic  airtime(2Kb)")
+	for i := 0; i < modes.Len(); i++ {
+		m := modes.Mode(i)
+		fmt.Printf("%5d  %-20s  %6.1f dB  %8.1f%%  %7.1f%%  %.2f ms\n",
+			i, m.Name, m.ThresholdSNRdB,
+			100*float64(classCount[i])/float64(samples),
+			100*occ[i],
+			m.Airtime(2000).Millis())
+	}
+	fmt.Printf("below  (pure LEACH fails here)           %8.1f%%  %7.1f%%\n",
+		100*float64(belowCnt)/float64(samples), 100*below)
+
+	fmt.Printf("\nanalytic expectations at this local mean:\n")
+	fmt.Printf("  transmit-now airtime    %.2f ms/packet (pure LEACH)\n",
+		analytic.ExpectedAirtime(link.MeanSNRdB(), modes, 2000).Millis())
+	fmt.Printf("  wait for top class      %.0f ms expected (50 ms idle-tone polls)\n",
+		1000*analytic.ExpectedWaitForClass(link.MeanSNRdB(), modes.Highest().ThresholdSNRdB, 50*sim.Millisecond))
+	fmt.Printf("  tx-energy saving bound  %.0f%% (wait-for-top vs transmit-now)\n",
+		100*analytic.PredictedSavingVsTopClass(link.MeanSNRdB(), modes, 2000))
+}

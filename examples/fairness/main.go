@@ -1,0 +1,67 @@
+// Fairness study: the cost of waiting for a perfect channel. Scheme 2
+// fixes the transmission threshold at the 2 Mbps class, so sensors far
+// from their cluster head — whose links rarely reach 16 dB — starve while
+// nearby sensors monopolize the channel. Scheme 1's adaptive threshold
+// returns bandwidth to them.
+//
+// The example reproduces the paper's §IV.C analysis per node: it buckets
+// sensors by their delivered-packet share and prints the queue-length
+// fairness index, using unbounded buffers as the paper does.
+//
+//	go run ./examples/fairness
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"repro/caem"
+)
+
+func main() {
+	cfg := caem.DefaultConfig()
+	cfg.Nodes = 60
+	cfg.FieldWidthM, cfg.FieldHeightM = 100, 100
+	cfg.TrafficLoad = 8
+	cfg.BufferCapacity = 0 // §IV.C: buffers large enough to never drop
+	cfg.DurationSeconds = 300
+	cfg.Seed = 5
+
+	fmt.Println("fairness study: 60 nodes at 8 pkt/s, unbounded buffers, 300 s")
+	fmt.Println()
+
+	results, err := caem.RunComparison(cfg, caem.Scheme1, caem.Scheme2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, r := range results {
+		shares := make([]uint64, 0, len(r.Nodes))
+		var total uint64
+		for _, n := range r.Nodes {
+			shares = append(shares, n.DeliveredCount)
+			total += n.DeliveredCount
+		}
+		sort.Slice(shares, func(i, j int) bool { return shares[i] < shares[j] })
+		sum := func(xs []uint64) (s uint64) {
+			for _, x := range xs {
+				s += x
+			}
+			return
+		}
+		n := len(shares)
+		bottom := sum(shares[:n/5])
+		top := sum(shares[n-n/5:])
+
+		fmt.Printf("%v:\n", r.Protocol)
+		fmt.Printf("  queue-length stddev (fairness index): %8.2f\n", r.QueueStdDev)
+		fmt.Printf("  mean packet delay:                    %8.1f ms (max %.0f ms)\n", r.MeanDelayMs, r.MaxDelayMs)
+		fmt.Printf("  service share, bottom fifth of nodes: %8.1f%%\n", 100*float64(bottom)/float64(total))
+		fmt.Printf("  service share, top fifth of nodes:    %8.1f%%\n", 100*float64(top)/float64(total))
+		fmt.Printf("  deferrals for channel quality:        %8d\n\n", r.DeferralsCSI)
+	}
+
+	fmt.Println("Scheme 2 shows the starvation the paper warns about: a smaller bottom-fifth")
+	fmt.Println("share and a larger queue spread. Scheme 1 narrows both at a modest energy cost.")
+}

@@ -1,0 +1,48 @@
+// Link budget: the analytic view of CAEM's premise, checked against the
+// simulator. For a range of sensor-to-head distances, the closed-form
+// Rayleigh model predicts how often each ABICM class is admissible, how
+// long a node waits for the 2 Mbps class, and what fraction of transmit
+// energy waiting saves; a full network simulation then shows the realized
+// protocol-level saving (which also pays for signaling, startups, and
+// collisions).
+//
+//	go run ./examples/linkbudget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/caem"
+)
+
+func main() {
+	cfg := caem.DefaultConfig()
+
+	fmt.Println("analytic link budget (Rayleigh fading, Table II modes):")
+	fmt.Println()
+	for _, d := range []float64{10, 20, 30, 45, 60} {
+		pred, err := caem.PredictLink(cfg, d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(pred.Summary())
+		fmt.Println()
+	}
+
+	fmt.Println("simulated protocol-level saving at the same operating point:")
+	cfg.Nodes = 60
+	cfg.DurationSeconds = 150
+	results, err := caem.RunComparison(cfg, caem.PureLEACH, caem.Scheme2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	leach, s2 := results[0], results[1]
+	fmt.Printf("  pure-LEACH   %.3f mJ/packet\n", leach.EnergyPerPacketMilliJ)
+	fmt.Printf("  CAEM-scheme2 %.3f mJ/packet  (saving %.0f%%)\n",
+		s2.EnergyPerPacketMilliJ, 100*(1-s2.EnergyPerPacketMilliJ/leach.EnergyPerPacketMilliJ))
+	fmt.Println()
+	fmt.Println("the simulated saving sits below the per-link analytic bound: the")
+	fmt.Println("protocol also pays for tone signaling, radio startups, receive-side")
+	fmt.Println("energy, and contention — the costs the paper's simulation quantifies.")
+}

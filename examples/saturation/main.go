@@ -1,0 +1,48 @@
+// Saturation study: battlefield-surveillance style bursts — push the
+// per-node traffic load up until the shared data channel saturates, and
+// watch Scheme 1 degenerate toward pure LEACH (paper Fig. 10's key
+// observation: under saturation the adaptive threshold sits at the lowest
+// class most of the time, so channel adaptation buys nothing).
+//
+//	go run ./examples/saturation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/caem"
+)
+
+func main() {
+	fmt.Println("saturation study: 60 nodes, load sweep 5 -> 30 pkt/s, 200 s windows")
+	fmt.Println()
+	fmt.Printf("%-6s | %-22s | %-22s | %s\n", "load", "pure-LEACH", "CAEM-scheme1", "S1 vs LEACH")
+	fmt.Printf("%-6s | %-10s %-11s | %-10s %-11s | %s\n",
+		"pkt/s", "J burned", "delivery", "J burned", "delivery", "energy/pkt saving")
+
+	for _, load := range []float64{5, 10, 15, 20, 25, 30} {
+		cfg := caem.DefaultConfig()
+		cfg.Nodes = 60
+		cfg.FieldWidthM, cfg.FieldHeightM = 80, 80
+		cfg.TrafficLoad = load
+		cfg.DurationSeconds = 200
+		cfg.Seed = 11
+
+		results, err := caem.RunComparison(cfg, caem.PureLEACH, caem.Scheme1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		leach, s1 := results[0], results[1]
+		saving := 1 - s1.EnergyPerPacketMilliJ/leach.EnergyPerPacketMilliJ
+		fmt.Printf("%-6.0f | %8.1f J %9.1f%% | %8.1f J %9.1f%% | %.0f%%\n",
+			load,
+			leach.TotalConsumedJ, 100*leach.DeliveryRate,
+			s1.TotalConsumedJ, 100*s1.DeliveryRate,
+			100*saving)
+	}
+
+	fmt.Println()
+	fmt.Println("as the channel saturates, delivery rates fall, queues pin at capacity,")
+	fmt.Println("and Scheme 1's energy advantage narrows — the Fig. 10/11 convergence.")
+}

@@ -1,0 +1,332 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func testStream(id uint64) *rng.Stream {
+	return rng.NewSource(77).Stream("chan-test", id)
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	cases := []func(*Params){
+		func(p *Params) { p.ReferenceDistance = 0 },
+		func(p *Params) { p.PathLossExponent = 0.5 },
+		func(p *Params) { p.PathLossExponent = 7 },
+		func(p *Params) { p.ShadowingSigmaDB = -1 },
+		func(p *Params) { p.ShadowingBlock = 0 },
+		func(p *Params) { p.ShadowingCorr = 1 },
+		func(p *Params) { p.ShadowingCorr = -0.1 },
+		func(p *Params) { p.DopplerHz = -1 },
+		func(p *Params) { p.Oscillators = 0 },
+		func(p *Params) { p.MinDistance = -1 },
+	}
+	for i, mutate := range cases {
+		p := DefaultParams()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestPathLossMonotoneInDistance(t *testing.T) {
+	p := DefaultParams()
+	prev := math.Inf(1)
+	for d := 1.0; d <= 200; d += 1 {
+		snr := p.PathLossSNRdB(d)
+		if snr > prev+1e-12 {
+			t.Fatalf("path-loss SNR increased with distance at %v m", d)
+		}
+		prev = snr
+	}
+}
+
+func TestPathLossReferencePoint(t *testing.T) {
+	p := DefaultParams()
+	if got := p.PathLossSNRdB(p.ReferenceDistance); math.Abs(got-p.ReferenceSNRdB) > 1e-12 {
+		t.Fatalf("SNR at reference distance = %v, want %v", got, p.ReferenceSNRdB)
+	}
+	// 10x the distance costs 10*n dB.
+	got := p.PathLossSNRdB(p.ReferenceDistance * 10)
+	want := p.ReferenceSNRdB - 10*p.PathLossExponent
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("decade slope: got %v, want %v", got, want)
+	}
+}
+
+func TestMinDistanceClamp(t *testing.T) {
+	p := DefaultParams()
+	if got, lim := p.PathLossSNRdB(0.01), p.PathLossSNRdB(p.MinDistance); got != lim {
+		t.Fatalf("tiny distance SNR %v not clamped to %v", got, lim)
+	}
+}
+
+func TestCoherenceTime(t *testing.T) {
+	p := DefaultParams()
+	ct := p.CoherenceTime()
+	want := sim.FromSeconds(9 / (16 * math.Pi * p.DopplerHz))
+	if ct != want {
+		t.Fatalf("CoherenceTime = %v, want %v", ct, want)
+	}
+	p.DopplerHz = 0
+	if p.CoherenceTime() != 0 {
+		t.Fatal("CoherenceTime with no fading should be 0")
+	}
+}
+
+// The fading process must be normalized: time-averaged |h|^2 ~ 1, so the
+// fading neither inflates nor deflates the mean link budget.
+func TestFadingUnitMeanPower(t *testing.T) {
+	p := DefaultParams()
+	p.ShadowingSigmaDB = 0
+	l := NewLink(p, 10, testStream(1))
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		tm := sim.Time(i) * sim.Millisecond
+		sum += l.FadingPowerGain(tm)
+	}
+	mean := sum / n
+	if mean < 0.7 || mean > 1.3 {
+		t.Fatalf("mean fading power gain = %v, want ~1", mean)
+	}
+}
+
+// Fading must actually fade: over many coherence times the SNR should swing
+// by at least several dB around its mean.
+func TestFadingDynamicRange(t *testing.T) {
+	p := DefaultParams()
+	p.ShadowingSigmaDB = 0
+	l := NewLink(p, 10, testStream(2))
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := 0; i < 20000; i++ {
+		snr := l.SNRdB(sim.Time(i) * sim.Millisecond)
+		lo = math.Min(lo, snr)
+		hi = math.Max(hi, snr)
+	}
+	if hi-lo < 10 {
+		t.Fatalf("fading dynamic range only %.1f dB over 20 s, want >= 10 dB", hi-lo)
+	}
+}
+
+// Rayleigh depth check: the fraction of time the envelope power is below
+// 10% of its mean should be around 1-exp(-0.1) ~ 9.5%.
+func TestFadingDeepFadeFraction(t *testing.T) {
+	p := DefaultParams()
+	p.ShadowingSigmaDB = 0
+	l := NewLink(p, 10, testStream(3))
+	below := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if l.FadingPowerGain(sim.Time(i)*sim.Millisecond) < 0.1 {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if frac < 0.04 || frac > 0.18 {
+		t.Fatalf("deep-fade fraction = %v, want ~0.095 (Rayleigh)", frac)
+	}
+}
+
+// Channel coherence: samples a tenth of a coherence time apart must be
+// strongly correlated; samples many coherence times apart must not be.
+func TestFadingTemporalCorrelation(t *testing.T) {
+	p := DefaultParams()
+	p.ShadowingSigmaDB = 0
+	ct := p.CoherenceTime()
+	l := NewLink(p, 10, testStream(4))
+	shortDiff, longDiff := 0.0, 0.0
+	const n = 5000
+	for i := 0; i < n; i++ {
+		base := sim.Time(i) * 100 * sim.Millisecond
+		g0 := l.FadingPowerGain(base)
+		gs := l.FadingPowerGain(base + ct/10)
+		gl := l.FadingPowerGain(base + 50*ct)
+		shortDiff += math.Abs(gs - g0)
+		longDiff += math.Abs(gl - g0)
+	}
+	if shortDiff >= longDiff {
+		t.Fatalf("short-lag variation (%v) not below long-lag variation (%v)", shortDiff/n, longDiff/n)
+	}
+}
+
+// Determinism/purity: the fading gain is a pure function of t for a given
+// link, and two links with the same stream are identical.
+func TestLinkDeterminism(t *testing.T) {
+	p := DefaultParams()
+	a := NewLink(p, 25, testStream(5))
+	b := NewLink(p, 25, testStream(5))
+	for i := 0; i < 1000; i++ {
+		tm := sim.Time(i) * 3 * sim.Millisecond
+		if a.SNRdB(tm) != b.SNRdB(tm) {
+			t.Fatalf("same-stream links diverged at %v", tm)
+		}
+	}
+	// Re-querying the same instant returns the same value (purity).
+	tm := 123456 * sim.Microsecond
+	v1 := a.FadingPowerGain(tm)
+	a.FadingPowerGain(tm + sim.Second)
+	if v2 := a.FadingPowerGain(tm); v1 != v2 {
+		t.Fatalf("fading gain not pure in t: %v vs %v", v1, v2)
+	}
+}
+
+func TestLinksWithDifferentStreamsDiffer(t *testing.T) {
+	p := DefaultParams()
+	a := NewLink(p, 25, testStream(6))
+	b := NewLink(p, 25, testStream(7))
+	same := 0
+	for i := 0; i < 100; i++ {
+		tm := sim.Time(i) * 7 * sim.Millisecond
+		if a.SNRdB(tm) == b.SNRdB(tm) {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("independent links matched at %d/100 sample times", same)
+	}
+}
+
+// Shadowing marginals: with fading off, the dB deviation around path loss
+// should have roughly the configured sigma, sampled across many links.
+func TestShadowingMarginalSigma(t *testing.T) {
+	p := DefaultParams()
+	p.DopplerHz = 0
+	var sum, sumSq float64
+	const n = 3000
+	for i := 0; i < n; i++ {
+		l := NewLink(p, 30, testStream(100+uint64(i)))
+		dev := l.SNRdB(0) - l.MeanSNRdB()
+		sum += dev
+		sumSq += dev * dev
+	}
+	mean := sum / n
+	sd := math.Sqrt(sumSq/n - mean*mean)
+	if math.Abs(mean) > 0.4 {
+		t.Fatalf("shadowing mean = %v dB, want ~0", mean)
+	}
+	if math.Abs(sd-p.ShadowingSigmaDB) > 0.5 {
+		t.Fatalf("shadowing sigma = %v dB, want ~%v", sd, p.ShadowingSigmaDB)
+	}
+}
+
+// Shadowing is constant within a block and changes across blocks.
+func TestShadowingBlockStructure(t *testing.T) {
+	p := DefaultParams()
+	p.DopplerHz = 0
+	l := NewLink(p, 30, testStream(8))
+	v0 := l.SNRdB(0)
+	if v1 := l.SNRdB(p.ShadowingBlock / 2); v1 != v0 {
+		t.Fatalf("shadowing changed within a block: %v vs %v", v0, v1)
+	}
+	changed := false
+	v := v0
+	for b := 1; b <= 5; b++ {
+		nv := l.SNRdB(sim.Time(b)*p.ShadowingBlock + p.ShadowingBlock/2)
+		if nv != v {
+			changed = true
+		}
+		v = nv
+	}
+	if !changed {
+		t.Fatal("shadowing never changed across 5 blocks")
+	}
+}
+
+func TestDisabledComponents(t *testing.T) {
+	p := DefaultParams()
+	p.DopplerHz = 0
+	p.ShadowingSigmaDB = 0
+	l := NewLink(p, 42, testStream(9))
+	want := p.PathLossSNRdB(42)
+	for i := 0; i < 100; i++ {
+		tm := sim.Time(i) * 100 * sim.Millisecond
+		if got := l.SNRdB(tm); got != want {
+			t.Fatalf("static channel moved: %v != %v at %v", got, want, tm)
+		}
+		if g := l.FadingPowerGain(tm); g != 1 {
+			t.Fatalf("FadingPowerGain = %v with fading disabled", g)
+		}
+	}
+}
+
+// Property: SNR is always finite for any queried time.
+func TestSNRAlwaysFinite(t *testing.T) {
+	p := DefaultParams()
+	l := NewLink(p, 60, testStream(10))
+	check := func(ms uint32) bool {
+		v := l.SNRdB(sim.Time(ms) * sim.Millisecond)
+		return !math.IsNaN(v) && !math.IsInf(v, 0)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSNRdB(b *testing.B) {
+	l := NewLink(DefaultParams(), 30, testStream(11))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = l.SNRdB(sim.Time(i) * 50 * sim.Millisecond)
+	}
+}
+
+// Rician fading: the LOS component must preserve unit mean power and
+// shrink the fade depth relative to Rayleigh.
+func TestRicianUnitMeanPower(t *testing.T) {
+	p := DefaultParams()
+	p.ShadowingSigmaDB = 0
+	p.RicianK = 5
+	l := NewLink(p, 10, testStream(20))
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += l.FadingPowerGain(sim.Time(i) * sim.Millisecond)
+	}
+	mean := sum / n
+	if mean < 0.7 || mean > 1.3 {
+		t.Fatalf("Rician mean power gain = %v, want ~1", mean)
+	}
+}
+
+func TestRicianShallowerFadesThanRayleigh(t *testing.T) {
+	deepFrac := func(k float64, id uint64) float64 {
+		p := DefaultParams()
+		p.ShadowingSigmaDB = 0
+		p.RicianK = k
+		l := NewLink(p, 10, testStream(id))
+		below := 0
+		const n = 50000
+		for i := 0; i < n; i++ {
+			if l.FadingPowerGain(sim.Time(i)*sim.Millisecond) < 0.1 {
+				below++
+			}
+		}
+		return float64(below) / n
+	}
+	rayleigh := deepFrac(0, 21)
+	rician := deepFrac(8, 22)
+	if rician >= rayleigh/2 {
+		t.Fatalf("K=8 deep-fade fraction %v not well below Rayleigh's %v", rician, rayleigh)
+	}
+}
+
+func TestRicianKValidation(t *testing.T) {
+	p := DefaultParams()
+	p.RicianK = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative RicianK accepted")
+	}
+}

@@ -1,0 +1,218 @@
+// Package core assembles the full CAEM simulation: it drives the sensor
+// and cluster-head state machines (internal/mac) from the discrete-event
+// engine (internal/sim), samples the fading channel (internal/channel)
+// exactly when the protocol learns the CSI (at tone pulses,
+// internal/tone), charges the energy model (internal/energy), rotates
+// clusters with LEACH (internal/leach), and collects the paper's metrics
+// (internal/metrics).
+//
+// One Network value is one simulation run of one protocol variant; the
+// experiment harness (internal/experiment) composes runs into the paper's
+// figures.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/energy"
+	"repro/internal/mac"
+	"repro/internal/phy"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+	"repro/internal/tone"
+)
+
+// Config fully specifies one simulation run.
+type Config struct {
+	// Seed roots every random stream in the run.
+	Seed uint64
+	// Nodes is the network size (100 in Table II).
+	Nodes int
+	// FieldWidth and FieldHeight define the testing field in meters.
+	FieldWidth, FieldHeight float64
+
+	// Policy selects the protocol variant: PolicyNone = pure LEACH,
+	// PolicyFixedHighest = Scheme 2, PolicyAdaptive = Scheme 1.
+	Policy queueing.ThresholdPolicy
+
+	// ArrivalRatePerSecond is the Poisson traffic load per node (the
+	// paper's "added traffic load", 5..30 pkt/s).
+	ArrivalRatePerSecond float64
+	// PacketSizeBits is the information payload per packet (2 Kbits).
+	PacketSizeBits int
+	// BufferCapacity is the node buffer in packets (50; 0 = unbounded,
+	// used by the fairness experiment per §IV.C).
+	BufferCapacity int
+
+	// InitialEnergyJ is the battery budget per node (10 J).
+	InitialEnergyJ float64
+
+	// RoundLength is the LEACH round duration.
+	RoundLength sim.Time
+	// HeadFraction is LEACH's P (0.05).
+	HeadFraction float64
+
+	Device  energy.DeviceModel
+	Channel channel.Params
+	Modes   phy.Table
+	Codec   phy.CodecEnergyModel
+	Tone    tone.Scheme
+	MAC     mac.Config
+	Adjust  queueing.AdjusterConfig
+	CSI     tone.CSIEstimator
+
+	// Horizon bounds simulated time.
+	Horizon sim.Time
+	// SampleInterval is the cadence of the Fig. 8/9 time series and the
+	// Fig. 12 fairness snapshots.
+	SampleInterval sim.Time
+	// BookkeepingInterval is the cadence of continuous-power accrual and
+	// death checks between discrete events.
+	BookkeepingInterval sim.Time
+
+	// DetectWindow is the CSMA vulnerable window: a contender whose
+	// backoff expires within this window of a burst start cannot yet
+	// detect the transmission and causes a collision. §III.B's "the
+	// sensor again checks whether the channel is free" is modelled as
+	// listen-before-talk during the data radio's startup, so the window
+	// is the carrier-detect turnaround, not the (much longer) latency of
+	// the first receive-tone pulse.
+	DetectWindow sim.Time
+	// CollisionResolveDelay is the time from the colliding overlap to
+	// the cluster head's collision tone reaching the senders.
+	CollisionResolveDelay sim.Time
+
+	// DeadFraction defines "network dead": the fraction of exhausted
+	// nodes at which the network lifetime is declared (DESIGN.md: 0.8).
+	DeadFraction float64
+	// StopWhenNetworkDead ends the run at the DeadFraction crossing
+	// instead of simulating to the horizon.
+	StopWhenNetworkDead bool
+
+	// BaseStationForwarding enables the extension the paper defines but
+	// defers ("the sink is sending processed data to the base station
+	// (we do not consider this in this paper at this stage)"): cluster
+	// heads periodically forward aggregated data to the base station,
+	// advertising the busy data channel with transmit tone pulses.
+	// Off by default, so the paper's experiments are unaffected.
+	BaseStationForwarding bool
+	// ForwardInterval is how often a head flushes its aggregate.
+	ForwardInterval sim.Time
+	// AggregationRatio is the fraction of received payload bits that
+	// survive in-cluster aggregation and must be forwarded (LEACH's
+	// premise is that correlated data compresses well).
+	AggregationRatio float64
+
+	// CSINoiseSigmaDB models imperfect channel estimation: the CSI a
+	// sensor infers from the tone pulse is the true SNR plus zero-mean
+	// Gaussian error of this spread. The paper assumes perfect
+	// reciprocity (§III.A assumptions 1-2); the A4 ablation uses this
+	// knob to test how much estimation error CAEM's admission decisions
+	// tolerate. Only the admission check is affected — the per-packet
+	// mode choice still uses the receive-tone feedback loop, which
+	// tracks the channel continuously.
+	CSINoiseSigmaDB float64
+
+	// Trace, when non-nil, receives every protocol-level event
+	// synchronously (round starts, FSM transitions, bursts, deliveries,
+	// collisions, drops, deferrals, deaths). The callback must not
+	// mutate simulation state. Nil (the default) costs nothing.
+	Trace func(TraceEvent)
+}
+
+// DefaultConfig returns the Table II parameter set with the DESIGN.md §4
+// resolutions, at the paper's reference load of 5 pkt/s, running Scheme 1.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                  1,
+		Nodes:                 100,
+		FieldWidth:            100,
+		FieldHeight:           100,
+		Policy:                queueing.PolicyAdaptive,
+		ArrivalRatePerSecond:  5,
+		PacketSizeBits:        2000,
+		BufferCapacity:        50,
+		InitialEnergyJ:        10,
+		RoundLength:           20 * sim.Second,
+		HeadFraction:          0.05,
+		Device:                energy.DefaultDeviceModel(),
+		Channel:               channel.DefaultParams(),
+		Modes:                 phy.Default4Mode(),
+		Codec:                 phy.DefaultCodecEnergy(),
+		Tone:                  tone.DefaultScheme(),
+		MAC:                   mac.DefaultConfig(),
+		Adjust:                queueing.DefaultAdjusterConfig(),
+		CSI:                   tone.CSIEstimator{},
+		Horizon:               2000 * sim.Second,
+		SampleInterval:        5 * sim.Second,
+		BookkeepingInterval:   500 * sim.Millisecond,
+		DetectWindow:          40 * sim.Microsecond,
+		CollisionResolveDelay: 1 * sim.Millisecond,
+		DeadFraction:          0.8,
+		StopWhenNetworkDead:   false,
+		BaseStationForwarding: false,
+		ForwardInterval:       2 * sim.Second,
+		AggregationRatio:      0.1,
+	}
+}
+
+// Validate reports the first configuration error, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 2:
+		return fmt.Errorf("netsim: Nodes = %d, need >= 2 (a head and a member)", c.Nodes)
+	case c.FieldWidth <= 0 || c.FieldHeight <= 0:
+		return fmt.Errorf("netsim: field %vx%v not positive", c.FieldWidth, c.FieldHeight)
+	case c.ArrivalRatePerSecond < 0:
+		return fmt.Errorf("netsim: negative arrival rate %v", c.ArrivalRatePerSecond)
+	case c.PacketSizeBits <= 0:
+		return fmt.Errorf("netsim: PacketSizeBits = %d", c.PacketSizeBits)
+	case c.BufferCapacity < 0:
+		return fmt.Errorf("netsim: negative BufferCapacity %d", c.BufferCapacity)
+	case c.InitialEnergyJ <= 0:
+		return fmt.Errorf("netsim: InitialEnergyJ = %v", c.InitialEnergyJ)
+	case c.RoundLength <= 0:
+		return fmt.Errorf("netsim: RoundLength = %v", c.RoundLength)
+	case c.HeadFraction <= 0 || c.HeadFraction > 1:
+		return fmt.Errorf("netsim: HeadFraction %v outside (0, 1]", c.HeadFraction)
+	case c.Horizon <= 0:
+		return fmt.Errorf("netsim: Horizon = %v", c.Horizon)
+	case c.SampleInterval <= 0:
+		return fmt.Errorf("netsim: SampleInterval = %v", c.SampleInterval)
+	case c.BookkeepingInterval <= 0:
+		return fmt.Errorf("netsim: BookkeepingInterval = %v", c.BookkeepingInterval)
+	case c.DetectWindow < 0:
+		return fmt.Errorf("netsim: negative DetectWindow %v", c.DetectWindow)
+	case c.CollisionResolveDelay < 0:
+		return fmt.Errorf("netsim: negative CollisionResolveDelay %v", c.CollisionResolveDelay)
+	case c.DeadFraction <= 0 || c.DeadFraction > 1:
+		return fmt.Errorf("netsim: DeadFraction %v outside (0, 1]", c.DeadFraction)
+	case c.Modes.Len() == 0:
+		return fmt.Errorf("netsim: empty mode table")
+	case c.Adjust.Classes != c.Modes.Len():
+		return fmt.Errorf("netsim: Adjust.Classes = %d but mode table has %d classes", c.Adjust.Classes, c.Modes.Len())
+	case c.BaseStationForwarding && c.ForwardInterval <= 0:
+		return fmt.Errorf("netsim: forwarding enabled but ForwardInterval = %v", c.ForwardInterval)
+	case c.BaseStationForwarding && (c.AggregationRatio <= 0 || c.AggregationRatio > 1):
+		return fmt.Errorf("netsim: AggregationRatio %v outside (0, 1]", c.AggregationRatio)
+	case c.CSINoiseSigmaDB < 0:
+		return fmt.Errorf("netsim: negative CSINoiseSigmaDB %v", c.CSINoiseSigmaDB)
+	}
+	if err := c.Device.Validate(); err != nil {
+		return err
+	}
+	if err := c.Channel.Validate(); err != nil {
+		return err
+	}
+	if err := c.Tone.Validate(); err != nil {
+		return err
+	}
+	if err := c.MAC.Validate(); err != nil {
+		return err
+	}
+	if err := c.Adjust.Validate(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/queueing"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// randomConfig draws a small but structurally diverse configuration: any
+// protocol, loads spanning idle to saturated, tiny to generous batteries,
+// harsh to benign channels, degenerate burst rules, optional forwarding
+// and CSI noise. The draw is deterministic in i.
+func randomConfig(r *rng.Stream, i int) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = uint64(1000 + i)
+	cfg.Nodes = 3 + r.Intn(22)
+	side := 20 + r.Float64()*80
+	cfg.FieldWidth, cfg.FieldHeight = side, side
+	cfg.Policy = []queueing.ThresholdPolicy{
+		queueing.PolicyNone, queueing.PolicyAdaptive, queueing.PolicyFixedHighest,
+	}[r.Intn(3)]
+	cfg.ArrivalRatePerSecond = []float64{0, 0.5, 2, 5, 15, 40}[r.Intn(6)]
+	cfg.BufferCapacity = []int{0, 1, 5, 50}[r.Intn(4)]
+	cfg.InitialEnergyJ = []float64{0.05, 0.5, 10}[r.Intn(3)]
+	cfg.RoundLength = sim.Time(2+r.Intn(20)) * sim.Second
+	cfg.HeadFraction = []float64{0.05, 0.2, 0.5}[r.Intn(3)]
+	cfg.Horizon = sim.Time(20+r.Intn(40)) * sim.Second
+	cfg.SampleInterval = sim.Time(1+r.Intn(5)) * sim.Second
+	cfg.Channel.ReferenceSNRdB = 15 + r.Float64()*20
+	cfg.Channel.DopplerHz = []float64{0, 0.5, 2, 10}[r.Intn(4)]
+	cfg.Channel.ShadowingSigmaDB = []float64{0, 2, 6}[r.Intn(3)]
+	cfg.Channel.RicianK = []float64{0, 0, 3}[r.Intn(3)]
+	cfg.MAC.MinBurst = 1 + r.Intn(3)
+	cfg.MAC.MaxBurst = cfg.MAC.MinBurst + r.Intn(8)
+	cfg.MAC.MaxRetries = r.Intn(7)
+	cfg.CSINoiseSigmaDB = []float64{0, 0, 3}[r.Intn(3)]
+	cfg.BaseStationForwarding = r.Intn(3) == 0
+	cfg.StopWhenNetworkDead = r.Intn(2) == 0
+	return cfg
+}
+
+// TestRandomizedConfigsHoldInvariants runs many randomized small
+// simulations and asserts the conservation invariants on each: no panics,
+// energy conserved per node and per cause, traffic accounted, series
+// monotone, deaths consistent. This catches interaction bugs the
+// scenario-specific tests cannot enumerate.
+func TestRandomizedConfigsHoldInvariants(t *testing.T) {
+	iterations := 60
+	if testing.Short() {
+		iterations = 15
+	}
+	r := rng.NewSource(2024).Stream("fuzz", 0)
+	for i := 0; i < iterations; i++ {
+		cfg := randomConfig(r, i)
+		label := fmt.Sprintf("iter %d: %d nodes, policy %v, load %v, energy %v, bursts %d-%d",
+			i, cfg.Nodes, cfg.Policy, cfg.ArrivalRatePerSecond, cfg.InitialEnergyJ,
+			cfg.MAC.MinBurst, cfg.MAC.MaxBurst)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s: generated invalid config: %v", label, err)
+		}
+		res := func() (res Result) {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("%s: simulation panicked: %v", label, p)
+				}
+			}()
+			return New(cfg).Run()
+		}()
+
+		// Energy conservation per node.
+		for _, n := range res.Nodes {
+			if math.Abs(n.RemainingJ+n.ConsumedJ-cfg.InitialEnergyJ) > 1e-9 {
+				t.Fatalf("%s: node %d energy not conserved", label, n.Index)
+			}
+			if n.RemainingJ < 0 {
+				t.Fatalf("%s: node %d negative energy", label, n.Index)
+			}
+		}
+		// Cause breakdown sums to total.
+		var byCause float64
+		for _, j := range res.EnergyByCause {
+			if j < 0 {
+				t.Fatalf("%s: negative cause energy", label)
+			}
+			byCause += j
+		}
+		if math.Abs(byCause-res.TotalConsumedJ) > 1e-6 {
+			t.Fatalf("%s: breakdown %v != consumed %v", label, byCause, res.TotalConsumedJ)
+		}
+		// Traffic accounting.
+		if res.Delivered+res.DroppedBuffer+res.DroppedRetry > res.Generated {
+			t.Fatalf("%s: delivered+dropped exceeds generated", label)
+		}
+		if cfg.BufferCapacity == 0 && res.DroppedBuffer != 0 {
+			t.Fatalf("%s: unbounded buffer dropped packets", label)
+		}
+		if cfg.ArrivalRatePerSecond == 0 && res.Generated != 0 {
+			t.Fatalf("%s: zero-rate source generated packets", label)
+		}
+		// Mode counts only cover delivered packets from non-head senders;
+		// never more than delivered.
+		var modes uint64
+		for _, m := range res.ModeCounts {
+			modes += m
+		}
+		if modes > res.Delivered {
+			t.Fatalf("%s: mode counts %d exceed delivered %d", label, modes, res.Delivered)
+		}
+		// Deaths consistent with alive count and ordered in time.
+		if res.AliveAtEnd+len(res.Deaths) != cfg.Nodes {
+			t.Fatalf("%s: alive %d + deaths %d != nodes %d", label, res.AliveAtEnd, len(res.Deaths), cfg.Nodes)
+		}
+		for j := 1; j < len(res.Deaths); j++ {
+			if res.Deaths[j] < res.Deaths[j-1] {
+				t.Fatalf("%s: deaths out of order", label)
+			}
+		}
+		// Series monotonicity.
+		pts := res.EnergySeries.Points()
+		for j := 1; j < len(pts); j++ {
+			if pts[j].V > pts[j-1].V+1e-9 {
+				t.Fatalf("%s: energy series increased", label)
+			}
+		}
+		alive := res.AliveSeries.Points()
+		for j := 1; j < len(alive); j++ {
+			if alive[j].V > alive[j-1].V {
+				t.Fatalf("%s: alive series increased", label)
+			}
+		}
+		// Elapsed within the horizon.
+		if res.Elapsed > cfg.Horizon {
+			t.Fatalf("%s: elapsed %v beyond horizon %v", label, res.Elapsed, cfg.Horizon)
+		}
+		// Forwarding only moves bits when enabled.
+		if !cfg.BaseStationForwarding && res.ForwardedBits != 0 {
+			t.Fatalf("%s: forwarding disabled but bits moved", label)
+		}
+	}
+}
+
+// TestRandomizedDeterminism re-runs a sample of random configurations and
+// checks bit-identical results — determinism must hold across the whole
+// configuration space, not just the defaults.
+func TestRandomizedDeterminism(t *testing.T) {
+	r := rng.NewSource(7777).Stream("fuzz-det", 0)
+	for i := 0; i < 8; i++ {
+		cfg := randomConfig(r, i)
+		cfg.Horizon = 20 * sim.Second
+		a := New(cfg).Run()
+		b := New(cfg).Run()
+		if a.TotalConsumedJ != b.TotalConsumedJ || a.Delivered != b.Delivered ||
+			a.CollisionEvents != b.CollisionEvents || a.MeanDelayMs != b.MeanDelayMs {
+			t.Fatalf("iter %d: runs diverged (%v/%v, %d/%d)", i,
+				a.TotalConsumedJ, b.TotalConsumedJ, a.Delivered, b.Delivered)
+		}
+	}
+}

@@ -1,0 +1,970 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/energy"
+	"repro/internal/geom"
+	"repro/internal/leach"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/phy"
+	"repro/internal/queueing"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/tone"
+)
+
+// cluster is one LEACH cluster's run-time state for the current round.
+type cluster struct {
+	index     int
+	head      *node
+	members   []*node
+	state     mac.HeadState
+	gen       uint64 // round generation this cluster belongs to
+	toneEv    sim.EventID
+	activeTx  *burst
+	collapsed bool // head died mid-round; cluster inert until re-election
+
+	// aggBits is the aggregated payload awaiting base-station forwarding
+	// (only used when Config.BaseStationForwarding is on).
+	aggBits float64
+}
+
+// burst is one in-flight data transmission (possibly joined by colliders
+// within the CSMA/CD vulnerable window).
+type burst struct {
+	sender    *node
+	start     sim.Time
+	remaining int
+	pktEv     sim.EventID
+	pktStart  sim.Time
+	pktMode   phy.Mode
+	pktCSI    float64
+	inFlight  bool
+
+	colliders    []*node
+	colliderJoin []sim.Time
+	collisionEv  sim.EventID
+	collisionSet bool
+}
+
+// Network is one simulation run.
+type Network struct {
+	cfg Config
+	eng *sim.Engine
+	src *rng.Source
+
+	positions []geom.Point
+	nodes     []*node
+	aliveMask []bool
+
+	links map[uint64]*channel.Link
+
+	election *leach.Election
+	clusters []*cluster
+	roundGen uint64
+	rounds   int
+
+	// metrics
+	life            *metrics.Lifetime
+	thr             metrics.Throughput
+	delays          metrics.DelayStats
+	fairness        metrics.FairnessProbe
+	energySeries    *metrics.TimeSeries
+	aliveSeries     *metrics.TimeSeries
+	modeCounts      []uint64
+	collisionEvents uint64
+	forwardedBits   uint64
+	roundStats      []RoundStat
+
+	nextPacketID uint64
+}
+
+// New builds a simulation from the configuration. It panics on an invalid
+// configuration (use Config.Validate to check first when the values come
+// from user input).
+func New(cfg Config) *Network {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	net := &Network{
+		cfg:          cfg,
+		eng:          sim.NewEngine(),
+		src:          rng.NewSource(cfg.Seed),
+		links:        make(map[uint64]*channel.Link),
+		life:         metrics.NewLifetime(cfg.Nodes),
+		energySeries: metrics.NewTimeSeries("avg-remaining-energy-J"),
+		aliveSeries:  metrics.NewTimeSeries("nodes-alive"),
+		modeCounts:   make([]uint64, cfg.Modes.Len()),
+	}
+	field := geom.Field{Width: cfg.FieldWidth, Height: cfg.FieldHeight}
+	net.positions = geom.PlaceUniform(field, cfg.Nodes, net.src.Stream("placement", 0))
+	net.aliveMask = make([]bool, cfg.Nodes)
+	net.nodes = make([]*node, cfg.Nodes)
+	for i := range net.nodes {
+		n := &node{
+			idx:           i,
+			pos:           net.positions[i],
+			battery:       energy.NewBattery(cfg.InitialEnergyJ),
+			buf:           queueing.NewBuffer(cfg.BufferCapacity),
+			adjust:        queueing.NewThresholdAdjuster(cfg.Adjust),
+			state:         mac.SensorSleep,
+			clusterIdx:    -1,
+			backoffStream: net.src.Stream("backoff", uint64(i)),
+			perStream:     net.src.Stream("per", uint64(i)),
+			csiStream:     net.src.Stream("csinoise", uint64(i)),
+			alive:         true,
+		}
+		n.source = queueing.NewPoissonSource(cfg.ArrivalRatePerSecond, cfg.PacketSizeBits, i, net.src.Stream("arrival", uint64(i)), &net.nextPacketID)
+		net.nodes[i] = n
+		net.aliveMask[i] = true
+	}
+	net.election = leach.NewElection(
+		leach.Config{HeadFraction: cfg.HeadFraction, Nodes: cfg.Nodes},
+		net.src.Stream("election", 0),
+	)
+	return net
+}
+
+// pairKey identifies the unordered node pair for the link cache.
+func pairKey(a, b int) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// linkFor returns (creating on first use) the channel between two nodes.
+// The link realization is a deterministic function of the pair and the
+// master seed, so re-clustering reproduces the same channel.
+func (net *Network) linkFor(a, b int) *channel.Link {
+	k := pairKey(a, b)
+	if l, ok := net.links[k]; ok {
+		return l
+	}
+	d := net.positions[a].Distance(net.positions[b])
+	l := channel.NewLink(net.cfg.Channel, d, net.src.Stream("link", k))
+	net.links[k] = l
+	return l
+}
+
+// Run executes the simulation and returns the collected results.
+func (net *Network) Run() Result {
+	now := net.eng.Now()
+	if now != 0 {
+		panic("netsim: Run called twice")
+	}
+	// Initial samples, arrivals, bookkeeping, and the first round.
+	net.sample()
+	for _, n := range net.nodes {
+		net.scheduleArrival(n)
+	}
+	net.eng.Schedule(net.cfg.BookkeepingInterval, net.bookkeeping)
+	net.eng.Schedule(net.cfg.SampleInterval, net.sampleTick)
+	net.startRound()
+	net.eng.Run(net.cfg.Horizon)
+
+	end := net.eng.Now()
+	for _, n := range net.nodes {
+		n.accrue(net, end)
+	}
+	return net.buildResult(end)
+}
+
+// ---------------------------------------------------------------------------
+// Rounds and clustering
+
+func (net *Network) startRound() {
+	now := net.eng.Now()
+	net.roundGen++
+	net.rounds++
+
+	// Close out the previous round: abort in-flight bursts (no retry
+	// penalty — the epoch change, not the channel, interrupted them) and
+	// settle all dwell energy under the old roles.
+	for _, cl := range net.clusters {
+		if cl.activeTx != nil {
+			net.settlePartialTx(cl, now)
+		}
+		net.eng.Cancel(cl.toneEv)
+	}
+	for _, n := range net.nodes {
+		n.accrue(net, now)
+		net.eng.Cancel(n.backoffEv)
+	}
+	// The settle above belongs to the finished round; close its ledger
+	// before anything attributable to the new round happens (the head
+	// flushes below count as new-round deliveries).
+	net.closeRoundStats(now)
+
+	if net.life.Alive() == 0 {
+		net.eng.Stop()
+		return
+	}
+
+	heads := net.election.Elect(net.aliveMask)
+	assign := leach.Assign(heads, net.positions, net.aliveMask)
+
+	net.clusters = make([]*cluster, len(heads))
+	for c, h := range heads {
+		net.clusters[c] = &cluster{
+			index: c,
+			head:  net.nodes[h],
+			state: mac.HeadIdle,
+			gen:   net.roundGen,
+		}
+	}
+	net.roundStats = append(net.roundStats, RoundStat{
+		Index:          net.rounds - 1,
+		Start:          now,
+		Heads:          len(heads),
+		AliveAtStart:   net.life.Alive(),
+		deliveredBase:  net.thr.Delivered(),
+		consumedBaseJ:  net.totalConsumed(),
+		collisionsBase: net.collisionEvents,
+	})
+	for i, n := range net.nodes {
+		if !n.alive {
+			n.clusterIdx = -1
+			continue
+		}
+		c := assign.ClusterOf[i]
+		n.clusterIdx = c
+		wasHead := n.isHead
+		n.isHead = assign.HeadOf(i) == i
+		_ = wasHead
+		if n.isHead {
+			n.state = mac.SensorSleep // sensor FSM suspended while head
+			net.flushHeadBuffer(n, now)
+		} else {
+			net.clusters[c].members = append(net.clusters[c].members, n)
+			if net.cfg.MAC.BurstSize(n.buf.Len()) > 0 {
+				n.state = mac.SensorSensing
+				n.sensingSince = now
+			} else {
+				n.state = mac.SensorSleep
+			}
+		}
+	}
+	net.emit(TraceRound, -1, len(heads), "")
+	for _, cl := range net.clusters {
+		net.scheduleTone(cl, 1*sim.Millisecond)
+		if net.cfg.BaseStationForwarding {
+			cl := cl
+			gen := net.roundGen
+			net.eng.Schedule(net.cfg.ForwardInterval, func() { net.forwardTick(cl, gen) })
+		}
+	}
+	net.eng.Schedule(net.cfg.RoundLength, net.startRound)
+}
+
+// forwardTick is the base-station forwarding extension (§III.A's transmit
+// state, which the paper defines but defers): when the data channel is
+// idle and aggregated data is pending, the head occupies the channel —
+// advertising transmit tone pulses — for the airtime of the aggregate at
+// the top ABICM class. The head→BS link is provisioned infrastructure and
+// assumed to sustain the highest mode.
+func (net *Network) forwardTick(cl *cluster, gen uint64) {
+	if gen != net.roundGen || cl.collapsed || !cl.head.alive {
+		return
+	}
+	now := net.eng.Now()
+	reschedule := func(delay sim.Time) {
+		net.eng.Schedule(delay, func() { net.forwardTick(cl, gen) })
+	}
+	if cl.state != mac.HeadIdle || cl.activeTx != nil || cl.aggBits < 1 {
+		// Busy, or nothing worth a transmission yet.
+		if cl.aggBits >= 1 {
+			reschedule(50 * sim.Millisecond)
+		} else {
+			reschedule(net.cfg.ForwardInterval)
+		}
+		return
+	}
+	cl.head.accrue(net, now)
+	if !cl.head.alive {
+		return
+	}
+	bits := int(cl.aggBits + 0.5)
+	cl.aggBits = 0
+	airtime := net.cfg.Modes.Highest().Airtime(bits)
+	cl.state = mac.HeadTransmit
+	net.scheduleTone(cl, 500*sim.Microsecond)
+	net.eng.Schedule(airtime, func() {
+		if gen != net.roundGen || cl.collapsed || !cl.head.alive {
+			return
+		}
+		end := net.eng.Now()
+		cl.head.accrue(net, end)
+		if !cl.head.alive {
+			return
+		}
+		if !cl.head.battery.DrawPower(end, energy.DataTx, net.cfg.Device.DataTxPower, airtime) {
+			net.nodeDied(cl.head, end)
+			return
+		}
+		net.forwardedBits += uint64(bits)
+		cl.state = mac.HeadIdle
+		net.scheduleTone(cl, 1*sim.Millisecond)
+		reschedule(net.cfg.ForwardInterval)
+	})
+}
+
+// accumulateAggregate records delivered payload for later base-station
+// forwarding (extension only; a no-op when forwarding is off).
+func (net *Network) accumulateAggregate(cl *cluster, sizeBits int) {
+	if net.cfg.BaseStationForwarding && cl != nil {
+		cl.aggBits += float64(sizeBits) * net.cfg.AggregationRatio
+	}
+}
+
+// totalConsumed sums consumption over all nodes (round accounting).
+func (net *Network) totalConsumed() float64 {
+	var sum float64
+	for _, n := range net.nodes {
+		sum += n.battery.Consumed()
+	}
+	return sum
+}
+
+// closeRoundStats finalizes the most recent round's deltas at time now.
+func (net *Network) closeRoundStats(now sim.Time) {
+	if len(net.roundStats) == 0 {
+		return
+	}
+	rs := &net.roundStats[len(net.roundStats)-1]
+	if rs.closed {
+		return
+	}
+	rs.closed = true
+	rs.End = now
+	rs.Delivered = net.thr.Delivered() - rs.deliveredBase
+	rs.ConsumedJ = net.totalConsumed() - rs.consumedBaseJ
+	rs.Collisions = net.collisionEvents - rs.collisionsBase
+}
+
+// flushHeadBuffer delivers a newly elected head's queued packets locally:
+// the node that buffered them has become the sink, so the data has reached
+// its destination without further radio work.
+func (net *Network) flushHeadBuffer(n *node, now sim.Time) {
+	for {
+		p, ok := n.buf.Dequeue()
+		if !ok {
+			break
+		}
+		net.thr.PacketDelivered(p.SizeBits)
+		net.delays.Observe(now - p.CreatedAt)
+		n.serviceShare++
+	}
+	n.adjust.OnServiced(0)
+}
+
+// settlePartialTx charges the airtime consumed by an interrupted burst and
+// releases the sender(s) without retry penalties.
+func (net *Network) settlePartialTx(cl *cluster, now sim.Time) {
+	tx := cl.activeTx
+	if tx == nil {
+		return
+	}
+	net.eng.Cancel(tx.pktEv)
+	net.eng.Cancel(tx.collisionEv)
+	if tx.inFlight {
+		net.chargeTxAirtime(tx.sender, tx.pktStart, now, tx.pktMode)
+	}
+	if tx.sender.alive && tx.sender.state == mac.SensorTransmit {
+		tx.sender.state = mac.SensorSleep
+	}
+	for _, col := range tx.colliders {
+		if col.alive && col.state == mac.SensorTransmit {
+			col.state = mac.SensorSleep
+		}
+	}
+	cl.activeTx = nil
+}
+
+// chargeTxAirtime bills a sender's data radio for time actually on air.
+func (net *Network) chargeTxAirtime(n *node, from, to sim.Time, _ phy.Mode) {
+	if to <= from || !n.alive {
+		return
+	}
+	if !n.battery.DrawPower(to, energy.DataTx, net.cfg.Device.DataTxPower, to-from) {
+		net.nodeDied(n, to)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Traffic arrivals
+
+func (net *Network) scheduleArrival(n *node) {
+	if !n.source.Active() || !n.alive {
+		return
+	}
+	gap := n.source.NextInterarrival()
+	n.arrivalEv = net.eng.Schedule(gap, func() { net.onArrival(n) })
+}
+
+func (net *Network) onArrival(n *node) {
+	if !n.alive {
+		return
+	}
+	now := net.eng.Now()
+	p := n.source.Generate(now)
+	net.thr.PacketGenerated()
+	if n.isHead {
+		// The sink itself sensed the data: delivered on the spot.
+		net.thr.PacketDelivered(p.SizeBits)
+		n.serviceShare++
+		if n.clusterIdx >= 0 && n.clusterIdx < len(net.clusters) {
+			net.accumulateAggregate(net.clusters[n.clusterIdx], p.SizeBits)
+		}
+	} else if n.buf.Enqueue(p) {
+		n.adjust.OnArrival(n.buf.Len())
+		if n.state == mac.SensorSleep && n.clusterIdx >= 0 &&
+			net.cfg.MAC.BurstSize(n.buf.Len()) > 0 {
+			cl := net.clusters[n.clusterIdx]
+			if !cl.collapsed && cl.head.alive {
+				n.accrue(net, now)
+				if n.alive {
+					n.state = mac.SensorSensing
+					n.sensingSince = now
+				}
+			}
+		}
+	} else {
+		net.thr.PacketDroppedBuffer()
+		net.emit(TraceDrop, n.idx, 0, "buffer")
+	}
+	net.scheduleArrival(n)
+}
+
+// ---------------------------------------------------------------------------
+// Tone channel
+
+// scheduleTone arms the cluster's tone-pulse chain for its current state,
+// first pulse after the given delay.
+func (net *Network) scheduleTone(cl *cluster, delay sim.Time) {
+	net.eng.Cancel(cl.toneEv)
+	gen := net.roundGen
+	state := cl.state
+	cl.toneEv = net.eng.Schedule(delay, func() { net.onTonePulse(cl, gen, state) })
+}
+
+func (net *Network) onTonePulse(cl *cluster, gen uint64, state mac.HeadState) {
+	if gen != net.roundGen || cl.collapsed || cl.state != state || !cl.head.alive {
+		return
+	}
+	now := net.eng.Now()
+	var tst tone.State
+	switch state {
+	case mac.HeadIdle:
+		tst = tone.Idle
+	case mac.HeadReceive:
+		tst = tone.Receive
+	case mac.HeadTransmit:
+		tst = tone.Transmit
+	default:
+		return
+	}
+	pat := net.cfg.Tone.Pattern(tst)
+	if !cl.head.battery.Draw(now, energy.ToneTx, net.cfg.Device.ToneTxPower*pat.Duration.Seconds()) {
+		net.nodeDied(cl.head, now)
+		return
+	}
+	if state == mac.HeadIdle {
+		net.contend(cl)
+	}
+	if gen == net.roundGen && !cl.collapsed && cl.state == state {
+		net.scheduleTone(cl, pat.Interval)
+	}
+}
+
+// estimateCSI returns the data-channel CSI a sensor infers from the tone
+// pulse it just received: the true reciprocal SNR, an optional Gaussian
+// estimation error (Config.CSINoiseSigmaDB), and the estimator's
+// calibration/quantization.
+func (net *Network) estimateCSI(n *node, cl *cluster, now sim.Time) float64 {
+	snr := net.linkFor(n.idx, cl.head.idx).SNRdB(now)
+	if net.cfg.CSINoiseSigmaDB > 0 {
+		snr += net.cfg.CSINoiseSigmaDB * n.csiStream.NormFloat64()
+	}
+	return net.cfg.CSI.Estimate(snr)
+}
+
+// contend runs the idle-tone contention scan: every sensing member that
+// has completed its sensing delay, holds a minimum burst, and (per its
+// policy) sees adequate CSI enters backoff.
+func (net *Network) contend(cl *cluster) {
+	now := net.eng.Now()
+	for _, n := range cl.members {
+		if !n.alive || n.state != mac.SensorSensing {
+			continue
+		}
+		if now-n.sensingSince < net.cfg.MAC.SensingDelay {
+			continue
+		}
+		k := net.cfg.MAC.BurstSize(n.buf.Len())
+		if k == 0 {
+			continue
+		}
+		class, check := n.currentThresholdClass(net)
+		if check {
+			if net.estimateCSI(n, cl, now) < net.cfg.Modes.ThresholdForClass(class) {
+				n.counters.DeferralsCSI++
+				net.emit(TraceDeferral, n.idx, class, "csi")
+				continue
+			}
+		}
+		retries := 0
+		if head := n.buf.Head(); head != nil {
+			retries = head.Retries
+		}
+		d := net.cfg.MAC.Backoff(retries, n.backoffStream)
+		n.state = mac.SensorBackoff
+		gen := net.roundGen
+		member := n
+		n.backoffEv = net.eng.Schedule(d, func() { net.onBackoffExpire(member, cl, gen) })
+	}
+}
+
+func (net *Network) onBackoffExpire(n *node, cl *cluster, gen uint64) {
+	if gen != net.roundGen || !n.alive || n.state != mac.SensorBackoff || cl.collapsed {
+		return
+	}
+	now := net.eng.Now()
+	if !cl.head.alive {
+		n.state = mac.SensorSleep
+		return
+	}
+	if tx := cl.activeTx; tx != nil {
+		if now-tx.start < net.cfg.DetectWindow {
+			net.joinCollision(cl, n, now)
+		} else {
+			// The receive tone has been heard: stand down.
+			n.counters.DeferralsBusy++
+			net.emit(TraceDeferral, n.idx, 0, "busy")
+			n.state = mac.SensorSensing
+			n.sensingSince = now - net.cfg.MAC.SensingDelay // already synchronized
+		}
+		return
+	}
+	if cl.state != mac.HeadIdle {
+		n.counters.DeferralsBusy++
+		net.emit(TraceDeferral, n.idx, 0, "busy")
+		n.state = mac.SensorSensing
+		n.sensingSince = now - net.cfg.MAC.SensingDelay
+		return
+	}
+	// Re-verify the CSI after the backoff (§III.B: both conditions must
+	// still hold).
+	k := net.cfg.MAC.BurstSize(n.buf.Len())
+	if k == 0 {
+		n.state = mac.SensorSleep
+		return
+	}
+	class, check := n.currentThresholdClass(net)
+	if check {
+		if net.estimateCSI(n, cl, now) < net.cfg.Modes.ThresholdForClass(class) {
+			n.counters.DeferralsCSI++
+			net.emit(TraceDeferral, n.idx, class, "csi")
+			n.state = mac.SensorSensing
+			n.sensingSince = now - net.cfg.MAC.SensingDelay
+			return
+		}
+	}
+	net.startBurst(cl, n, k)
+}
+
+// ---------------------------------------------------------------------------
+// Data bursts
+
+func (net *Network) startBurst(cl *cluster, n *node, k int) {
+	now := net.eng.Now()
+	n.accrue(net, now)
+	if !n.alive {
+		return
+	}
+	// Data radio wake-up: the startup cost the min-burst rule amortizes.
+	if !n.battery.Draw(now, energy.DataStartup, net.cfg.Device.StartupEnergy()) {
+		net.nodeDied(n, now)
+		return
+	}
+	n.state = mac.SensorTransmit
+	n.counters.Attempts++
+	net.emit(TraceBurstStart, n.idx, k, "")
+	net.emit(TraceSensorState, n.idx, 0, mac.SensorTransmit.String())
+
+	cl.head.accrue(net, now)
+	if !cl.head.alive {
+		return
+	}
+	cl.state = mac.HeadReceive
+	net.emit(TraceHeadState, cl.head.idx, 0, mac.HeadReceive.String())
+	tx := &burst{sender: n, start: now, remaining: k}
+	cl.activeTx = tx
+	net.scheduleTone(cl, 500*sim.Microsecond) // receive-tone chain
+	gen := net.roundGen
+	net.eng.Schedule(net.cfg.Device.DataStartupTime, func() { net.sendPacket(cl, tx, gen) })
+}
+
+func (net *Network) sendPacket(cl *cluster, tx *burst, gen uint64) {
+	if gen != net.roundGen || cl.activeTx != tx || tx.collisionSet {
+		return
+	}
+	n := tx.sender
+	if !n.alive || !cl.head.alive {
+		return
+	}
+	now := net.eng.Now()
+	pkt := n.buf.Head()
+	if pkt == nil {
+		net.finishBurst(cl, tx, true)
+		return
+	}
+	// The receive tones (every 10 ms) let the sender re-adapt its error
+	// protection per packet: mode selection uses the true instantaneous
+	// CSI (§III.A assumption 3 keeps it constant over the packet).
+	csi := net.linkFor(n.idx, cl.head.idx).SNRdB(now)
+	mode, ok := net.cfg.Modes.PickMode(csi)
+	if !ok {
+		// Below the lowest class. CAEM policies only reach here when the
+		// channel degraded after admission; pure LEACH reaches here
+		// routinely because it never checked. Transmit at the most
+		// robust mode and let the error model decide.
+		mode = net.cfg.Modes.Lowest()
+	}
+	tx.pktStart = now
+	tx.pktMode = mode
+	tx.pktCSI = csi
+	tx.inFlight = true
+	airtime := mode.Airtime(pkt.SizeBits)
+	tx.pktEv = net.eng.Schedule(airtime, func() { net.finishPacket(cl, tx, gen) })
+}
+
+func (net *Network) finishPacket(cl *cluster, tx *burst, gen uint64) {
+	if gen != net.roundGen || cl.activeTx != tx || tx.collisionSet {
+		return
+	}
+	n := tx.sender
+	now := net.eng.Now()
+	tx.inFlight = false
+
+	// Sender: airtime + FEC encode. Head: decode (its Rx radio power is
+	// accrued by headDwell while in HeadReceive).
+	net.chargeTxAirtime(n, tx.pktStart, now, tx.pktMode)
+	if !n.alive {
+		net.abortBurst(cl, tx, now)
+		return
+	}
+	pkt := n.buf.Head()
+	if pkt == nil {
+		net.finishBurst(cl, tx, true)
+		return
+	}
+	if !n.battery.Draw(now, energy.Codec, net.cfg.Codec.EncodeEnergy(tx.pktMode, pkt.SizeBits)) {
+		net.nodeDied(n, now)
+		net.abortBurst(cl, tx, now)
+		return
+	}
+	cl.head.accrue(net, now)
+	if !cl.head.alive {
+		net.abortBurst(cl, tx, now)
+		return
+	}
+	if !cl.head.battery.Draw(now, energy.Codec, net.cfg.Codec.DecodeEnergy(tx.pktMode, pkt.SizeBits)) {
+		net.nodeDied(cl.head, now)
+		net.abortBurst(cl, tx, now)
+		return
+	}
+
+	perr := tx.pktMode.PacketErrorProb(tx.pktCSI, pkt.SizeBits)
+	if n.perStream.Float64() < perr {
+		// Corrupted at the head: it answers with a collision tone
+		// (§III.A rule 3 — corruption and collision are indistinguishable
+		// to it), and the sender aborts the burst.
+		n.counters.ChannelFails++
+		net.emit(TraceChannelFail, n.idx, tx.pktMode.Index, "")
+		pkt.Retries++
+		if net.cfg.MAC.ShouldDrop(pkt.Retries) {
+			n.buf.DropHead()
+			net.thr.PacketDroppedRetry()
+			n.counters.RetryDrops++
+			net.emit(TraceDrop, n.idx, 0, "retry")
+		}
+		net.chargeCollisionTone(cl, now)
+		net.abortBurst(cl, tx, now)
+		return
+	}
+
+	// Delivered.
+	p, _ := n.buf.Dequeue()
+	net.thr.PacketDelivered(p.SizeBits)
+	net.accumulateAggregate(cl, p.SizeBits)
+	net.emit(TraceDelivered, n.idx, tx.pktMode.Index, "")
+	net.delays.Observe(now - p.CreatedAt)
+	n.counters.PacketsSent++
+	n.serviceShare++
+	net.modeCounts[tx.pktMode.Index]++
+	tx.remaining--
+	if tx.remaining > 0 && n.buf.Len() > 0 {
+		net.sendPacket(cl, tx, gen)
+		return
+	}
+	n.counters.BurstsDone++
+	net.finishBurst(cl, tx, false)
+}
+
+// finishBurst ends a burst normally (or vacuously when the queue emptied).
+func (net *Network) finishBurst(cl *cluster, tx *burst, vacuous bool) {
+	now := net.eng.Now()
+	n := tx.sender
+	cl.activeTx = nil
+	if n.alive {
+		n.adjust.OnServiced(n.buf.Len())
+		if net.cfg.MAC.BurstSize(n.buf.Len()) > 0 {
+			n.state = mac.SensorSensing
+			n.sensingSince = now
+		} else {
+			n.state = mac.SensorSleep
+		}
+	}
+	if cl.head.alive && !cl.collapsed {
+		cl.head.accrue(net, now)
+		cl.state = mac.HeadIdle
+		net.scheduleTone(cl, 1*sim.Millisecond)
+	}
+	_ = vacuous
+}
+
+// abortBurst ends a burst after a failure; the sender returns to sensing.
+func (net *Network) abortBurst(cl *cluster, tx *burst, now sim.Time) {
+	cl.activeTx = nil
+	n := tx.sender
+	if n.alive {
+		n.adjust.OnServiced(n.buf.Len())
+		if net.cfg.MAC.BurstSize(n.buf.Len()) > 0 {
+			n.state = mac.SensorSensing
+			n.sensingSince = now
+		} else {
+			n.state = mac.SensorSleep
+		}
+	}
+	if cl.head.alive && !cl.collapsed {
+		cl.head.accrue(net, now)
+		cl.state = mac.HeadIdle
+		net.scheduleTone(cl, 1*sim.Millisecond)
+	}
+}
+
+func (net *Network) chargeCollisionTone(cl *cluster, now sim.Time) {
+	if !cl.head.alive {
+		return
+	}
+	pat := net.cfg.Tone.Pattern(tone.Collision)
+	pulses := pat.Repeat
+	if pulses <= 0 {
+		pulses = 1
+	}
+	e := net.cfg.Device.ToneTxPower * pat.Duration.Seconds() * float64(pulses)
+	if !cl.head.battery.Draw(now, energy.ToneTx, e) {
+		net.nodeDied(cl.head, now)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Collisions
+
+// joinCollision handles a contender whose backoff expired inside the
+// vulnerable window of an already-started burst: its transmission overlaps
+// and corrupts the burst.
+func (net *Network) joinCollision(cl *cluster, n *node, now sim.Time) {
+	tx := cl.activeTx
+	n.accrue(net, now)
+	if !n.alive {
+		return
+	}
+	if !n.battery.Draw(now, energy.DataStartup, net.cfg.Device.StartupEnergy()) {
+		net.nodeDied(n, now)
+		return
+	}
+	n.state = mac.SensorTransmit
+	n.counters.Attempts++
+	tx.colliders = append(tx.colliders, n)
+	tx.colliderJoin = append(tx.colliderJoin, now)
+	if !tx.collisionSet {
+		tx.collisionSet = true
+		net.eng.Cancel(tx.pktEv)
+		gen := net.roundGen
+		tx.collisionEv = net.eng.Schedule(net.cfg.CollisionResolveDelay, func() {
+			net.resolveCollision(cl, tx, gen)
+		})
+	}
+}
+
+func (net *Network) resolveCollision(cl *cluster, tx *burst, gen uint64) {
+	if gen != net.roundGen || cl.activeTx != tx {
+		return
+	}
+	now := net.eng.Now()
+	net.collisionEvents++
+	net.emit(TraceCollision, tx.sender.idx, 1+len(tx.colliders), "")
+
+	// Collision tone from the head.
+	net.chargeCollisionTone(cl, now)
+
+	// Every participant pays for its wasted airtime, bumps its head
+	// packet's retry count, and returns to sensing.
+	release := func(p *node, onAirFrom sim.Time) {
+		if tx.inFlight || p != tx.sender {
+			net.chargeTxAirtime(p, onAirFrom, now, tx.pktMode)
+		}
+		if !p.alive {
+			return
+		}
+		p.counters.Collisions++
+		if pkt := p.buf.Head(); pkt != nil {
+			pkt.Retries++
+			if net.cfg.MAC.ShouldDrop(pkt.Retries) {
+				p.buf.DropHead()
+				net.thr.PacketDroppedRetry()
+				p.counters.RetryDrops++
+				net.emit(TraceDrop, p.idx, 0, "retry")
+			}
+		}
+		if net.cfg.MAC.BurstSize(p.buf.Len()) > 0 {
+			p.state = mac.SensorSensing
+			p.sensingSince = now
+		} else {
+			p.state = mac.SensorSleep
+		}
+	}
+	release(tx.sender, tx.pktStart)
+	tx.inFlight = false
+	for i, col := range tx.colliders {
+		release(col, tx.colliderJoin[i]+net.cfg.Device.DataStartupTime)
+	}
+
+	cl.activeTx = nil
+	if cl.head.alive && !cl.collapsed {
+		cl.head.accrue(net, now)
+		cl.state = mac.HeadIdle
+		// Resume idle tones after the collision pattern finishes.
+		pat := net.cfg.Tone.Pattern(tone.Collision)
+		net.scheduleTone(cl, pat.Interval*sim.Time(pat.Repeat))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Death, bookkeeping, sampling
+
+// headDwell charges a cluster head's data radio per its current receive
+// duty. Called from node.accrue for head nodes.
+func (net *Network) headDwell(n *node, dur sim.Time, now sim.Time) bool {
+	d := &net.cfg.Device
+	power := d.DataIdleListenPower
+	cause := energy.DataIdleListen
+	if n.clusterIdx >= 0 && n.clusterIdx < len(net.clusters) {
+		cl := net.clusters[n.clusterIdx]
+		if cl.head == n && cl.state == mac.HeadReceive {
+			power = d.DataRxPower
+			cause = energy.DataRx
+		}
+	}
+	if !n.battery.DrawPower(now, cause, power, dur) {
+		net.nodeDied(n, now)
+		return false
+	}
+	return true
+}
+
+// nodeDied finalizes a node's failure: metric bookkeeping, event
+// cancellation, and — when the node was a cluster head — cluster collapse
+// (§III.B: members lose the tone signal and sleep until re-election).
+func (net *Network) nodeDied(n *node, now sim.Time) {
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	n.lastAccrual = now
+	net.aliveMask[n.idx] = false
+	net.life.NodeDied(now)
+	net.emit(TraceDeath, n.idx, 0, "")
+	net.eng.Cancel(n.arrivalEv)
+	net.eng.Cancel(n.backoffEv)
+
+	if n.clusterIdx >= 0 && n.clusterIdx < len(net.clusters) {
+		cl := net.clusters[n.clusterIdx]
+		if cl.head == n && !cl.collapsed {
+			cl.collapsed = true
+			net.eng.Cancel(cl.toneEv)
+			if cl.activeTx != nil {
+				net.settlePartialTx(cl, now)
+			}
+			for _, m := range cl.members {
+				if m.alive {
+					m.accrue(net, now)
+					if m.alive {
+						m.state = mac.SensorSleep
+						net.eng.Cancel(m.backoffEv)
+					}
+				}
+			}
+		} else if cl.activeTx != nil && cl.activeTx.sender == n {
+			net.settlePartialTx(cl, now)
+			if cl.head.alive && !cl.collapsed {
+				cl.state = mac.HeadIdle
+				net.scheduleTone(cl, 1*sim.Millisecond)
+			}
+		}
+	}
+}
+
+func (net *Network) bookkeeping() {
+	now := net.eng.Now()
+	for _, n := range net.nodes {
+		n.accrue(net, now)
+	}
+	if net.life.Alive() == 0 {
+		net.eng.Stop()
+		return
+	}
+	if net.cfg.StopWhenNetworkDead {
+		if _, dead := net.life.NetworkDeadAt(net.cfg.DeadFraction); dead {
+			net.eng.Stop()
+			return
+		}
+	}
+	net.eng.Schedule(net.cfg.BookkeepingInterval, net.bookkeeping)
+}
+
+func (net *Network) sampleTick() {
+	net.sample()
+	if net.life.Alive() > 0 {
+		net.eng.Schedule(net.cfg.SampleInterval, net.sampleTick)
+	}
+}
+
+func (net *Network) sample() {
+	now := net.eng.Now()
+	var sum float64
+	queues := make([]int, 0, len(net.nodes))
+	for _, n := range net.nodes {
+		sum += n.battery.Remaining()
+		if n.alive && !n.isHead {
+			queues = append(queues, n.buf.Len())
+		}
+	}
+	net.energySeries.Record(now, sum/float64(len(net.nodes)))
+	net.aliveSeries.Record(now, float64(net.life.Alive()))
+	net.fairness.Snapshot(queues)
+}
+
+// Engine exposes the event engine for white-box tests.
+func (net *Network) Engine() *sim.Engine { return net.eng }
+
+// debugString summarizes run-time state (used by tests on failure paths).
+func (net *Network) debugString() string {
+	return fmt.Sprintf("t=%v rounds=%d alive=%d clusters=%d",
+		net.eng.Now(), net.rounds, net.life.Alive(), len(net.clusters))
+}

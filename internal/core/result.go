@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/energy"
+	"repro/internal/mac"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// RoundStat summarizes one LEACH round: who led, what moved, what it
+// cost. The experiment harness uses it to show how rotation spreads the
+// cluster-head burden.
+type RoundStat struct {
+	Index        int
+	Start, End   sim.Time
+	Heads        int
+	AliveAtStart int
+	Delivered    uint64
+	ConsumedJ    float64
+	Collisions   uint64
+
+	deliveredBase  uint64
+	consumedBaseJ  float64
+	collisionsBase uint64
+	closed         bool
+}
+
+// NodeReport is the per-node slice of a Result.
+type NodeReport struct {
+	Index        int
+	RemainingJ   float64
+	ConsumedJ    float64
+	Dead         bool
+	DiedAt       sim.Time
+	QueueLen     int
+	ServiceShare uint64 // packets from this node that reached a sink
+	MeanSNRdB    float64
+}
+
+// Result is everything a simulation run measured.
+type Result struct {
+	// Elapsed is the simulated time covered by the run.
+	Elapsed sim.Time
+	// Rounds is the number of LEACH rounds started.
+	Rounds int
+
+	// Energy.
+	AvgRemainingJ  float64
+	TotalConsumedJ float64
+	EnergyByCause  map[energy.Cause]float64
+	EnergySeries   *metrics.TimeSeries // avg remaining J vs time (Fig. 8)
+	CommEnergyJ    float64             // communication-attributable energy
+	EnergyPerPktJ  float64             // CommEnergyJ / Delivered (Fig. 11)
+
+	// Lifetime.
+	AliveAtEnd      int
+	Deaths          []sim.Time
+	AliveSeries     *metrics.TimeSeries // alive count vs time (Fig. 9)
+	FirstDeath      sim.Time
+	FirstDeathValid bool
+	NetworkLifetime sim.Time // time to DeadFraction exhausted (Fig. 10)
+	NetworkDead     bool
+
+	// Traffic (§IV.A network performance).
+	Generated     uint64
+	Delivered     uint64
+	DroppedBuffer uint64
+	DroppedRetry  uint64
+	DeliveryRate  float64
+	AggregateKbps float64
+	MeanDelayMs   float64
+	MaxDelayMs    float64
+
+	// Fairness (Fig. 12).
+	QueueStdDev float64
+
+	// MAC behaviour.
+	MAC             mac.Counters
+	CollisionEvents uint64
+	// ForwardedBits is the aggregate payload the heads forwarded to the
+	// base station (0 unless the forwarding extension is enabled).
+	ForwardedBits uint64
+	ModeCounts    []uint64 // delivered packets per ABICM class
+
+	// Per-node detail.
+	Nodes []NodeReport
+
+	// RoundReports summarizes each LEACH round.
+	RoundReports []RoundStat
+}
+
+func (net *Network) buildResult(end sim.Time) Result {
+	net.closeRoundStats(end)
+	r := Result{
+		Elapsed:         end,
+		Rounds:          net.rounds,
+		EnergyByCause:   make(map[energy.Cause]float64),
+		EnergySeries:    net.energySeries,
+		AliveSeries:     net.aliveSeries,
+		Generated:       net.thr.Generated(),
+		Delivered:       net.thr.Delivered(),
+		DroppedBuffer:   net.thr.DroppedBuffer(),
+		DroppedRetry:    net.thr.DroppedRetry(),
+		DeliveryRate:    net.thr.DeliveryRate(),
+		AggregateKbps:   net.thr.AggregateKbps(end),
+		MeanDelayMs:     net.delays.MeanMs(),
+		MaxDelayMs:      net.delays.MaxMs(),
+		QueueStdDev:     net.fairness.MeanStdDev(),
+		CollisionEvents: net.collisionEvents,
+		ForwardedBits:   net.forwardedBits,
+		ModeCounts:      append([]uint64(nil), net.modeCounts...),
+		AliveAtEnd:      net.life.Alive(),
+		RoundReports:    append([]RoundStat(nil), net.roundStats...),
+		Deaths:          append([]sim.Time(nil), net.life.Deaths()...),
+	}
+	if t, ok := net.life.FirstDeath(); ok {
+		r.FirstDeath, r.FirstDeathValid = t, true
+	}
+	if t, ok := net.life.NetworkDeadAt(net.cfg.DeadFraction); ok {
+		r.NetworkLifetime, r.NetworkDead = t, true
+	}
+
+	var sumRemaining float64
+	for _, n := range net.nodes {
+		sumRemaining += n.battery.Remaining()
+		r.TotalConsumedJ += n.battery.Consumed()
+		for _, ce := range n.battery.Breakdown() {
+			r.EnergyByCause[ce.Cause] += ce.Joules
+		}
+		r.MAC.Add(n.counters)
+		rep := NodeReport{
+			Index:        n.idx,
+			RemainingJ:   n.battery.Remaining(),
+			ConsumedJ:    n.battery.Consumed(),
+			Dead:         !n.alive,
+			QueueLen:     n.buf.Len(),
+			ServiceShare: n.serviceShare,
+		}
+		if !n.alive {
+			rep.DiedAt = n.battery.DiedAt()
+		}
+		r.Nodes = append(r.Nodes, rep)
+	}
+	r.AvgRemainingJ = sumRemaining / float64(len(net.nodes))
+
+	// Communication-attributable energy: what Fig. 11 divides by the
+	// delivered-packet count. Baseline compute, sleep floors, and the
+	// head's idle listening are excluded — they accrue with time, not
+	// with packets (DESIGN.md §4).
+	for _, c := range []energy.Cause{
+		energy.DataTx, energy.DataRx, energy.DataStartup,
+		energy.ToneTx, energy.ToneRx, energy.Codec,
+	} {
+		r.CommEnergyJ += r.EnergyByCause[c]
+	}
+	if r.Delivered > 0 {
+		r.EnergyPerPktJ = r.CommEnergyJ / float64(r.Delivered)
+	}
+	return r
+}
+
+// Summary renders a human-readable digest of the run.
+func (r Result) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "elapsed            %.1f s over %d LEACH rounds\n", r.Elapsed.Seconds(), r.Rounds)
+	fmt.Fprintf(&b, "energy             avg remaining %.3f J, total consumed %.2f J\n", r.AvgRemainingJ, r.TotalConsumedJ)
+	fmt.Fprintf(&b, "alive              %d at end", r.AliveAtEnd)
+	if r.FirstDeathValid {
+		fmt.Fprintf(&b, " (first death %.1f s)", r.FirstDeath.Seconds())
+	}
+	if r.NetworkDead {
+		fmt.Fprintf(&b, ", network lifetime %.1f s", r.NetworkLifetime.Seconds())
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "traffic            generated %d, delivered %d (%.1f%%), buffer drops %d, retry drops %d\n",
+		r.Generated, r.Delivered, 100*r.DeliveryRate, r.DroppedBuffer, r.DroppedRetry)
+	fmt.Fprintf(&b, "performance        throughput %.1f kbps, mean delay %.2f ms, queue stddev %.2f\n",
+		r.AggregateKbps, r.MeanDelayMs, r.QueueStdDev)
+	fmt.Fprintf(&b, "per-packet energy  %.3f mJ over the air (comm energy %.2f J)\n",
+		1000*r.EnergyPerPktJ, r.CommEnergyJ)
+	fmt.Fprintf(&b, "mac                attempts %d, bursts %d, collisions %d (events %d), channel fails %d\n",
+		r.MAC.Attempts, r.MAC.BurstsDone, r.MAC.Collisions, r.CollisionEvents, r.MAC.ChannelFails)
+	fmt.Fprintf(&b, "deferrals          csi %d, busy %d\n", r.MAC.DeferralsCSI, r.MAC.DeferralsBusy)
+
+	type ce struct {
+		c energy.Cause
+		j float64
+	}
+	var causes []ce
+	for c, j := range r.EnergyByCause {
+		causes = append(causes, ce{c, j})
+	}
+	sort.Slice(causes, func(i, j int) bool { return causes[i].j > causes[j].j })
+	b.WriteString("energy breakdown  ")
+	for _, x := range causes {
+		fmt.Fprintf(&b, " %s=%.2fJ", x.c, x.j)
+	}
+	b.WriteByte('\n')
+	if len(r.ModeCounts) > 0 {
+		b.WriteString("mode usage        ")
+		for i, c := range r.ModeCounts {
+			fmt.Fprintf(&b, " class%d=%d", i, c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,293 @@
+package experiment
+
+import (
+	"fmt"
+
+	"repro/internal/energy"
+	"repro/internal/metrics"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+)
+
+// AblationThresholdParams sweeps Scheme 1's two tuning constants — the
+// activation level Q_th and the sampling period m — quantifying the
+// energy/fairness/delay trade-off behind the paper's (15, 5) choice
+// (DESIGN.md experiment A1).
+func AblationThresholdParams(opts Options) Report {
+	tab := Table{Headers: []string{"Q_th", "m", "energy/pkt(mJ)", "delay(ms)", "queue-stddev", "drops"}}
+	qths := []int{5, 10, 15, 25, 40}
+	ms := []int{1, 5, 10}
+	if opts.scale() < 0.8 {
+		qths = []int{5, 15, 40}
+		ms = []int{1, 5}
+	}
+	for _, qth := range qths {
+		for _, m := range ms {
+			cfg := opts.baseConfig()
+			cfg.Policy = queueing.PolicyAdaptive
+			cfg.Adjust.QueueThreshold = qth
+			cfg.Adjust.SampleEvery = m
+			cfg.Horizon = opts.horizon(300 * sim.Second)
+			res := runOne(opts, cfg, fmt.Sprintf("ablation-threshold/q%d-m%d", qth, m))
+			tab.AddRow(
+				fmt.Sprintf("%d", qth),
+				fmt.Sprintf("%d", m),
+				f3(1000*res.EnergyPerPktJ),
+				f1(res.MeanDelayMs),
+				f2(res.QueueStdDev),
+				fmt.Sprintf("%d", res.DroppedBuffer+res.DroppedRetry),
+			)
+		}
+	}
+	return Report{
+		ID:    "ablation-threshold",
+		Title: "Ablation A1: Scheme 1 threshold-adjustment parameters (Q_th, m)",
+		Table: tab,
+		Notes: []string{
+			"small Q_th makes Scheme 1 permissive (more energy per packet, less delay); large Q_th approaches Scheme 2's behaviour",
+			"m trades adjustment responsiveness against per-arrival computation; the paper's (15, 5) sits on the knee",
+		},
+	}
+}
+
+// AblationDoppler sweeps the fading rate (DESIGN.md experiment A2). The
+// channel coherence time sets how long a deferring node waits for a good
+// channel: very slow fading starves Scheme 2 (long fades), very fast
+// fading makes the CSI stale between the idle tone and the transmission.
+func AblationDoppler(opts Options) Report {
+	tab := Table{Headers: []string{
+		"doppler(Hz)", "coherence(ms)", "protocol", "energy/pkt(mJ)", "delay(ms)", "csi-deferrals", "channel-fails",
+	}}
+	dops := []float64{0.5, 1, 2, 4, 8}
+	if opts.scale() < 0.8 {
+		dops = []float64{0.5, 2, 8}
+	}
+	for _, d := range dops {
+		for _, pc := range []protocolCase{
+			{"Scheme1", queueing.PolicyAdaptive},
+			{"Scheme2", queueing.PolicyFixedHighest},
+		} {
+			cfg := opts.baseConfig()
+			cfg.Policy = pc.policy
+			cfg.Channel.DopplerHz = d
+			cfg.Horizon = opts.horizon(300 * sim.Second)
+			res := runOne(opts, cfg, fmt.Sprintf("ablation-doppler/%s/%.1fHz", pc.name, d))
+			tab.AddRow(
+				f1(d),
+				f1(cfg.Channel.CoherenceTime().Millis()),
+				pc.name,
+				f3(1000*res.EnergyPerPktJ),
+				f1(res.MeanDelayMs),
+				fmt.Sprintf("%d", res.MAC.DeferralsCSI),
+				fmt.Sprintf("%d", res.MAC.ChannelFails),
+			)
+		}
+	}
+	return Report{
+		ID:    "ablation-doppler",
+		Title: "Ablation A2: channel dynamics (Doppler / coherence time)",
+		Table: tab,
+		Notes: []string{
+			"slower fading (longer coherence) lengthens both good and bad channel spells: deferral counts fall but each wait is longer",
+			"faster fading raises channel failures: the CSI measured at the tone pulse ages before the packet finishes",
+		},
+	}
+}
+
+// AblationBurst sweeps the burst-size rules (DESIGN.md experiment A3),
+// isolating the radio-startup amortization argument the paper uses to
+// justify the minimum of 3 packets per transmission.
+func AblationBurst(opts Options) Report {
+	tab := Table{Headers: []string{
+		"min", "max", "energy/pkt(mJ)", "startup-share", "delay(ms)", "collisions",
+	}}
+	cases := []struct{ min, max int }{
+		{1, 1}, {1, 8}, {3, 8}, {3, 16}, {8, 8},
+	}
+	if opts.scale() < 0.8 {
+		cases = []struct{ min, max int }{{1, 1}, {3, 8}, {8, 8}}
+	}
+	for _, c := range cases {
+		cfg := opts.baseConfig()
+		cfg.Policy = queueing.PolicyAdaptive
+		cfg.MAC.MinBurst = c.min
+		cfg.MAC.MaxBurst = c.max
+		cfg.Horizon = opts.horizon(300 * sim.Second)
+		res := runOne(opts, cfg, fmt.Sprintf("ablation-burst/min%d-max%d", c.min, c.max))
+		commJ := res.CommEnergyJ
+		startShare := 0.0
+		if commJ > 0 {
+			startShare = res.EnergyByCause[energy.DataStartup] / commJ
+		}
+		tab.AddRow(
+			fmt.Sprintf("%d", c.min),
+			fmt.Sprintf("%d", c.max),
+			f3(1000*res.EnergyPerPktJ),
+			pct(startShare),
+			f1(res.MeanDelayMs),
+			fmt.Sprintf("%d", res.MAC.Collisions),
+		)
+	}
+	return Report{
+		ID:    "ablation-burst",
+		Title: "Ablation A3: packets-per-transmission limits (min/max burst)",
+		Table: tab,
+		Notes: []string{
+			"single-packet bursts pay one radio startup per packet — the startup share of communication energy quantifies the paper's min-burst-of-3 rule",
+			"uncapped bursts save startups but let one node hold the channel longer, raising delay spread (the paper caps at 8 for fairness)",
+		},
+	}
+}
+
+// All returns every experiment report at the given options, in the
+// DESIGN.md §3 index order.
+func All(opts Options) []Report {
+	return []Report{
+		TableI(opts),
+		TableII(opts),
+		Figure8(opts),
+		Figure9(opts),
+		Figure10(opts),
+		Figure11(opts),
+		Figure12(opts),
+		NetworkPerformance(opts),
+		AblationThresholdParams(opts),
+		AblationDoppler(opts),
+		AblationBurst(opts),
+		AblationCSINoise(opts),
+		AblationRician(opts),
+		SeedVariance(opts),
+	}
+}
+
+// AblationCSINoise sweeps the channel-estimation error (DESIGN.md
+// experiment A4). The paper assumes perfect tone-based CSI via channel
+// reciprocity; this quantifies how much estimation error the admission
+// decision tolerates before CAEM's savings erode.
+func AblationCSINoise(opts Options) Report {
+	tab := Table{Headers: []string{
+		"noise-sigma(dB)", "protocol", "energy/pkt(mJ)", "channel-fails", "delivery", "delay(ms)",
+	}}
+	sigmas := []float64{0, 1, 2, 4, 8}
+	if opts.scale() < 0.8 {
+		sigmas = []float64{0, 2, 8}
+	}
+	for _, sigma := range sigmas {
+		for _, pc := range []protocolCase{
+			{"Scheme1", queueing.PolicyAdaptive},
+			{"Scheme2", queueing.PolicyFixedHighest},
+		} {
+			cfg := opts.baseConfig()
+			cfg.Policy = pc.policy
+			cfg.CSINoiseSigmaDB = sigma
+			cfg.Horizon = opts.horizon(300 * sim.Second)
+			res := runOne(opts, cfg, fmt.Sprintf("ablation-csinoise/%s/%.0fdB", pc.name, sigma))
+			tab.AddRow(
+				f1(sigma),
+				pc.name,
+				f3(1000*res.EnergyPerPktJ),
+				fmt.Sprintf("%d", res.MAC.ChannelFails),
+				pct(res.DeliveryRate),
+				f1(res.MeanDelayMs),
+			)
+		}
+	}
+	return Report{
+		ID:    "ablation-csinoise",
+		Title: "Ablation A4: CSI estimation error (reciprocity-assumption robustness)",
+		Table: tab,
+		Notes: []string{
+			"optimistic estimation errors admit transmissions the channel cannot carry: channel failures rise with the noise spread",
+			"the per-packet mode choice still tracks the true channel through the receive-tone feedback, so moderate estimation noise costs little energy — the admission threshold, not the mode table, absorbs the error",
+		},
+	}
+}
+
+// AblationRician sweeps the Rice factor K (DESIGN.md experiment A5):
+// line-of-sight deployments fade far less than the paper's Rayleigh
+// assumption, which shrinks both the cost of ignoring the channel and the
+// benefit of exploiting it.
+func AblationRician(opts Options) Report {
+	tab := Table{Headers: []string{
+		"rician-K", "protocol", "energy/pkt(mJ)", "channel-fails", "csi-deferrals",
+	}}
+	ks := []float64{0, 1, 4, 10}
+	if opts.scale() < 0.8 {
+		ks = []float64{0, 4}
+	}
+	var savings []float64
+	for _, k := range ks {
+		var perPkt [2]float64
+		for i, pc := range []protocolCase{
+			{"pure-LEACH", queueing.PolicyNone},
+			{"Scheme1", queueing.PolicyAdaptive},
+		} {
+			cfg := opts.baseConfig()
+			cfg.Policy = pc.policy
+			cfg.Channel.RicianK = k
+			cfg.Horizon = opts.horizon(300 * sim.Second)
+			res := runOne(opts, cfg, fmt.Sprintf("ablation-rician/%s/K%.0f", pc.name, k))
+			perPkt[i] = 1000 * res.EnergyPerPktJ
+			tab.AddRow(
+				f1(k),
+				pc.name,
+				f3(1000*res.EnergyPerPktJ),
+				fmt.Sprintf("%d", res.MAC.ChannelFails),
+				fmt.Sprintf("%d", res.MAC.DeferralsCSI),
+			)
+		}
+		savings = append(savings, 1-perPkt[1]/perPkt[0])
+	}
+	first, last := savings[0], savings[len(savings)-1]
+	return Report{
+		ID:    "ablation-rician",
+		Title: "Ablation A5: Rice factor K (line-of-sight vs the paper's Rayleigh assumption)",
+		Table: tab,
+		Notes: []string{
+			fmt.Sprintf("Scheme 1's per-packet saving over pure LEACH falls from %.0f%% at K=0 (Rayleigh) to %.0f%% at K=%.0f: with a strong LOS component the channel rarely leaves its mean, so there is less variation to exploit — CAEM targets exactly the hostile, scattered deployments the paper describes", 100*first, 100*last, ks[len(ks)-1]),
+		},
+	}
+}
+
+// SeedVariance quantifies realization noise: the headline load-5 metrics
+// across independent seeds (DESIGN.md experiment A6). The EXPERIMENTS.md
+// stability claims come from this report.
+func SeedVariance(opts Options) Report {
+	tab := Table{Headers: []string{
+		"protocol", "seeds", "lifetime mean(s)", "lifetime sd(s)", "energy/pkt mean(mJ)", "energy/pkt sd(mJ)",
+	}}
+	seeds := []uint64{1, 2, 3, 4, 5}
+	if opts.scale() < 0.8 {
+		seeds = []uint64{1, 2, 3}
+	}
+	for _, pc := range protocolCases() {
+		var life, epp metrics.Welford
+		for _, seed := range seeds {
+			cfg := opts.baseConfig()
+			cfg.Seed = seed
+			cfg.Policy = pc.policy
+			cfg.Horizon = opts.horizon(4000 * sim.Second)
+			cfg.StopWhenNetworkDead = true
+			cfg.SampleInterval = 20 * sim.Second
+			res := runOne(opts, cfg, fmt.Sprintf("seedvar/%s/seed%d", pc.name, seed))
+			if res.NetworkDead {
+				life.Add(res.NetworkLifetime.Seconds())
+			}
+			epp.Add(1000 * res.EnergyPerPktJ)
+		}
+		tab.AddRow(
+			pc.name,
+			fmt.Sprintf("%d", len(seeds)),
+			f1(life.Mean()), f1(life.StdDev()),
+			f3(epp.Mean()), f3(epp.StdDev()),
+		)
+	}
+	return Report{
+		ID:    "seedvar",
+		Title: "Ablation A6: realization variance across seeds (load 5)",
+		Table: tab,
+		Notes: []string{
+			"the protocol orderings in Figures 8-11 are stable across independent topology/channel/traffic realizations; the standard deviations here bound the run-to-run noise on each headline number",
+		},
+	}
+}

@@ -1,0 +1,200 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickOpts runs experiments at a small scale that still exercises every
+// code path.
+func quickOpts() Options {
+	return Options{Seed: 1, Scale: 0.2}
+}
+
+func TestTableHelpers(t *testing.T) {
+	tab := Table{Headers: []string{"a", "bb"}}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	out := tab.Render()
+	if !strings.Contains(out, "a    bb") {
+		t.Fatalf("render misaligned:\n%s", out)
+	}
+	csv := tab.CSV()
+	if csv != "a,bb\n1,2\n333,4\n" {
+		t.Fatalf("csv = %q", csv)
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tab := Table{Headers: []string{"a", "b"}}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched row did not panic")
+		}
+	}()
+	tab.AddRow("only-one")
+}
+
+func TestOptionsScaling(t *testing.T) {
+	o := Options{Scale: 0.2}
+	if n := o.nodes(); n != 20 {
+		t.Errorf("nodes at 0.2 scale = %d, want 20", n)
+	}
+	o.Scale = 0
+	if o.scale() != 1.0 {
+		t.Error("zero scale should default to 1")
+	}
+	o.Scale = 2
+	if o.scale() != 1.0 {
+		t.Error("out-of-range scale should default to 1")
+	}
+	if len((Options{Scale: 0.2}).loads()) >= len((Options{Scale: 1}).loads()) {
+		t.Error("scaled sweep not thinner")
+	}
+}
+
+func TestTableI(t *testing.T) {
+	r := TableI(quickOpts())
+	if r.ID != "table1" {
+		t.Fatalf("id = %q", r.ID)
+	}
+	if len(r.Table.Rows) != 4 {
+		t.Fatalf("Table I has %d rows, want 4 states", len(r.Table.Rows))
+	}
+	out := r.Render()
+	for _, want := range []string{"idle", "receive", "collision", "transmit", "50.0", "10.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableII(t *testing.T) {
+	r := TableII(quickOpts())
+	if len(r.Table.Rows) < 20 {
+		t.Fatalf("Table II has only %d rows", len(r.Table.Rows))
+	}
+	out := r.Render()
+	for _, want := range []string{"0.66 W", "0.305 W", "2000 bits", "10 J", "3 / 8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %q", want)
+		}
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	r := Figure8(quickOpts())
+	if len(r.Table.Rows) < 10 {
+		t.Fatalf("Figure 8 has %d rows", len(r.Table.Rows))
+	}
+	if len(r.Table.Headers) != 4 {
+		t.Fatalf("Figure 8 headers: %v", r.Table.Headers)
+	}
+	// First row is t=0 with full batteries.
+	first := r.Table.Rows[0]
+	for _, cell := range first[1:] {
+		if cell != "10.000" {
+			t.Errorf("t=0 energy cell = %q, want 10.000", cell)
+		}
+	}
+}
+
+func TestFigure9(t *testing.T) {
+	r := Figure9(quickOpts())
+	if len(r.Table.Rows) < 10 {
+		t.Fatalf("Figure 9 has %d rows", len(r.Table.Rows))
+	}
+	if len(r.Notes) == 0 {
+		t.Fatal("Figure 9 has no notes")
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	r := Figure10(quickOpts())
+	if len(r.Table.Rows) != len(quickOpts().loads()) {
+		t.Fatalf("Figure 10 rows = %d, want one per load", len(r.Table.Rows))
+	}
+}
+
+func TestFigure11(t *testing.T) {
+	r := Figure11(quickOpts())
+	if len(r.Table.Rows) != len(quickOpts().loads()) {
+		t.Fatalf("Figure 11 rows = %d", len(r.Table.Rows))
+	}
+	// The saving column must be present and positive at the first load.
+	row := r.Table.Rows[0]
+	if !strings.Contains(row[len(row)-1], "%") {
+		t.Fatalf("saving cell = %q", row[len(row)-1])
+	}
+	if strings.HasPrefix(row[len(row)-1], "-") {
+		t.Errorf("Scheme 1 saving negative at load %s: %s", row[0], row[len(row)-1])
+	}
+}
+
+func TestFigure12(t *testing.T) {
+	r := Figure12(quickOpts())
+	if len(r.Table.Rows) != len(quickOpts().loads()) {
+		t.Fatalf("Figure 12 rows = %d", len(r.Table.Rows))
+	}
+}
+
+func TestNetworkPerformance(t *testing.T) {
+	r := NetworkPerformance(quickOpts())
+	want := len(quickOpts().loads()) * 3
+	if len(r.Table.Rows) != want {
+		t.Fatalf("netperf rows = %d, want %d", len(r.Table.Rows), want)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if r := AblationThresholdParams(quickOpts()); len(r.Table.Rows) == 0 {
+		t.Error("threshold ablation empty")
+	}
+	if r := AblationDoppler(quickOpts()); len(r.Table.Rows) == 0 {
+		t.Error("doppler ablation empty")
+	}
+	if r := AblationBurst(quickOpts()); len(r.Table.Rows) == 0 {
+		t.Error("burst ablation empty")
+	}
+	if r := AblationCSINoise(quickOpts()); len(r.Table.Rows) == 0 {
+		t.Error("csi-noise ablation empty")
+	}
+	if r := AblationRician(quickOpts()); len(r.Table.Rows) == 0 {
+		t.Error("rician ablation empty")
+	}
+}
+
+func TestSeedVariance(t *testing.T) {
+	r := SeedVariance(quickOpts())
+	if len(r.Table.Rows) != 3 {
+		t.Fatalf("seed variance rows = %d, want one per protocol", len(r.Table.Rows))
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	opts := quickOpts()
+	var lines int
+	opts.Progress = func(string, ...any) { lines++ }
+	TableI(opts) // no runs: no progress required
+	Figure8(opts)
+	if lines == 0 {
+		t.Fatal("no progress lines emitted by Figure8")
+	}
+}
+
+func TestFigureChartsPresent(t *testing.T) {
+	opts := quickOpts()
+	for _, rep := range []Report{Figure8(opts), Figure10(opts)} {
+		if len(rep.Charts) == 0 {
+			t.Errorf("%s has no chart", rep.ID)
+			continue
+		}
+		svg := rep.Charts[0].SVG()
+		if !strings.Contains(svg, "<polyline") {
+			t.Errorf("%s chart has no data polylines", rep.ID)
+		}
+		if !strings.Contains(svg, "Scheme1") {
+			t.Errorf("%s chart missing legend", rep.ID)
+		}
+	}
+}

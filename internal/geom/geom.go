@@ -1,0 +1,89 @@
+// Package geom provides the 2-D geometry primitives used to lay out the
+// sensor field: points, distances, and node-placement strategies.
+package geom
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Point is a position on the sensor field, in meters.
+type Point struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance to q in meters.
+func (p Point) Distance(q Point) float64 {
+	dx := p.X - q.X
+	dy := p.Y - q.Y
+	return math.Hypot(dx, dy)
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%.1f, %.1f)", p.X, p.Y) }
+
+// Field is the rectangular testing field, anchored at the origin.
+type Field struct {
+	Width, Height float64 // meters
+}
+
+// Contains reports whether p lies inside the field (inclusive borders).
+func (f Field) Contains(p Point) bool {
+	return p.X >= 0 && p.X <= f.Width && p.Y >= 0 && p.Y <= f.Height
+}
+
+// Center returns the field's center point.
+func (f Field) Center() Point { return Point{X: f.Width / 2, Y: f.Height / 2} }
+
+// Diagonal returns the field's diagonal length, the maximum possible
+// node-to-node distance.
+func (f Field) Diagonal() float64 { return math.Hypot(f.Width, f.Height) }
+
+// PlaceUniform scatters n points independently and uniformly over the
+// field, the deployment model used in the paper ("sensors are deployed in
+// a forest or battlefield").
+func PlaceUniform(f Field, n int, r *rng.Stream) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: r.Float64() * f.Width, Y: r.Float64() * f.Height}
+	}
+	return pts
+}
+
+// PlaceGrid lays n points on the most-square grid that fits them, with
+// half-cell margins. Deterministic; used by examples that want
+// reproducible geometry without an RNG.
+func PlaceGrid(f Field, n int) []Point {
+	if n <= 0 {
+		return nil
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	rows := (n + cols - 1) / cols
+	pts := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		r := i / cols
+		c := i % cols
+		pts = append(pts, Point{
+			X: (float64(c) + 0.5) * f.Width / float64(cols),
+			Y: (float64(r) + 0.5) * f.Height / float64(rows),
+		})
+	}
+	return pts
+}
+
+// Nearest returns the index of the candidate nearest to p, and the
+// distance. It panics on an empty candidate list.
+func Nearest(p Point, candidates []Point) (int, float64) {
+	if len(candidates) == 0 {
+		panic("geom: Nearest with no candidates")
+	}
+	best := 0
+	bestD := p.Distance(candidates[0])
+	for i := 1; i < len(candidates); i++ {
+		if d := p.Distance(candidates[i]); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best, bestD
+}

@@ -1,0 +1,309 @@
+// Package metrics implements the measurement instruments for the paper's
+// evaluation (§IV.A): energy traces, alive-node counts, network lifetime,
+// per-packet energy, packet delay, aggregate throughput, delivery rate,
+// and the queue-length standard deviation used as the short-term fairness
+// index.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Welford is a numerically stable online accumulator for mean/variance,
+// with min/max tracking.
+type Welford struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add accumulates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (0 for fewer than 2 samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge folds other into w (parallel Welford combination).
+func (w *Welford) Merge(other Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = other
+		return
+	}
+	n := w.n + other.n
+	d := other.mean - w.mean
+	mean := w.mean + d*float64(other.n)/float64(n)
+	m2 := w.m2 + other.m2 + d*d*float64(w.n)*float64(other.n)/float64(n)
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+	w.n, w.mean, w.m2 = n, mean, m2
+}
+
+// Point is one (time, value) sample of a time series.
+type Point struct {
+	T sim.Time
+	V float64
+}
+
+// TimeSeries records sampled values over simulation time (e.g. average
+// remaining energy for Fig. 8, alive count for Fig. 9).
+type TimeSeries struct {
+	Name   string
+	points []Point
+}
+
+// NewTimeSeries returns an empty named series.
+func NewTimeSeries(name string) *TimeSeries { return &TimeSeries{Name: name} }
+
+// Record appends a sample. Samples must be appended in non-decreasing time
+// order; out-of-order appends panic because downstream interpolation
+// relies on ordering.
+func (ts *TimeSeries) Record(t sim.Time, v float64) {
+	if n := len(ts.points); n > 0 && ts.points[n-1].T > t {
+		panic(fmt.Sprintf("metrics: out-of-order sample at %v after %v in %q", t, ts.points[n-1].T, ts.Name))
+	}
+	ts.points = append(ts.points, Point{T: t, V: v})
+}
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.points) }
+
+// Points returns the samples (callers must not mutate).
+func (ts *TimeSeries) Points() []Point { return ts.points }
+
+// At returns the last recorded value at or before t (step interpolation);
+// ok=false before the first sample.
+func (ts *TimeSeries) At(t sim.Time) (float64, bool) {
+	i := sort.Search(len(ts.points), func(i int) bool { return ts.points[i].T > t })
+	if i == 0 {
+		return 0, false
+	}
+	return ts.points[i-1].V, true
+}
+
+// FirstCrossingBelow returns the earliest sample time at which the series
+// value is <= level; ok=false if it never crosses.
+func (ts *TimeSeries) FirstCrossingBelow(level float64) (sim.Time, bool) {
+	for _, p := range ts.points {
+		if p.V <= level {
+			return p.T, true
+		}
+	}
+	return 0, false
+}
+
+// Downsample returns at most n approximately evenly spaced points (always
+// keeping the first and last), for plotting/printing.
+func (ts *TimeSeries) Downsample(n int) []Point {
+	if n <= 0 || len(ts.points) <= n {
+		return append([]Point(nil), ts.points...)
+	}
+	out := make([]Point, 0, n)
+	step := float64(len(ts.points)-1) / float64(n-1)
+	for i := 0; i < n; i++ {
+		out = append(out, ts.points[int(float64(i)*step+0.5)])
+	}
+	out[len(out)-1] = ts.points[len(ts.points)-1]
+	return out
+}
+
+// DelayStats accumulates packet delays (creation → delivery at the CH).
+type DelayStats struct {
+	w Welford
+}
+
+// Observe records one delivered packet's delay.
+func (d *DelayStats) Observe(delay sim.Time) { d.w.Add(delay.Millis()) }
+
+// Count returns delivered-packet count.
+func (d *DelayStats) Count() uint64 { return d.w.Count() }
+
+// MeanMs returns the average delay in milliseconds (§IV.A measures delay
+// in ms).
+func (d *DelayStats) MeanMs() float64 { return d.w.Mean() }
+
+// MaxMs returns the largest observed delay in milliseconds.
+func (d *DelayStats) MaxMs() float64 { return d.w.Max() }
+
+// StdDevMs returns the delay standard deviation in milliseconds.
+func (d *DelayStats) StdDevMs() float64 { return d.w.StdDev() }
+
+// FairnessProbe computes the paper's short-term fairness index: the
+// standard deviation of per-node queue lengths, snapshotted periodically
+// and averaged over the observation window (§IV.C, Fig. 12).
+type FairnessProbe struct {
+	snapshots Welford
+}
+
+// Snapshot records one instant's queue lengths across all alive nodes.
+func (f *FairnessProbe) Snapshot(queueLengths []int) {
+	n := len(queueLengths)
+	if n == 0 {
+		return
+	}
+	var sum float64
+	for _, q := range queueLengths {
+		sum += float64(q)
+	}
+	mean := sum / float64(n)
+	var ss float64
+	for _, q := range queueLengths {
+		d := float64(q) - mean
+		ss += d * d
+	}
+	f.snapshots.Add(math.Sqrt(ss / float64(n)))
+}
+
+// Snapshots returns how many snapshots were taken.
+func (f *FairnessProbe) Snapshots() uint64 { return f.snapshots.Count() }
+
+// MeanStdDev returns the average of the snapshot standard deviations —
+// the Fig. 12 y-axis.
+func (f *FairnessProbe) MeanStdDev() float64 { return f.snapshots.Mean() }
+
+// Lifetime tracks node deaths and derives the network lifetime: the paper
+// calls the network dead once the fraction of exhausted nodes passes a
+// threshold (value lost in the scan; DESIGN.md fixes 80%).
+type Lifetime struct {
+	total      int
+	deadTimes  []sim.Time
+	deadsSoFar int
+}
+
+// NewLifetime tracks a population of total nodes.
+func NewLifetime(total int) *Lifetime {
+	return &Lifetime{total: total}
+}
+
+// NodeDied records one death.
+func (l *Lifetime) NodeDied(at sim.Time) {
+	l.deadsSoFar++
+	l.deadTimes = append(l.deadTimes, at)
+}
+
+// Alive returns the current alive count.
+func (l *Lifetime) Alive() int { return l.total - l.deadsSoFar }
+
+// Deaths returns the death times in occurrence order.
+func (l *Lifetime) Deaths() []sim.Time { return l.deadTimes }
+
+// FirstDeath returns the time of the first exhaustion; ok=false if none.
+func (l *Lifetime) FirstDeath() (sim.Time, bool) {
+	if len(l.deadTimes) == 0 {
+		return 0, false
+	}
+	return l.deadTimes[0], true
+}
+
+// NetworkDeadAt returns the time at which the dead fraction first reached
+// deadFraction; ok=false if the network survived the whole run.
+func (l *Lifetime) NetworkDeadAt(deadFraction float64) (sim.Time, bool) {
+	need := int(math.Ceil(deadFraction * float64(l.total)))
+	if need < 1 {
+		need = 1
+	}
+	if len(l.deadTimes) < need {
+		return 0, false
+	}
+	return l.deadTimes[need-1], true
+}
+
+// Throughput accumulates delivered payload for the aggregate network
+// throughput metric (kbps over the observation window, §IV.A).
+type Throughput struct {
+	deliveredBits uint64
+	generated     uint64
+	delivered     uint64
+	droppedBuffer uint64
+	droppedRetry  uint64
+}
+
+// PacketGenerated counts one generated packet.
+func (t *Throughput) PacketGenerated() { t.generated++ }
+
+// PacketDelivered counts one packet of the given size arriving at a sink.
+func (t *Throughput) PacketDelivered(sizeBits int) {
+	t.delivered++
+	t.deliveredBits += uint64(sizeBits)
+}
+
+// PacketDroppedBuffer counts one buffer-overflow loss.
+func (t *Throughput) PacketDroppedBuffer() { t.droppedBuffer++ }
+
+// PacketDroppedRetry counts one retry-cap loss.
+func (t *Throughput) PacketDroppedRetry() { t.droppedRetry++ }
+
+// Generated returns the packets generated.
+func (t *Throughput) Generated() uint64 { return t.generated }
+
+// Delivered returns the packets delivered.
+func (t *Throughput) Delivered() uint64 { return t.delivered }
+
+// DroppedBuffer returns buffer-overflow losses.
+func (t *Throughput) DroppedBuffer() uint64 { return t.droppedBuffer }
+
+// DroppedRetry returns retry-cap losses.
+func (t *Throughput) DroppedRetry() uint64 { return t.droppedRetry }
+
+// DeliveryRate returns delivered/generated in [0, 1]; 0 when nothing was
+// generated.
+func (t *Throughput) DeliveryRate() float64 {
+	if t.generated == 0 {
+		return 0
+	}
+	return float64(t.delivered) / float64(t.generated)
+}
+
+// AggregateKbps returns the delivered-payload rate over the window.
+func (t *Throughput) AggregateKbps(window sim.Time) float64 {
+	s := window.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(t.deliveredBits) / s / 1000
+}

@@ -1,0 +1,240 @@
+// Package plot renders simple line charts as SVG, using only the standard
+// library. It exists so cmd/caem-bench can emit the paper's figures as
+// images next to the CSV data — enough for visual comparison against the
+// paper's plots, not a general plotting library.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named polyline.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Chart is a single-axes line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height are the SVG pixel dimensions; zero values take
+	// the 720x480 default.
+	Width, Height int
+}
+
+// palette holds visually distinct stroke colors, cycled by series index.
+var palette = []string{
+	"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e",
+	"#8c564b", "#17becf", "#7f7f7f",
+}
+
+// niceTicks returns ~n human-friendly tick positions spanning [lo, hi].
+func niceTicks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	span := hi - lo
+	if span <= 0 {
+		// Degenerate range: fabricate a small symmetric window.
+		if lo == 0 {
+			return []float64{0, 1}
+		}
+		pad := math.Abs(lo) * 0.1
+		return []float64{lo - pad, lo, lo + pad}
+	}
+	rawStep := span / float64(n-1)
+	mag := math.Pow(10, math.Floor(math.Log10(rawStep)))
+	var step float64
+	switch {
+	case rawStep/mag >= 5:
+		step = 10 * mag
+	case rawStep/mag >= 2:
+		step = 5 * mag
+	case rawStep/mag >= 1:
+		step = 2 * mag
+	default:
+		step = mag
+	}
+	first := math.Ceil(lo/step) * step
+	var ticks []float64
+	for v := first; v <= hi+step*1e-9; v += step {
+		// Normalize -0 and float noise.
+		if math.Abs(v) < step*1e-9 {
+			v = 0
+		}
+		ticks = append(ticks, v)
+	}
+	if len(ticks) < 2 {
+		ticks = []float64{lo, hi}
+	}
+	return ticks
+}
+
+// formatTick renders a tick label compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case v == 0:
+		return "0"
+	case av >= 1e6 || av < 1e-3:
+		return fmt.Sprintf("%.1e", v)
+	case av >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 1:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+	default:
+		return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", v), "0"), ".")
+	}
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// SVG renders the chart. Charts with no drawable points still produce a
+// valid (empty-axes) document.
+func (c Chart) SVG() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 720
+	}
+	if h <= 0 {
+		h = 480
+	}
+	const (
+		marginL = 70
+		marginR = 20
+		marginT = 40
+		marginB = 55
+	)
+	plotW := float64(w - marginL - marginR)
+	plotH := float64(h - marginT - marginB)
+
+	// Data extent.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	points := 0
+	for _, s := range c.Series {
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			points++
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if points == 0 {
+		xmin, xmax, ymin, ymax = 0, 1, 0, 1
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+		if ymin > 0 {
+			ymin = 0 // anchor constant series at zero for context
+		}
+	}
+	// Y headroom.
+	ypad := (ymax - ymin) * 0.05
+	ymax += ypad
+	if ymin > 0 && ymin-ypad < 0 {
+		ymin = 0
+	} else {
+		ymin -= ypad
+	}
+
+	xpix := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	ypix := func(y float64) float64 { return float64(marginT) + plotH - (y-ymin)/(ymax-ymin)*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="15" font-weight="bold">%s</text>`+"\n", marginL, esc(c.Title))
+
+	// Grid + ticks.
+	b.WriteString(`<g font-family="sans-serif" font-size="11" fill="#333">` + "\n")
+	for _, tx := range niceTicks(xmin, xmax, 8) {
+		if tx < xmin || tx > xmax {
+			continue
+		}
+		px := xpix(tx)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", px, marginT, px, float64(marginT)+plotH)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" text-anchor="middle">%s</text>`+"\n", px, float64(marginT)+plotH+16, formatTick(tx))
+	}
+	for _, ty := range niceTicks(ymin, ymax, 7) {
+		if ty < ymin || ty > ymax {
+			continue
+		}
+		py := ypix(ty)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", marginL, py, marginL+plotW, py)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end">%s</text>`+"\n", marginL-6, py+4, formatTick(ty))
+	}
+	b.WriteString("</g>\n")
+
+	// Axes.
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%.1f" fill="none" stroke="#444"/>`+"\n", marginL, marginT, plotW, plotH)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		marginL+plotW/2, h-12, esc(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %.1f)">%s</text>`+"\n",
+		float64(marginT)+plotH/2, float64(marginT)+plotH/2, esc(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		n := len(s.X)
+		if len(s.Y) < n {
+			n = len(s.Y)
+		}
+		for i := 0; i < n; i++ {
+			if math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) || math.IsInf(s.X[i], 0) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", xpix(s.X[i]), ypix(s.Y[i])))
+		}
+		if len(pts) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, `<polyline fill="none" stroke="%s" stroke-width="1.8" points="%s"/>`+"\n", color, strings.Join(pts, " "))
+		// Point markers for sparse series.
+		if len(pts) <= 40 {
+			for _, p := range pts {
+				var px, py float64
+				fmt.Sscanf(p, "%f,%f", &px, &py)
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.6" fill="%s"/>`+"\n", px, py, color)
+			}
+		}
+	}
+
+	// Legend.
+	ly := marginT + 10
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="%s" stroke-width="2.5"/>`+"\n",
+			marginL+plotW-150, ly, marginL+plotW-125, ly, color)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			marginL+plotW-118, ly+4, esc(s.Name))
+		ly += 18
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}

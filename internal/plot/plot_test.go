@@ -1,0 +1,156 @@
+package plot
+
+import (
+	"encoding/xml"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleChart() Chart {
+	return Chart{
+		Title:  "Average remaining energy",
+		XLabel: "time (s)",
+		YLabel: "J",
+		Series: []Series{
+			{Name: "pure-LEACH", X: []float64{0, 100, 200}, Y: []float64{10, 7, 4}},
+			{Name: "Scheme1", X: []float64{0, 100, 200}, Y: []float64{10, 8.5, 7}},
+		},
+	}
+}
+
+func TestSVGIsWellFormedXML(t *testing.T) {
+	svg := sampleChart().SVG()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestSVGContainsContent(t *testing.T) {
+	svg := sampleChart().SVG()
+	for _, want := range []string{
+		"<svg", "polyline", "pure-LEACH", "Scheme1",
+		"Average remaining energy", "time (s)",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polyline count = %d, want 2", got)
+	}
+}
+
+func TestSVGEscapesLabels(t *testing.T) {
+	c := sampleChart()
+	c.Title = `a < b & "c"`
+	svg := c.SVG()
+	if strings.Contains(svg, `a < b &`) {
+		t.Fatal("unescaped markup in title")
+	}
+	if !strings.Contains(svg, "a &lt; b &amp;") {
+		t.Fatal("escaped title missing")
+	}
+}
+
+func TestSVGEmptyChart(t *testing.T) {
+	c := Chart{Title: "empty"}
+	svg := c.SVG()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Fatal("empty chart did not render a document")
+	}
+}
+
+func TestSVGDegenerateSeries(t *testing.T) {
+	cases := []Series{
+		{Name: "single", X: []float64{5}, Y: []float64{3}},
+		{Name: "constant", X: []float64{0, 1, 2}, Y: []float64{7, 7, 7}},
+		{Name: "holes", X: []float64{0, 1, 2}, Y: []float64{1, math.NaN(), 3}},
+		{Name: "unbounded", X: []float64{0, math.Inf(1)}, Y: []float64{1, 2}},
+		{Name: "mismatched", X: []float64{0, 1, 2}, Y: []float64{1}},
+	}
+	for _, s := range cases {
+		c := Chart{Title: s.Name, Series: []Series{s}}
+		svg := c.SVG()
+		if !strings.Contains(svg, "</svg>") {
+			t.Errorf("%s: truncated SVG", s.Name)
+		}
+		if strings.Contains(svg, "NaN") || strings.Contains(svg, "Inf") {
+			t.Errorf("%s: non-finite coordinates leaked into SVG", s.Name)
+		}
+	}
+}
+
+func TestNiceTicks(t *testing.T) {
+	ticks := niceTicks(0, 100, 6)
+	if len(ticks) < 3 {
+		t.Fatalf("ticks = %v", ticks)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] <= ticks[i-1] {
+			t.Fatalf("ticks not increasing: %v", ticks)
+		}
+	}
+	if ticks[0] < 0 || ticks[len(ticks)-1] > 100+1e-9 {
+		t.Fatalf("ticks out of range: %v", ticks)
+	}
+	// Degenerate span.
+	if got := niceTicks(5, 5, 4); len(got) < 2 {
+		t.Fatalf("degenerate ticks = %v", got)
+	}
+	// Reversed bounds are normalized.
+	if got := niceTicks(10, 0, 4); got[0] > got[len(got)-1] {
+		t.Fatalf("reversed ticks = %v", got)
+	}
+}
+
+// Property: tick positions are always strictly increasing and within the
+// (normalized) input range for any finite bounds.
+func TestNiceTicksProperty(t *testing.T) {
+	check := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		if math.Abs(a) > 1e12 || math.Abs(b) > 1e12 {
+			return true
+		}
+		ticks := niceTicks(a, b, 6)
+		if len(ticks) < 2 {
+			return false
+		}
+		for i := 1; i < len(ticks); i++ {
+			if ticks[i] <= ticks[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:    "0",
+		100:  "100",
+		1.5:  "1.5",
+		0.25: "0.25",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatTick(2.5e7); !strings.Contains(got, "e") {
+		t.Errorf("large tick not scientific: %q", got)
+	}
+}

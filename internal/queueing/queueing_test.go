@@ -1,0 +1,375 @@
+package queueing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func TestBufferFIFO(t *testing.T) {
+	b := NewBuffer(10)
+	for i := uint64(0); i < 5; i++ {
+		if !b.Enqueue(Packet{ID: i}) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	for i := uint64(0); i < 5; i++ {
+		p, ok := b.Dequeue()
+		if !ok || p.ID != i {
+			t.Fatalf("dequeue %d: got (%v, %v)", i, p.ID, ok)
+		}
+	}
+	if _, ok := b.Dequeue(); ok {
+		t.Fatal("dequeue from empty buffer succeeded")
+	}
+}
+
+func TestBufferOverflowDrops(t *testing.T) {
+	b := NewBuffer(3)
+	for i := 0; i < 3; i++ {
+		if !b.Enqueue(Packet{ID: uint64(i)}) {
+			t.Fatal("enqueue within capacity failed")
+		}
+	}
+	if b.Enqueue(Packet{ID: 99}) {
+		t.Fatal("enqueue past capacity succeeded")
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len = %d after overflow, want 3", b.Len())
+	}
+	enq, drop, deq, maxLen := b.Stats()
+	if enq != 3 || drop != 1 || deq != 0 || maxLen != 3 {
+		t.Fatalf("stats = (%d, %d, %d, %d)", enq, drop, deq, maxLen)
+	}
+}
+
+func TestBufferUnbounded(t *testing.T) {
+	b := NewBuffer(0)
+	for i := 0; i < 10000; i++ {
+		if !b.Enqueue(Packet{ID: uint64(i)}) {
+			t.Fatalf("unbounded buffer rejected packet %d", i)
+		}
+	}
+	if b.Len() != 10000 {
+		t.Fatalf("len = %d", b.Len())
+	}
+}
+
+func TestBufferPeekAndHead(t *testing.T) {
+	b := NewBuffer(10)
+	if _, ok := b.Peek(); ok {
+		t.Fatal("peek on empty succeeded")
+	}
+	if b.Head() != nil {
+		t.Fatal("head on empty not nil")
+	}
+	b.Enqueue(Packet{ID: 1})
+	b.Enqueue(Packet{ID: 2})
+	if p, ok := b.Peek(); !ok || p.ID != 1 {
+		t.Fatalf("peek = (%v, %v)", p.ID, ok)
+	}
+	if p, ok := b.PeekAt(1); !ok || p.ID != 2 {
+		t.Fatalf("peekAt(1) = (%v, %v)", p.ID, ok)
+	}
+	if _, ok := b.PeekAt(2); ok {
+		t.Fatal("peekAt past end succeeded")
+	}
+	// Head gives in-place mutation for retry bookkeeping.
+	b.Head().Retries = 5
+	if p, _ := b.Peek(); p.Retries != 5 {
+		t.Fatal("head mutation not visible")
+	}
+	if b.Len() != 2 {
+		t.Fatal("peek/head changed the length")
+	}
+}
+
+func TestDropHead(t *testing.T) {
+	b := NewBuffer(10)
+	if b.DropHead() {
+		t.Fatal("DropHead on empty succeeded")
+	}
+	b.Enqueue(Packet{ID: 1})
+	b.Enqueue(Packet{ID: 2})
+	if !b.DropHead() {
+		t.Fatal("DropHead failed")
+	}
+	if p, _ := b.Peek(); p.ID != 2 {
+		t.Fatal("DropHead removed the wrong packet")
+	}
+	_, drop, _, _ := b.Stats()
+	if drop != 1 {
+		t.Fatalf("drops = %d, want 1", drop)
+	}
+}
+
+// Property: for any interleaving of enqueues and dequeues, the buffer
+// conserves packets: enqueued = dequeued + dropped_head + len.
+func TestBufferConservation(t *testing.T) {
+	check := func(ops []bool, capRaw uint8) bool {
+		capacity := int(capRaw % 20)
+		b := NewBuffer(capacity)
+		var id uint64
+		for _, enq := range ops {
+			if enq {
+				b.Enqueue(Packet{ID: id})
+				id++
+			} else {
+				b.Dequeue()
+			}
+		}
+		enq, drop, deq, _ := b.Stats()
+		return enq == deq+uint64(b.Len()) && enq+drop == id
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FIFO order is preserved — IDs dequeue in enqueue order.
+func TestBufferOrderProperty(t *testing.T) {
+	check := func(nRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		b := NewBuffer(0)
+		for i := 0; i < n; i++ {
+			b.Enqueue(Packet{ID: uint64(i)})
+		}
+		for i := 0; i < n; i++ {
+			p, ok := b.Dequeue()
+			if !ok || p.ID != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoissonSourceInterarrivals(t *testing.T) {
+	var id uint64
+	s := NewPoissonSource(5, 2000, 3, rng.NewSource(1).Stream("arr", 0), &id)
+	if !s.Active() {
+		t.Fatal("source with positive rate not active")
+	}
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		gap := s.NextInterarrival()
+		if gap <= 0 {
+			t.Fatalf("non-positive interarrival %v", gap)
+		}
+		sum += gap.Seconds()
+	}
+	mean := sum / n
+	if mean < 0.19 || mean > 0.21 {
+		t.Fatalf("mean interarrival = %v s, want ~0.2 (rate 5)", mean)
+	}
+}
+
+func TestPoissonSourceGenerate(t *testing.T) {
+	var id uint64
+	s := NewPoissonSource(5, 2000, 3, rng.NewSource(1).Stream("arr", 0), &id)
+	p1 := s.Generate(10 * sim.Second)
+	p2 := s.Generate(11 * sim.Second)
+	if p1.ID == p2.ID {
+		t.Fatal("packet IDs not unique")
+	}
+	if p1.Source != 3 || p1.SizeBits != 2000 || p1.CreatedAt != 10*sim.Second {
+		t.Fatalf("packet fields wrong: %+v", p1)
+	}
+	if id != 2 {
+		t.Fatalf("shared counter = %d, want 2", id)
+	}
+}
+
+func TestZeroRateSourceInactive(t *testing.T) {
+	var id uint64
+	s := NewPoissonSource(0, 2000, 0, rng.NewSource(1).Stream("arr", 0), &id)
+	if s.Active() {
+		t.Fatal("zero-rate source active")
+	}
+	if gap := s.NextInterarrival(); gap >= 0 {
+		t.Fatalf("zero-rate interarrival = %v, want negative sentinel", gap)
+	}
+}
+
+func TestAdjusterConfigValidate(t *testing.T) {
+	if err := DefaultAdjusterConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []AdjusterConfig{
+		{Classes: 0, SampleEvery: 5, QueueThreshold: 15},
+		{Classes: 4, SampleEvery: 0, QueueThreshold: 15},
+		{Classes: 4, SampleEvery: 5, QueueThreshold: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestAdjusterStartsAtHighest(t *testing.T) {
+	a := NewThresholdAdjuster(DefaultAdjusterConfig())
+	if a.Class() != 3 {
+		t.Fatalf("initial class = %d, want 3 (2 Mbps)", a.Class())
+	}
+	if a.Active() {
+		t.Fatal("fresh adjuster already active")
+	}
+}
+
+// Below Q_th the mechanism must not engage regardless of arrivals.
+func TestAdjusterInactiveBelowQth(t *testing.T) {
+	a := NewThresholdAdjuster(DefaultAdjusterConfig())
+	for q := 1; q <= 14; q++ {
+		a.OnArrival(q)
+	}
+	if a.Active() {
+		t.Fatal("adjuster engaged below Q_th")
+	}
+	if a.Class() != 3 {
+		t.Fatalf("class moved to %d while inactive", a.Class())
+	}
+}
+
+// A steadily growing queue above Q_th lowers the class one step per m-th
+// arrival, down to the floor.
+func TestAdjusterLowersOnGrowth(t *testing.T) {
+	cfg := DefaultAdjusterConfig()
+	a := NewThresholdAdjuster(cfg)
+	q := cfg.QueueThreshold
+	a.OnArrival(q) // engage
+	// Feed strictly growing queue samples.
+	for i := 0; i < 5*cfg.SampleEvery; i++ {
+		q++
+		a.OnArrival(q)
+	}
+	if a.Class() != 0 {
+		t.Fatalf("class = %d after sustained growth, want 0", a.Class())
+	}
+	lowered, _ := a.Adjustments()
+	if lowered < 3 {
+		t.Fatalf("lowered %d times, want >= 3", lowered)
+	}
+}
+
+// A draining queue resets the threshold to the highest class.
+func TestAdjusterResetsOnDrain(t *testing.T) {
+	cfg := DefaultAdjusterConfig()
+	a := NewThresholdAdjuster(cfg)
+	q := 30
+	for i := 0; i < 3*cfg.SampleEvery; i++ {
+		q++
+		a.OnArrival(q)
+	}
+	if a.Class() == cfg.Classes-1 {
+		t.Fatal("setup failed: class did not lower")
+	}
+	// Now the queue drains (but stays above Q_th so we see the pure
+	// ΔV < 0 path).
+	for i := 0; i < 2*cfg.SampleEvery; i++ {
+		q--
+		a.OnArrival(q)
+	}
+	if a.Class() != cfg.Classes-1 {
+		t.Fatalf("class = %d after drain, want %d", a.Class(), cfg.Classes-1)
+	}
+}
+
+// Draining below Q_th disengages the mechanism.
+func TestAdjusterDisengagesBelowQth(t *testing.T) {
+	cfg := DefaultAdjusterConfig()
+	a := NewThresholdAdjuster(cfg)
+	q := 20
+	for i := 0; i < 2*cfg.SampleEvery; i++ {
+		q++
+		a.OnArrival(q)
+	}
+	if !a.Active() {
+		t.Fatal("setup failed: not active")
+	}
+	// Drain to below Q_th with a ΔV < 0 sample landing there.
+	for q > 5 {
+		q--
+		a.OnArrival(q)
+	}
+	if a.Active() {
+		t.Fatal("adjuster still active after queue fell below Q_th on a draining trend")
+	}
+	if a.Class() != cfg.Classes-1 {
+		t.Fatalf("class = %d, want max", a.Class())
+	}
+}
+
+func TestAdjusterOnServicedFullDrain(t *testing.T) {
+	cfg := DefaultAdjusterConfig()
+	a := NewThresholdAdjuster(cfg)
+	q := 20
+	for i := 0; i < 3*cfg.SampleEvery; i++ {
+		q++
+		a.OnArrival(q)
+	}
+	a.OnServiced(3) // partial drain: stays engaged
+	if !a.Active() {
+		t.Fatal("partial drain disengaged the adjuster")
+	}
+	a.OnServiced(0) // full drain: recovered
+	if a.Active() || a.Class() != cfg.Classes-1 {
+		t.Fatalf("full drain: active=%v class=%d", a.Active(), a.Class())
+	}
+}
+
+// ΔV == 0 holds the class.
+func TestAdjusterHoldsOnFlat(t *testing.T) {
+	cfg := DefaultAdjusterConfig()
+	a := NewThresholdAdjuster(cfg)
+	// Engage and lower once.
+	for i := 0; i <= cfg.SampleEvery*2; i++ {
+		a.OnArrival(16 + i)
+	}
+	// One full sample cycle of flat queue so the previous sample is also
+	// flat; only then is ΔV truly zero.
+	for i := 0; i < cfg.SampleEvery; i++ {
+		a.OnArrival(40)
+	}
+	c := a.Class()
+	for i := 0; i < cfg.SampleEvery*4; i++ {
+		a.OnArrival(40) // flat samples
+	}
+	if a.Class() != c {
+		t.Fatalf("class moved from %d to %d on flat queue", c, a.Class())
+	}
+}
+
+// Property: the class always stays within [0, Classes-1] for arbitrary
+// queue-length sequences.
+func TestAdjusterClassBounded(t *testing.T) {
+	cfg := DefaultAdjusterConfig()
+	check := func(qs []uint8) bool {
+		a := NewThresholdAdjuster(cfg)
+		for i, q := range qs {
+			a.OnArrival(int(q))
+			if i%7 == 0 {
+				a.OnServiced(int(q) / 2)
+			}
+			if a.Class() < 0 || a.Class() > cfg.Classes-1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyNone.String() != "none" || PolicyFixedHighest.String() != "fixed-highest" || PolicyAdaptive.String() != "adaptive" {
+		t.Fatal("policy names wrong")
+	}
+}

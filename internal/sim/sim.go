@@ -1,0 +1,227 @@
+// Package sim implements the deterministic discrete-event engine the whole
+// simulation runs on.
+//
+// Time is an int64 count of microseconds. Integer time keeps the future
+// event list exactly ordered (no floating-point ties) and makes runs
+// bit-reproducible. One microsecond of resolution is two orders of
+// magnitude below the shortest physical interval in the model (a 20 µs
+// backoff slot), so quantization is immaterial.
+//
+// Ties are broken by scheduling order (a monotonically increasing sequence
+// number), which is the property that makes event execution deterministic.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a simulation timestamp in microseconds.
+type Time int64
+
+// Duration constructors and conversions.
+const (
+	Microsecond Time = 1
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Seconds converts a timestamp (or duration) to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis converts a timestamp (or duration) to floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// FromSeconds converts floating-point seconds into a Time, rounding to the
+// nearest microsecond.
+func FromSeconds(s float64) Time {
+	if s >= 0 {
+		return Time(s*1e6 + 0.5)
+	}
+	return Time(s*1e6 - 0.5)
+}
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.6fs", t.Seconds())
+}
+
+// Handler is an event callback. It runs at its scheduled time with the
+// engine clock already advanced.
+type Handler func()
+
+type event struct {
+	at     Time
+	seq    uint64
+	fn     Handler
+	index  int // heap index, -1 once popped or cancelled
+	cancel bool
+	label  string
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// Valid reports whether the ID refers to a still-pending event.
+func (id EventID) Valid() bool { return id.ev != nil && !id.ev.cancel && id.ev.index >= 0 }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulation kernel.
+type Engine struct {
+	now      Time
+	seq      uint64
+	fel      eventHeap
+	executed uint64
+	stopped  bool
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far (for tests and
+// performance accounting).
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.fel) }
+
+// Schedule runs fn after delay. A negative delay panics: the caller has a
+// logic error, and silently clamping would hide it.
+func (e *Engine) Schedule(delay Time, fn Handler) EventID {
+	return e.ScheduleLabeled(delay, "", fn)
+}
+
+// ScheduleLabeled is Schedule with a debugging label attached to the event.
+func (e *Engine) ScheduleLabeled(delay Time, label string, fn Handler) EventID {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v scheduling %q at %v", delay, label, e.now))
+	}
+	return e.at(e.now+delay, label, fn)
+}
+
+// ScheduleAt runs fn at the given absolute time, which must not be in the
+// past.
+func (e *Engine) ScheduleAt(at Time, fn Handler) EventID {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%v) in the past at %v", at, e.now))
+	}
+	return e.at(at, "", fn)
+}
+
+func (e *Engine) at(at Time, label string, fn Handler) EventID {
+	if fn == nil {
+		panic("sim: nil handler")
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn, label: label}
+	e.seq++
+	heap.Push(&e.fel, ev)
+	return EventID{ev: ev}
+}
+
+// Cancel removes a pending event. Cancelling an already-executed or
+// already-cancelled event is a no-op and returns false.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.cancel || ev.index < 0 {
+		return false
+	}
+	ev.cancel = true
+	heap.Remove(&e.fel, ev.index)
+	return true
+}
+
+// Stop makes the current Run call return after the in-flight event
+// completes. Pending events remain queued.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the future event list is
+// empty, the horizon is passed, or Stop is called. Events with timestamps
+// strictly greater than horizon are left in the queue; the clock is
+// advanced to horizon on normal completion so Now() is well-defined.
+func (e *Engine) Run(horizon Time) {
+	e.stopped = false
+	for len(e.fel) > 0 && !e.stopped {
+		ev := e.fel[0]
+		if ev.at > horizon {
+			break
+		}
+		heap.Pop(&e.fel)
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+	}
+	if !e.stopped && e.now < horizon {
+		e.now = horizon
+	}
+}
+
+// RunAll executes every pending event regardless of horizon. Useful in
+// tests; production runs should bound time with Run.
+func (e *Engine) RunAll() {
+	e.stopped = false
+	for len(e.fel) > 0 && !e.stopped {
+		ev := heap.Pop(&e.fel).(*event)
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+	}
+}
+
+// Timer is a restartable one-shot convenience wrapper around Schedule.
+// Restarting an armed timer cancels the previous shot.
+type Timer struct {
+	eng *Engine
+	id  EventID
+}
+
+// NewTimer returns a timer bound to the engine.
+func NewTimer(eng *Engine) *Timer { return &Timer{eng: eng} }
+
+// Arm schedules fn after delay, cancelling any previously armed shot.
+func (t *Timer) Arm(delay Time, fn Handler) {
+	t.Disarm()
+	t.id = t.eng.Schedule(delay, fn)
+}
+
+// Disarm cancels the pending shot, if any.
+func (t *Timer) Disarm() {
+	if t.id.Valid() {
+		t.eng.Cancel(t.id)
+	}
+	t.id = EventID{}
+}
+
+// Armed reports whether a shot is pending.
+func (t *Timer) Armed() bool { return t.id.Valid() }

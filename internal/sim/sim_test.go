@@ -1,0 +1,312 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestTimeConversions(t *testing.T) {
+	cases := []struct {
+		t    Time
+		secs float64
+	}{
+		{0, 0},
+		{Microsecond, 1e-6},
+		{Millisecond, 1e-3},
+		{Second, 1},
+		{90 * Second, 90},
+	}
+	for _, c := range cases {
+		if got := c.t.Seconds(); got != c.secs {
+			t.Errorf("%v.Seconds() = %v, want %v", c.t, got, c.secs)
+		}
+		if got := FromSeconds(c.secs); got != c.t {
+			t.Errorf("FromSeconds(%v) = %v, want %v", c.secs, got, c.t)
+		}
+	}
+	if got := (1500 * Microsecond).Millis(); got != 1.5 {
+		t.Errorf("Millis = %v, want 1.5", got)
+	}
+	if got := FromSeconds(-1.5); got != -1500*Millisecond {
+		t.Errorf("FromSeconds(-1.5) = %v", got)
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []Time
+	e.Schedule(30*Millisecond, func() { order = append(order, e.Now()) })
+	e.Schedule(10*Millisecond, func() { order = append(order, e.Now()) })
+	e.Schedule(20*Millisecond, func() { order = append(order, e.Now()) })
+	e.Run(Second)
+	want := []Time{10 * Millisecond, 20 * Millisecond, 30 * Millisecond}
+	if len(order) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("event %d ran at %v, want %v", i, order[i], want[i])
+		}
+	}
+}
+
+func TestTieBreakBySchedulingOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*Millisecond, func() { order = append(order, i) })
+	}
+	e.Run(Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tied events ran out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits []Time
+	e.Schedule(Millisecond, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(Millisecond, func() {
+			hits = append(hits, e.Now())
+		})
+	})
+	e.Run(Second)
+	if len(hits) != 2 || hits[0] != Millisecond || hits[1] != 2*Millisecond {
+		t.Fatalf("nested scheduling produced %v", hits)
+	}
+}
+
+func TestHorizonStopsAndAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Schedule(2*Second, func() { ran = true })
+	e.Run(Second)
+	if ran {
+		t.Fatal("event past the horizon ran")
+	}
+	if e.Now() != Second {
+		t.Fatalf("clock = %v after Run(1s), want 1s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	// A second Run picks the event up.
+	e.Run(3 * Second)
+	if !ran {
+		t.Fatal("event did not run on the extended horizon")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	id := e.Schedule(Millisecond, func() { ran = true })
+	if !id.Valid() {
+		t.Fatal("fresh event id not valid")
+	}
+	if !e.Cancel(id) {
+		t.Fatal("cancel of pending event returned false")
+	}
+	if id.Valid() {
+		t.Fatal("cancelled id still valid")
+	}
+	if e.Cancel(id) {
+		t.Fatal("double cancel returned true")
+	}
+	e.Run(Second)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelExecutedEvent(t *testing.T) {
+	e := NewEngine()
+	id := e.Schedule(Millisecond, func() {})
+	e.Run(Second)
+	if e.Cancel(id) {
+		t.Fatal("cancelling an executed event returned true")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	ids := make([]EventID, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		ids[i] = e.Schedule(Time(i+1)*Millisecond, func() { got = append(got, i) })
+	}
+	e.Cancel(ids[4])
+	e.Cancel(ids[7])
+	e.Run(Second)
+	want := []int{0, 1, 2, 3, 5, 6, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i)*Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run(Second)
+	if count != 3 {
+		t.Fatalf("executed %d events after Stop, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d after Stop, want 7", e.Pending())
+	}
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleAt in the past did not panic")
+			}
+		}()
+		e.ScheduleAt(0, func() {})
+	})
+	e.Run(2 * Second)
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	e.Schedule(-1, func() {})
+}
+
+func TestNilHandlerPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestRunAll(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.Schedule(5*Second, func() { count++ })
+	e.Schedule(10*Second, func() { count++ })
+	e.RunAll()
+	if count != 2 {
+		t.Fatalf("RunAll executed %d events, want 2", count)
+	}
+	if e.Now() != 10*Second {
+		t.Fatalf("clock = %v, want 10s", e.Now())
+	}
+}
+
+func TestExecutedCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i+1), func() {})
+	}
+	e.Run(Second)
+	if e.Executed() != 5 {
+		t.Fatalf("Executed = %d, want 5", e.Executed())
+	}
+}
+
+func TestTimer(t *testing.T) {
+	e := NewEngine()
+	tm := NewTimer(e)
+	fired := 0
+	tm.Arm(10*Millisecond, func() { fired++ })
+	if !tm.Armed() {
+		t.Fatal("timer not armed after Arm")
+	}
+	// Re-arming replaces the pending shot.
+	tm.Arm(20*Millisecond, func() { fired += 100 })
+	e.Run(Second)
+	if fired != 100 {
+		t.Fatalf("fired = %d, want 100 (re-armed shot only)", fired)
+	}
+	tm.Arm(10*Millisecond, func() { fired++ })
+	tm.Disarm()
+	if tm.Armed() {
+		t.Fatal("timer armed after Disarm")
+	}
+	e.Run(2 * Second)
+	if fired != 100 {
+		t.Fatalf("disarmed shot fired (fired=%d)", fired)
+	}
+}
+
+// Property: random schedules always execute in non-decreasing time order,
+// with ties in scheduling order.
+func TestOrderingProperty(t *testing.T) {
+	check := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw%500) + 2
+		r := rng.NewSource(seed).Stream("simtest", 0)
+		e := NewEngine()
+		type rec struct {
+			at  Time
+			seq int
+		}
+		var execd []rec
+		for i := 0; i < n; i++ {
+			i := i
+			at := Time(r.Intn(1000)) * Millisecond
+			e.ScheduleAt(at, func() { execd = append(execd, rec{e.Now(), i}) })
+		}
+		e.Run(2000 * Second)
+		if len(execd) != n {
+			return false
+		}
+		for i := 1; i < len(execd); i++ {
+			if execd[i].at < execd[i-1].at {
+				return false
+			}
+			if execd[i].at == execd[i-1].at && execd[i].seq < execd[i-1].seq {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	var churn func()
+	i := 0
+	churn = func() {
+		i++
+		if i < b.N {
+			e.Schedule(Microsecond, churn)
+		}
+	}
+	e.Schedule(Microsecond, churn)
+	b.ResetTimer()
+	e.RunAll()
+}

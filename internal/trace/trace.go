@@ -1,0 +1,195 @@
+// Package trace consumes the protocol event stream a simulation emits
+// through core.Config.Trace: recording into a bounded ring, counting by
+// kind, filtering, and rendering as text or CSV. It is the observability
+// layer a user points at a run to understand *why* the metrics look the
+// way they do (which nodes defer, where collisions cluster, how a cluster
+// head's state evolves).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Recorder accumulates trace events. It counts every event by kind and
+// retains the most recent Limit events in a ring (0 = retain everything;
+// use a limit for long runs — a saturated 100-node run emits millions of
+// events).
+type Recorder struct {
+	limit  int
+	ring   []core.TraceEvent
+	next   int
+	filled bool
+
+	counts  map[core.TraceKind]uint64
+	byNode  map[int]uint64
+	total   uint64
+	dropped uint64
+}
+
+// NewRecorder returns a recorder retaining at most limit events
+// (0 = unbounded).
+func NewRecorder(limit int) *Recorder {
+	if limit < 0 {
+		panic(fmt.Sprintf("trace: negative recorder limit %d", limit))
+	}
+	r := &Recorder{
+		limit:  limit,
+		counts: make(map[core.TraceKind]uint64),
+		byNode: make(map[int]uint64),
+	}
+	if limit > 0 {
+		r.ring = make([]core.TraceEvent, 0, limit)
+	}
+	return r
+}
+
+// Observe is the core.Config.Trace callback.
+func (r *Recorder) Observe(e core.TraceEvent) {
+	r.total++
+	r.counts[e.Kind]++
+	if e.Node >= 0 {
+		r.byNode[e.Node]++
+	}
+	switch {
+	case r.limit == 0:
+		r.ring = append(r.ring, e)
+	case len(r.ring) < r.limit:
+		r.ring = append(r.ring, e)
+	default:
+		r.ring[r.next] = e
+		r.next = (r.next + 1) % r.limit
+		r.filled = true
+		r.dropped++
+	}
+}
+
+// Total returns the number of events observed.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Dropped returns how many events fell out of the bounded ring.
+func (r *Recorder) Dropped() uint64 { return r.dropped }
+
+// Count returns the number of observed events of one kind.
+func (r *Recorder) Count(k core.TraceKind) uint64 { return r.counts[k] }
+
+// NodeCount returns the number of events attributed to a node.
+func (r *Recorder) NodeCount(node int) uint64 { return r.byNode[node] }
+
+// Events returns the retained events in observation order.
+func (r *Recorder) Events() []core.TraceEvent {
+	if !r.filled {
+		return append([]core.TraceEvent(nil), r.ring...)
+	}
+	out := make([]core.TraceEvent, 0, r.limit)
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// Summary renders the per-kind counts, descending.
+func (r *Recorder) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: %d events", r.total)
+	if r.dropped > 0 {
+		fmt.Fprintf(&b, " (%d beyond the %d-event ring)", r.dropped, r.limit)
+	}
+	b.WriteByte('\n')
+	for _, k := range core.TraceKinds() {
+		if c := r.counts[k]; c > 0 {
+			fmt.Fprintf(&b, "  %-14s %d\n", k.String(), c)
+		}
+	}
+	return b.String()
+}
+
+// Filter returns the retained events matching every provided predicate.
+func (r *Recorder) Filter(preds ...func(core.TraceEvent) bool) []core.TraceEvent {
+	var out []core.TraceEvent
+	for _, e := range r.Events() {
+		ok := true
+		for _, p := range preds {
+			if !p(e) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByKind is a Filter predicate selecting one event kind.
+func ByKind(k core.TraceKind) func(core.TraceEvent) bool {
+	return func(e core.TraceEvent) bool { return e.Kind == k }
+}
+
+// ByNode is a Filter predicate selecting one node's events.
+func ByNode(node int) func(core.TraceEvent) bool {
+	return func(e core.TraceEvent) bool { return e.Node == node }
+}
+
+// After is a Filter predicate selecting events at or after t.
+func After(t sim.Time) func(core.TraceEvent) bool {
+	return func(e core.TraceEvent) bool { return e.T >= t }
+}
+
+// WriteText streams events to w, one per line.
+func WriteText(w io.Writer, events []core.TraceEvent) error {
+	for _, e := range events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV streams events to w as CSV with a header row.
+func WriteCSV(w io.Writer, events []core.TraceEvent) error {
+	if _, err := fmt.Fprintln(w, "time_s,kind,node,value,detail"); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(w, "%.6f,%s,%d,%d,%s\n",
+			e.T.Seconds(), e.Kind, e.Node, e.Value, e.Detail); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tee fans one trace callback out to several consumers.
+func Tee(fns ...func(core.TraceEvent)) func(core.TraceEvent) {
+	return func(e core.TraceEvent) {
+		for _, fn := range fns {
+			fn(e)
+		}
+	}
+}
+
+// StreamCSV returns a trace callback that encodes events to w as CSV rows
+// (header written immediately), without retaining them — suitable for
+// tracing arbitrarily long runs. Write errors disable the stream and are
+// reported by the returned error function.
+func StreamCSV(w io.Writer) (fn func(core.TraceEvent), errf func() error) {
+	var err error
+	if _, werr := fmt.Fprintln(w, "time_s,kind,node,value,detail"); werr != nil {
+		err = werr
+	}
+	fn = func(e core.TraceEvent) {
+		if err != nil {
+			return
+		}
+		if _, werr := fmt.Fprintf(w, "%.6f,%s,%d,%d,%s\n",
+			e.T.Seconds(), e.Kind, e.Node, e.Value, e.Detail); werr != nil {
+			err = werr
+		}
+	}
+	return fn, func() error { return err }
+}

@@ -1,0 +1,249 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func ev(t sim.Time, k core.TraceKind, node int) core.TraceEvent {
+	return core.TraceEvent{T: t, Kind: k, Node: node}
+}
+
+func TestRecorderCountsAndEvents(t *testing.T) {
+	r := NewRecorder(0)
+	r.Observe(ev(1, core.TraceDelivered, 3))
+	r.Observe(ev(2, core.TraceDelivered, 3))
+	r.Observe(ev(3, core.TraceCollision, 5))
+	r.Observe(ev(4, core.TraceRound, -1))
+	if r.Total() != 4 {
+		t.Fatalf("total = %d", r.Total())
+	}
+	if r.Count(core.TraceDelivered) != 2 || r.Count(core.TraceCollision) != 1 {
+		t.Fatal("kind counts wrong")
+	}
+	if r.NodeCount(3) != 2 || r.NodeCount(5) != 1 {
+		t.Fatal("node counts wrong")
+	}
+	if r.NodeCount(-1) != 0 {
+		t.Fatal("network-wide events must not count against a node")
+	}
+	evs := r.Events()
+	if len(evs) != 4 || evs[0].T != 1 || evs[3].T != 4 {
+		t.Fatalf("events = %v", evs)
+	}
+	if r.Dropped() != 0 {
+		t.Fatal("unbounded recorder dropped")
+	}
+}
+
+func TestRecorderRingKeepsNewest(t *testing.T) {
+	r := NewRecorder(3)
+	for i := 1; i <= 5; i++ {
+		r.Observe(ev(sim.Time(i), core.TraceDelivered, 0))
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(evs))
+	}
+	for i, want := range []sim.Time{3, 4, 5} {
+		if evs[i].T != want {
+			t.Fatalf("ring order wrong: %v", evs)
+		}
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", r.Dropped())
+	}
+	if r.Total() != 5 {
+		t.Fatalf("total = %d, want 5 (counts cover dropped events too)", r.Total())
+	}
+}
+
+func TestRecorderNegativeLimitPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative limit did not panic")
+		}
+	}()
+	NewRecorder(-1)
+}
+
+func TestFilterPredicates(t *testing.T) {
+	r := NewRecorder(0)
+	r.Observe(ev(1, core.TraceDelivered, 1))
+	r.Observe(ev(2, core.TraceDelivered, 2))
+	r.Observe(ev(3, core.TraceCollision, 1))
+	r.Observe(ev(4, core.TraceDelivered, 1))
+
+	got := r.Filter(ByKind(core.TraceDelivered), ByNode(1))
+	if len(got) != 2 || got[0].T != 1 || got[1].T != 4 {
+		t.Fatalf("filtered = %v", got)
+	}
+	if got := r.Filter(After(3)); len(got) != 2 {
+		t.Fatalf("After(3) = %v", got)
+	}
+	if got := r.Filter(ByNode(99)); len(got) != 0 {
+		t.Fatalf("no-match filter returned %v", got)
+	}
+}
+
+func TestWriters(t *testing.T) {
+	events := []core.TraceEvent{
+		{T: sim.Second, Kind: core.TraceDelivered, Node: 7, Value: 3},
+		{T: 2 * sim.Second, Kind: core.TraceDrop, Node: 8, Detail: "buffer"},
+	}
+	var txt strings.Builder
+	if err := WriteText(&txt, events); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "delivered") || !strings.Contains(txt.String(), "buffer") {
+		t.Fatalf("text output:\n%s", txt.String())
+	}
+	var csv strings.Builder
+	if err := WriteCSV(&csv, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "time_s,kind,node,value,detail" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "1.000000,delivered,7,3,") {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+}
+
+func TestTee(t *testing.T) {
+	a := NewRecorder(0)
+	b := NewRecorder(0)
+	fn := Tee(a.Observe, b.Observe)
+	fn(ev(1, core.TraceDeath, 2))
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Fatal("tee did not fan out")
+	}
+}
+
+// End-to-end: a real simulation with tracing enabled must emit a stream
+// whose counts agree with the run's result metrics.
+func TestRecorderAgainstSimulation(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Nodes = 15
+	cfg.FieldWidth, cfg.FieldHeight = 50, 50
+	cfg.Horizon = 40 * sim.Second
+	rec := NewRecorder(0)
+	cfg.Trace = rec.Observe
+	res := core.New(cfg).Run()
+
+	if rec.Total() == 0 {
+		t.Fatal("no trace events from a live run")
+	}
+	// Delivered trace events cover radio deliveries (head self-deliveries
+	// and election flushes are local, not radio events).
+	var modes uint64
+	for _, m := range res.ModeCounts {
+		modes += m
+	}
+	if got := rec.Count(core.TraceDelivered); got != modes {
+		t.Fatalf("delivered trace events %d != radio deliveries %d", got, modes)
+	}
+	if got := rec.Count(core.TraceChannelFail); got != res.MAC.ChannelFails {
+		t.Fatalf("channel-fail events %d != counter %d", got, res.MAC.ChannelFails)
+	}
+	if got := rec.Count(core.TraceCollision); got != res.CollisionEvents {
+		t.Fatalf("collision events %d != counter %d", got, res.CollisionEvents)
+	}
+	if got := rec.Count(core.TraceDrop); got != res.DroppedBuffer+res.DroppedRetry {
+		t.Fatalf("drop events %d != drops %d", got, res.DroppedBuffer+res.DroppedRetry)
+	}
+	if got := rec.Count(core.TraceRound); int(got) != res.Rounds {
+		t.Fatalf("round events %d != rounds %d", got, res.Rounds)
+	}
+	if got := rec.Count(core.TraceDeferral); got != res.MAC.DeferralsCSI+res.MAC.DeferralsBusy {
+		t.Fatalf("deferral events %d != counters %d", got, res.MAC.DeferralsCSI+res.MAC.DeferralsBusy)
+	}
+	// Events arrive in non-decreasing time order.
+	evs := rec.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].T < evs[i-1].T {
+			t.Fatal("trace events out of time order")
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := NewRecorder(2)
+	for i := 0; i < 5; i++ {
+		r.Observe(ev(sim.Time(i), core.TraceDelivered, 0))
+	}
+	r.Observe(ev(6, core.TraceDeath, 1))
+	s := r.Summary()
+	if !strings.Contains(s, "6 events") {
+		t.Fatalf("summary missing total:\n%s", s)
+	}
+	if !strings.Contains(s, "delivered") || !strings.Contains(s, "death") {
+		t.Fatalf("summary missing kinds:\n%s", s)
+	}
+	if !strings.Contains(s, "beyond the 2-event ring") {
+		t.Fatalf("summary missing drop note:\n%s", s)
+	}
+}
+
+func TestStreamCSV(t *testing.T) {
+	var b strings.Builder
+	fn, errf := StreamCSV(&b)
+	fn(ev(1*sim.Second, core.TraceDelivered, 4))
+	fn(ev(2*sim.Second, core.TraceDrop, 5))
+	if err := errf(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "1.000000,delivered,4,") {
+		t.Fatalf("row = %q", lines[1])
+	}
+}
+
+// failingWriter errors after n successful writes.
+type failingWriter struct{ remaining int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.remaining <= 0 {
+		return 0, errFail
+	}
+	w.remaining--
+	return len(p), nil
+}
+
+var errFail = &writeError{}
+
+type writeError struct{}
+
+func (*writeError) Error() string { return "simulated write failure" }
+
+func TestStreamCSVWriteFailure(t *testing.T) {
+	fn, errf := StreamCSV(&failingWriter{remaining: 1})
+	fn(ev(1, core.TraceDelivered, 0)) // fails
+	fn(ev(2, core.TraceDelivered, 0)) // silently skipped after failure
+	if errf() == nil {
+		t.Fatal("write failure not reported")
+	}
+}
+
+func TestWritersPropagateErrors(t *testing.T) {
+	events := []core.TraceEvent{ev(1, core.TraceDelivered, 0)}
+	if err := WriteText(&failingWriter{}, events); err == nil {
+		t.Fatal("WriteText swallowed the error")
+	}
+	if err := WriteCSV(&failingWriter{}, events); err == nil {
+		t.Fatal("WriteCSV swallowed the header error")
+	}
+	if err := WriteCSV(&failingWriter{remaining: 1}, events); err == nil {
+		t.Fatal("WriteCSV swallowed the row error")
+	}
+}
