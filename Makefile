@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-smoke figures clean
+
+all: build test vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/runner/ ./internal/experiment/ ./caem/
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark sweep (one iteration each; the experiment benchmarks are
+# whole-figure regenerations, so more iterations take minutes).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# The hot-path smoke check CI runs: the event engine, channel sampling,
+# and MAC, per simulated second at full scale.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkSimulatedSecond -benchtime 1x .
+	$(GO) test -run '^$$' -bench BenchmarkFigure9_NodesAlive -benchtime 1x .
+
+# Regenerate every paper artifact (tables, figures, ablations) into out/.
+figures:
+	$(GO) run ./cmd/caem-bench -out out/
+
+clean:
+	rm -rf out/

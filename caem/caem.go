@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/queueing"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -139,6 +140,12 @@ type Config struct {
 	// as CSV rows while the simulation runs. Expect millions of rows for
 	// saturated full-scale runs.
 	TraceCSV io.Writer
+	// Workers bounds the concurrency of the multi-run entry points
+	// (RunComparison, RunSeeds): 0 means one worker per CPU, 1 forces
+	// serial execution — results are bit-identical either way. Callers
+	// that parallelize at a higher level should set 1 to avoid
+	// oversubscription. Run ignores it (a single run is single-threaded).
+	Workers int
 }
 
 // DefaultConfig returns the paper's simulation parameters (Table II):
@@ -259,19 +266,73 @@ func Run(c Config) (Result, error) {
 // seed, same topology, same channel realizations) and returns the results
 // keyed in Protocols() order. This is the paper's core experimental
 // pattern: hold everything fixed, vary only the energy-management policy.
+//
+// The runs are independent, so they execute in parallel per
+// Config.Workers unless a trace writer is attached — trace streams are
+// sequential by nature, so tracing forces the legacy serial order.
 func RunComparison(c Config, protocols ...Protocol) ([]Result, error) {
 	if len(protocols) == 0 {
 		protocols = Protocols()
 	}
-	out := make([]Result, 0, len(protocols))
-	for _, p := range protocols {
-		cc := c
-		cc.Protocol = p
-		r, err := Run(cc)
-		if err != nil {
-			return nil, fmt.Errorf("caem: %v run failed: %w", p, err)
+	workers := c.Workers
+	if c.TraceCSV != nil {
+		workers = 1
+	}
+	return runVariants(workers, len(protocols),
+		func(i int) string { return protocols[i].String() },
+		func(i int) (Result, error) {
+			cc := c
+			cc.Protocol = protocols[i]
+			return Run(cc)
+		})
+}
+
+// runVariants executes n independent variants through the worker pool.
+// When workers == 1 (requested, or forced by tracing) the variants run
+// serially and the first failure short-circuits the rest; in parallel
+// mode every variant completes and the lowest-indexed error wins. A
+// panicking variant re-raises on the caller with its description.
+func runVariants(workers, n int, describe func(int) string, run func(int) (Result, error)) ([]Result, error) {
+	if workers == 1 {
+		out := make([]Result, 0, n)
+		for i := 0; i < n; i++ {
+			r, err := run(i)
+			if err != nil {
+				return nil, fmt.Errorf("caem: %s run failed: %w", describe(i), err)
+			}
+			out = append(out, r)
 		}
-		out = append(out, r)
+		return out, nil
+	}
+	out := make([]Result, n)
+	errs := make([]error, n)
+	if i, v := runner.Do(workers, n, func(i int) {
+		out[i], errs[i] = run(i)
+	}); i >= 0 {
+		panic(fmt.Sprintf("caem: %s run panicked: %v", describe(i), v))
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("caem: %s run failed: %w", describe(i), err)
+		}
 	}
 	return out, nil
+}
+
+// RunSeeds runs the same configuration across the given seeds — the
+// replication pattern behind every error bar in the evaluation — fanned
+// out over the worker pool per Config.Workers. Results come back in seed
+// order and are bit-identical to serial runs. Tracing is incompatible
+// with replication: each run would interleave on the one writer.
+func RunSeeds(c Config, seeds []uint64) ([]Result, error) {
+	if c.TraceCSV != nil {
+		return nil, fmt.Errorf("caem: RunSeeds cannot stream traces from %d concurrent runs; run seeds individually", len(seeds))
+	}
+	return runVariants(c.Workers, len(seeds),
+		func(i int) string { return fmt.Sprintf("seed %d", seeds[i]) },
+		func(i int) (Result, error) {
+			cc := c
+			cc.Seed = seeds[i]
+			return Run(cc)
+		})
 }

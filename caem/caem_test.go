@@ -153,6 +153,41 @@ func TestRunComparisonSubset(t *testing.T) {
 	}
 }
 
+// RunSeeds must return seed-ordered results that match individual Run
+// calls exactly, for any worker count.
+func TestRunSeedsMatchesIndividualRuns(t *testing.T) {
+	cfg := quickConfig()
+	seeds := []uint64{3, 1, 7}
+	want := make([]Result, len(seeds))
+	for i, s := range seeds {
+		cc := cfg
+		cc.Seed = s
+		r, err := Run(cc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
+	}
+	for _, workers := range []int{1, 0, 8} {
+		cc := cfg
+		cc.Workers = workers
+		got, err := RunSeeds(cc, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(seeds) {
+			t.Fatalf("workers=%d: %d results for %d seeds", workers, len(got), len(seeds))
+		}
+		for i := range seeds {
+			if got[i].TotalConsumedJ != want[i].TotalConsumedJ ||
+				got[i].Delivered != want[i].Delivered ||
+				got[i].MeanDelayMs != want[i].MeanDelayMs {
+				t.Fatalf("workers=%d: seed %d diverged from an individual run", workers, seeds[i])
+			}
+		}
+	}
+}
+
 func TestAdvancedOverrides(t *testing.T) {
 	cfg := quickConfig()
 	cfg.Advanced = Advanced{

@@ -24,14 +24,15 @@ func main() {
 	var (
 		which = flag.String("experiment", "all",
 			"which artifact to regenerate: all | table1 | table2 | figure8 | figure9 | figure10 | figure11 | figure12 | netperf | ablation-threshold | ablation-doppler | ablation-burst | ablation-csinoise | ablation-rician | seedvar")
-		scale = flag.Float64("scale", 1.0, "experiment scale in (0, 1]: nodes, horizons, sweep sizes")
-		seed  = flag.Uint64("seed", 1, "master random seed")
-		out   = flag.String("out", "", "directory to write per-experiment CSV files (empty = don't)")
-		quiet = flag.Bool("quiet", false, "suppress per-run progress")
+		scale   = flag.Float64("scale", 1.0, "experiment scale in (0, 1]: nodes, horizons, sweep sizes")
+		seed    = flag.Uint64("seed", 1, "master random seed")
+		out     = flag.String("out", "", "directory to write per-experiment CSV files (empty = don't)")
+		quiet   = flag.Bool("quiet", false, "suppress per-run progress")
+		workers = flag.Int("workers", 0, "concurrent simulations per sweep (0 = one per CPU, 1 = serial); results are identical for any value")
 	)
 	flag.Parse()
 
-	opts := experiment.Options{Seed: *seed, Scale: *scale}
+	opts := experiment.Options{Seed: *seed, Scale: *scale, Workers: *workers}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)

@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/caem"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -31,6 +32,8 @@ func main() {
 		stopDead = flag.Bool("stop-when-dead", false, "stop at network death (80% exhausted)")
 		perNode  = flag.Bool("per-node", false, "print per-node outcomes")
 		traceOut = flag.String("trace", "", "write the protocol event stream as CSV to this file")
+		seeds    = flag.Int("seeds", 1, "number of replicate runs at consecutive seeds; >1 prints per-seed summaries plus a mean/sd aggregate")
+		workers  = flag.Int("workers", 0, "concurrent replicate runs (0 = one per CPU, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -56,6 +59,20 @@ func main() {
 	cfg.BufferCapacity = *buffer
 	cfg.StopWhenNetworkDead = *stopDead
 
+	// Reject incompatible replication flags before touching the trace
+	// file: os.Create truncates, and a rejected invocation must not
+	// destroy an existing trace.
+	if *seeds > 1 {
+		if *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "caem-sim: -trace is incompatible with -seeds > 1 (one trace stream per run)")
+			os.Exit(2)
+		}
+		if *perNode {
+			fmt.Fprintln(os.Stderr, "caem-sim: -per-node is incompatible with -seeds > 1; inspect one seed at a time")
+			os.Exit(2)
+		}
+	}
+
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -72,6 +89,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "caem-sim: invalid configuration: %v\n", err)
 		os.Exit(2)
 	}
+
+	if *seeds > 1 {
+		runReplicates(cfg, *seed, *seeds, *workers)
+		return
+	}
+
 	res, err := caem.Run(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
@@ -89,5 +112,54 @@ func main() {
 			fmt.Printf("%4d  %11.3f  %10.3f  %9d  %5d  %s\n",
 				n.Index, n.RemainingJ, n.ConsumedJ, n.DeliveredCount, n.QueueLen, status)
 		}
+	}
+}
+
+// runReplicates fans the same configuration across consecutive seeds in
+// parallel and prints per-seed summaries plus a mean/sd aggregate of the
+// headline metrics.
+func runReplicates(cfg caem.Config, firstSeed uint64, n, workers int) {
+	seedList := make([]uint64, n)
+	for i := range seedList {
+		seedList[i] = firstSeed + uint64(i)
+	}
+	cfg.Workers = workers
+	results, err := caem.RunSeeds(cfg, seedList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%s, %d replicates (seeds %d..%d)\n\n", cfg.Protocol, n, seedList[0], seedList[n-1])
+	fmt.Println("seed  consumed(J)  delivered  delivery  energy/pkt(mJ)  delay(ms)  lifetime(s)")
+	for i, r := range results {
+		lifetime := "-"
+		if r.NetworkDead {
+			lifetime = fmt.Sprintf("%.1f", r.NetworkLifetimeSeconds)
+		}
+		fmt.Printf("%4d  %11.2f  %9d  %7.1f%%  %14.3f  %9.1f  %11s\n",
+			seedList[i], r.TotalConsumedJ, r.Delivered, 100*r.DeliveryRate,
+			r.EnergyPerPacketMilliJ, r.MeanDelayMs, lifetime)
+	}
+
+	meanSD := func(pick func(caem.Result) float64) (mean, sd float64) {
+		var w metrics.Welford
+		for _, r := range results {
+			w.Add(pick(r))
+		}
+		return w.Mean(), w.StdDev()
+	}
+	fmt.Println()
+	for _, m := range []struct {
+		name string
+		pick func(caem.Result) float64
+	}{
+		{"consumed energy (J)", func(r caem.Result) float64 { return r.TotalConsumedJ }},
+		{"delivery rate", func(r caem.Result) float64 { return r.DeliveryRate }},
+		{"energy per packet (mJ)", func(r caem.Result) float64 { return r.EnergyPerPacketMilliJ }},
+		{"mean delay (ms)", func(r caem.Result) float64 { return r.MeanDelayMs }},
+	} {
+		mean, sd := meanSD(m.pick)
+		fmt.Printf("%-24s mean %10.3f  sd %8.3f\n", m.name, mean, sd)
 	}
 }

@@ -275,6 +275,61 @@ func TestSNRAlwaysFinite(t *testing.T) {
 	}
 }
 
+// The block-cached fading state must make the gain a pure function of the
+// query time no matter the query order: forward sweeps, backward jumps,
+// and re-queries across checkpoint boundaries all reproduce bit-identical
+// values.
+func TestFadingPureUnderArbitraryQueryOrder(t *testing.T) {
+	p := DefaultParams()
+	p.ShadowingSigmaDB = 0
+	fresh := func() *Link { return NewLink(p, 10, testStream(30)) }
+
+	// Reference: one strictly forward sweep.
+	ref := fresh()
+	const n = 400
+	want := make([]float64, n)
+	for i := 0; i < n; i++ {
+		want[i] = ref.FadingPowerGain(sim.Time(i) * 40 * sim.Millisecond)
+	}
+
+	// Adversarial order: jump far ahead, then revisit every instant in a
+	// shuffled-ish pattern that repeatedly crosses checkpoint boundaries.
+	l := fresh()
+	l.FadingPowerGain(sim.Time(n) * 40 * sim.Millisecond)
+	for pass := 0; pass < 2; pass++ {
+		for i := n - 1; i >= 0; i -= 3 {
+			tm := sim.Time(i) * 40 * sim.Millisecond
+			if got := l.FadingPowerGain(tm); got != want[i] {
+				t.Fatalf("query order changed the gain at sample %d: %v != %v", i, got, want[i])
+			}
+		}
+		for i := 0; i < n; i++ {
+			tm := sim.Time(i) * 40 * sim.Millisecond
+			if got := l.FadingPowerGain(tm); got != want[i] {
+				t.Fatalf("re-query changed the gain at sample %d: %v != %v", i, got, want[i])
+			}
+		}
+	}
+}
+
+// Samples inside one coherence time are served from the cached block gain.
+func TestFadingConstantWithinCoherenceBlock(t *testing.T) {
+	p := DefaultParams()
+	p.ShadowingSigmaDB = 0
+	l := NewLink(p, 10, testStream(31))
+	ct := p.CoherenceTime()
+	base := 10 * ct
+	g0 := l.FadingPowerGain(base)
+	for _, off := range []sim.Time{1, ct / 7, ct / 3, ct - 1} {
+		if g := l.FadingPowerGain(base + off); g != g0 {
+			t.Fatalf("gain moved within one coherence block: %v != %v at +%v", g, g0, off)
+		}
+	}
+	if g := l.FadingPowerGain(base + ct); g == g0 {
+		t.Fatal("gain identical across adjacent coherence blocks (suspicious)")
+	}
+}
+
 func BenchmarkSNRdB(b *testing.B) {
 	l := NewLink(DefaultParams(), 30, testStream(11))
 	b.ReportAllocs()

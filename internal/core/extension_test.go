@@ -39,10 +39,19 @@ func TestForwardingOffByDefault(t *testing.T) {
 	}
 }
 
-// Forwarding consumes head energy: the same run with forwarding on must
-// burn strictly more than with it off.
+// Forwarding consumes head energy — but the total-energy inequality is
+// only robust when the forwarding airtime dominates. Forwarding also
+// occupies the data channel, and members defer while it does, saving
+// their own transmit/collision energy; at the default AggregationRatio
+// (0.1) those second-order savings are the same magnitude as the heads'
+// forwarding cost (the gap was ~0.3% of total consumption at the seed
+// commit, and its sign depends on the channel realization — the
+// coherence-block fading model flipped it). The test therefore raises
+// the ratio to 0.5 so the first-order cost dominates and the assertion
+// tests the mechanism rather than realization noise.
 func TestForwardingCostsEnergy(t *testing.T) {
 	cfg := testConfig()
+	cfg.AggregationRatio = 0.5
 	off := New(cfg).Run()
 	cfg.BaseStationForwarding = true
 	on := New(cfg).Run()

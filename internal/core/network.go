@@ -27,14 +27,26 @@ type cluster struct {
 	activeTx  *burst
 	collapsed bool // head died mid-round; cluster inert until re-election
 
+	// toneFn is the cluster's reusable tone-pulse handler; toneGen and
+	// toneState snapshot the (gen, state) guard for the single pending
+	// tone event, so re-arming never allocates a closure.
+	toneFn    func()
+	toneGen   uint64
+	toneState mac.HeadState
+
 	// aggBits is the aggregated payload awaiting base-station forwarding
 	// (only used when Config.BaseStationForwarding is on).
 	aggBits float64
 }
 
 // burst is one in-flight data transmission (possibly joined by colliders
-// within the CSMA/CD vulnerable window).
+// within the CSMA/CD vulnerable window). Bursts are pooled on the Network
+// and carry their event handlers with them, so the steady-state transmit
+// path allocates neither bursts nor closures: the handlers read cl/gen
+// from the struct, which releaseBurst invalidates before reuse.
 type burst struct {
+	cl        *cluster
+	gen       uint64
 	sender    *node
 	start     sim.Time
 	remaining int
@@ -44,10 +56,61 @@ type burst struct {
 	pktCSI    float64
 	inFlight  bool
 
+	sendFn    func()
+	finishFn  func()
+	resolveFn func()
+	sendEv    sim.EventID
+	released  bool
+
 	colliders    []*node
 	colliderJoin []sim.Time
 	collisionEv  sim.EventID
 	collisionSet bool
+}
+
+// acquireBurst takes a burst from the free list (or grows the pool) and
+// initializes it for a new transmission. The three event handlers are
+// created once per pool entry and read their context from the struct.
+func (net *Network) acquireBurst(cl *cluster, n *node, now sim.Time, k int) *burst {
+	var tx *burst
+	if last := len(net.burstFree) - 1; last >= 0 {
+		tx = net.burstFree[last]
+		net.burstFree = net.burstFree[:last]
+	} else {
+		tx = &burst{}
+		tx.sendFn = func() { net.sendPacket(tx.cl, tx, tx.gen) }
+		tx.finishFn = func() { net.finishPacket(tx.cl, tx, tx.gen) }
+		tx.resolveFn = func() { net.resolveCollision(tx.cl, tx, tx.gen) }
+	}
+	tx.cl = cl
+	tx.gen = net.roundGen
+	tx.sender = n
+	tx.start = now
+	tx.remaining = k
+	tx.inFlight = false
+	tx.released = false
+	tx.colliders = tx.colliders[:0]
+	tx.colliderJoin = tx.colliderJoin[:0]
+	tx.collisionSet = false
+	tx.sendEv, tx.pktEv, tx.collisionEv = sim.EventID{}, sim.EventID{}, sim.EventID{}
+	return tx
+}
+
+// releaseBurst returns a settled burst to the free list, cancelling any
+// events that still reference it so a recycled burst can never receive a
+// stale callback. Idempotent: failure paths can settle a burst through
+// more than one route (e.g. a node death inside a collision resolution),
+// and only the first release counts. Field contents are left intact so
+// any caller still holding the burst sees consistent (stale) state.
+func (net *Network) releaseBurst(tx *burst) {
+	if tx.released {
+		return
+	}
+	tx.released = true
+	net.eng.Cancel(tx.sendEv)
+	net.eng.Cancel(tx.pktEv)
+	net.eng.Cancel(tx.collisionEv)
+	net.burstFree = append(net.burstFree, tx)
 }
 
 // Network is one simulation run.
@@ -66,6 +129,13 @@ type Network struct {
 	clusters []*cluster
 	roundGen uint64
 	rounds   int
+
+	// Reusable handlers and the burst free list: the steady-state event
+	// loop schedules only preallocated closures.
+	bookkeepingFn sim.Handler
+	sampleTickFn  sim.Handler
+	startRoundFn  sim.Handler
+	burstFree     []*burst
 
 	// metrics
 	life            *metrics.Lifetime
@@ -118,9 +188,14 @@ func New(cfg Config) *Network {
 			alive:         true,
 		}
 		n.source = queueing.NewPoissonSource(cfg.ArrivalRatePerSecond, cfg.PacketSizeBits, i, net.src.Stream("arrival", uint64(i)), &net.nextPacketID)
+		n.arrivalFn = func() { net.onArrival(n) }
+		n.backoffFn = func() { net.onBackoffExpire(n, n.backoffCl, n.backoffGen) }
 		net.nodes[i] = n
 		net.aliveMask[i] = true
 	}
+	net.bookkeepingFn = net.bookkeeping
+	net.sampleTickFn = net.sampleTick
+	net.startRoundFn = net.startRound
 	net.election = leach.NewElection(
 		leach.Config{HeadFraction: cfg.HeadFraction, Nodes: cfg.Nodes},
 		net.src.Stream("election", 0),
@@ -161,8 +236,8 @@ func (net *Network) Run() Result {
 	for _, n := range net.nodes {
 		net.scheduleArrival(n)
 	}
-	net.eng.Schedule(net.cfg.BookkeepingInterval, net.bookkeeping)
-	net.eng.Schedule(net.cfg.SampleInterval, net.sampleTick)
+	net.eng.Schedule(net.cfg.BookkeepingInterval, net.bookkeepingFn)
+	net.eng.Schedule(net.cfg.SampleInterval, net.sampleTickFn)
 	net.startRound()
 	net.eng.Run(net.cfg.Horizon)
 
@@ -209,12 +284,14 @@ func (net *Network) startRound() {
 
 	net.clusters = make([]*cluster, len(heads))
 	for c, h := range heads {
-		net.clusters[c] = &cluster{
+		cl := &cluster{
 			index: c,
 			head:  net.nodes[h],
 			state: mac.HeadIdle,
 			gen:   net.roundGen,
 		}
+		cl.toneFn = func() { net.onTonePulse(cl, cl.toneGen, cl.toneState) }
+		net.clusters[c] = cl
 	}
 	net.roundStats = append(net.roundStats, RoundStat{
 		Index:          net.rounds - 1,
@@ -257,7 +334,7 @@ func (net *Network) startRound() {
 			net.eng.Schedule(net.cfg.ForwardInterval, func() { net.forwardTick(cl, gen) })
 		}
 	}
-	net.eng.Schedule(net.cfg.RoundLength, net.startRound)
+	net.eng.Schedule(net.cfg.RoundLength, net.startRoundFn)
 }
 
 // forwardTick is the base-station forwarding extension (§III.A's transmit
@@ -368,8 +445,8 @@ func (net *Network) settlePartialTx(cl *cluster, now sim.Time) {
 	if tx == nil {
 		return
 	}
-	net.eng.Cancel(tx.pktEv)
-	net.eng.Cancel(tx.collisionEv)
+	// Event cancellation is releaseBurst's job (it cancels all three
+	// tracked events before the slot can be recycled).
 	if tx.inFlight {
 		net.chargeTxAirtime(tx.sender, tx.pktStart, now, tx.pktMode)
 	}
@@ -382,6 +459,7 @@ func (net *Network) settlePartialTx(cl *cluster, now sim.Time) {
 		}
 	}
 	cl.activeTx = nil
+	net.releaseBurst(tx)
 }
 
 // chargeTxAirtime bills a sender's data radio for time actually on air.
@@ -402,7 +480,7 @@ func (net *Network) scheduleArrival(n *node) {
 		return
 	}
 	gap := n.source.NextInterarrival()
-	n.arrivalEv = net.eng.Schedule(gap, func() { net.onArrival(n) })
+	n.arrivalEv = net.eng.Schedule(gap, n.arrivalFn)
 }
 
 func (net *Network) onArrival(n *node) {
@@ -443,12 +521,14 @@ func (net *Network) onArrival(n *node) {
 // Tone channel
 
 // scheduleTone arms the cluster's tone-pulse chain for its current state,
-// first pulse after the given delay.
+// first pulse after the given delay. The (gen, state) guard for the single
+// pending tone event is snapshotted on the cluster, which is safe because
+// the previous event is always cancelled first.
 func (net *Network) scheduleTone(cl *cluster, delay sim.Time) {
 	net.eng.Cancel(cl.toneEv)
-	gen := net.roundGen
-	state := cl.state
-	cl.toneEv = net.eng.Schedule(delay, func() { net.onTonePulse(cl, gen, state) })
+	cl.toneGen = net.roundGen
+	cl.toneState = cl.state
+	cl.toneEv = net.eng.Schedule(delay, cl.toneFn)
 }
 
 func (net *Network) onTonePulse(cl *cluster, gen uint64, state mac.HeadState) {
@@ -522,9 +602,11 @@ func (net *Network) contend(cl *cluster) {
 		}
 		d := net.cfg.MAC.Backoff(retries, n.backoffStream)
 		n.state = mac.SensorBackoff
-		gen := net.roundGen
-		member := n
-		n.backoffEv = net.eng.Schedule(d, func() { net.onBackoffExpire(member, cl, gen) })
+		// At most one backoff event is pending per node, so the handler's
+		// context can live on the node instead of in a fresh closure.
+		n.backoffCl = cl
+		n.backoffGen = net.roundGen
+		n.backoffEv = net.eng.Schedule(d, n.backoffFn)
 	}
 }
 
@@ -601,11 +683,10 @@ func (net *Network) startBurst(cl *cluster, n *node, k int) {
 	}
 	cl.state = mac.HeadReceive
 	net.emit(TraceHeadState, cl.head.idx, 0, mac.HeadReceive.String())
-	tx := &burst{sender: n, start: now, remaining: k}
+	tx := net.acquireBurst(cl, n, now, k)
 	cl.activeTx = tx
 	net.scheduleTone(cl, 500*sim.Microsecond) // receive-tone chain
-	gen := net.roundGen
-	net.eng.Schedule(net.cfg.Device.DataStartupTime, func() { net.sendPacket(cl, tx, gen) })
+	tx.sendEv = net.eng.Schedule(net.cfg.Device.DataStartupTime, tx.sendFn)
 }
 
 func (net *Network) sendPacket(cl *cluster, tx *burst, gen uint64) {
@@ -639,7 +720,7 @@ func (net *Network) sendPacket(cl *cluster, tx *burst, gen uint64) {
 	tx.pktCSI = csi
 	tx.inFlight = true
 	airtime := mode.Airtime(pkt.SizeBits)
-	tx.pktEv = net.eng.Schedule(airtime, func() { net.finishPacket(cl, tx, gen) })
+	tx.pktEv = net.eng.Schedule(airtime, tx.finishFn)
 }
 
 func (net *Network) finishPacket(cl *cluster, tx *burst, gen uint64) {
@@ -717,9 +798,13 @@ func (net *Network) finishPacket(cl *cluster, tx *burst, gen uint64) {
 
 // finishBurst ends a burst normally (or vacuously when the queue emptied).
 func (net *Network) finishBurst(cl *cluster, tx *burst, vacuous bool) {
+	if cl.activeTx != tx {
+		return // already settled by a death path mid-handler
+	}
 	now := net.eng.Now()
 	n := tx.sender
 	cl.activeTx = nil
+	net.releaseBurst(tx)
 	if n.alive {
 		n.adjust.OnServiced(n.buf.Len())
 		if net.cfg.MAC.BurstSize(n.buf.Len()) > 0 {
@@ -739,7 +824,11 @@ func (net *Network) finishBurst(cl *cluster, tx *burst, vacuous bool) {
 
 // abortBurst ends a burst after a failure; the sender returns to sensing.
 func (net *Network) abortBurst(cl *cluster, tx *burst, now sim.Time) {
+	if cl.activeTx != tx {
+		return // already settled by a death path mid-handler
+	}
 	cl.activeTx = nil
+	net.releaseBurst(tx)
 	n := tx.sender
 	if n.alive {
 		n.adjust.OnServiced(n.buf.Len())
@@ -795,10 +884,7 @@ func (net *Network) joinCollision(cl *cluster, n *node, now sim.Time) {
 	if !tx.collisionSet {
 		tx.collisionSet = true
 		net.eng.Cancel(tx.pktEv)
-		gen := net.roundGen
-		tx.collisionEv = net.eng.Schedule(net.cfg.CollisionResolveDelay, func() {
-			net.resolveCollision(cl, tx, gen)
-		})
+		tx.collisionEv = net.eng.Schedule(net.cfg.CollisionResolveDelay, tx.resolveFn)
 	}
 }
 
@@ -846,6 +932,7 @@ func (net *Network) resolveCollision(cl *cluster, tx *burst, gen uint64) {
 	}
 
 	cl.activeTx = nil
+	net.releaseBurst(tx)
 	if cl.head.alive && !cl.collapsed {
 		cl.head.accrue(net, now)
 		cl.state = mac.HeadIdle
@@ -935,13 +1022,13 @@ func (net *Network) bookkeeping() {
 			return
 		}
 	}
-	net.eng.Schedule(net.cfg.BookkeepingInterval, net.bookkeeping)
+	net.eng.Schedule(net.cfg.BookkeepingInterval, net.bookkeepingFn)
 }
 
 func (net *Network) sampleTick() {
 	net.sample()
 	if net.life.Alive() > 0 {
-		net.eng.Schedule(net.cfg.SampleInterval, net.sampleTick)
+		net.eng.Schedule(net.cfg.SampleInterval, net.sampleTickFn)
 	}
 }
 

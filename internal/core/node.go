@@ -32,6 +32,14 @@ type node struct {
 	arrivalEv sim.EventID
 	backoffEv sim.EventID
 
+	// Reusable event handlers (created once in New) and the context the
+	// single pending backoff event reads at fire time, so the arrival and
+	// contention hot paths never allocate closures.
+	arrivalFn  func()
+	backoffFn  func()
+	backoffCl  *cluster
+	backoffGen uint64
+
 	backoffStream *rng.Stream
 	perStream     *rng.Stream
 	csiStream     *rng.Stream

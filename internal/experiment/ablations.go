@@ -6,6 +6,7 @@ import (
 	"repro/internal/energy"
 	"repro/internal/metrics"
 	"repro/internal/queueing"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -21,6 +22,7 @@ func AblationThresholdParams(opts Options) Report {
 		qths = []int{5, 15, 40}
 		ms = []int{1, 5}
 	}
+	var jobs []runner.Job
 	for _, qth := range qths {
 		for _, m := range ms {
 			cfg := opts.baseConfig()
@@ -28,7 +30,13 @@ func AblationThresholdParams(opts Options) Report {
 			cfg.Adjust.QueueThreshold = qth
 			cfg.Adjust.SampleEvery = m
 			cfg.Horizon = opts.horizon(300 * sim.Second)
-			res := runOne(opts, cfg, fmt.Sprintf("ablation-threshold/q%d-m%d", qth, m))
+			jobs = append(jobs, runner.Job{Label: fmt.Sprintf("ablation-threshold/q%d-m%d", qth, m), Config: cfg})
+		}
+	}
+	results := opts.run(jobs)
+	for i, qth := range qths {
+		for j, m := range ms {
+			res := results[i*len(ms)+j]
 			tab.AddRow(
 				fmt.Sprintf("%d", qth),
 				fmt.Sprintf("%d", m),
@@ -62,19 +70,27 @@ func AblationDoppler(opts Options) Report {
 	if opts.scale() < 0.8 {
 		dops = []float64{0.5, 2, 8}
 	}
+	pcs := []protocolCase{
+		{"Scheme1", queueing.PolicyAdaptive},
+		{"Scheme2", queueing.PolicyFixedHighest},
+	}
+	var jobs []runner.Job
 	for _, d := range dops {
-		for _, pc := range []protocolCase{
-			{"Scheme1", queueing.PolicyAdaptive},
-			{"Scheme2", queueing.PolicyFixedHighest},
-		} {
+		for _, pc := range pcs {
 			cfg := opts.baseConfig()
 			cfg.Policy = pc.policy
 			cfg.Channel.DopplerHz = d
 			cfg.Horizon = opts.horizon(300 * sim.Second)
-			res := runOne(opts, cfg, fmt.Sprintf("ablation-doppler/%s/%.1fHz", pc.name, d))
+			jobs = append(jobs, runner.Job{Label: fmt.Sprintf("ablation-doppler/%s/%.1fHz", pc.name, d), Config: cfg})
+		}
+	}
+	results := opts.run(jobs)
+	for i, d := range dops {
+		for j, pc := range pcs {
+			res := results[i*len(pcs)+j]
 			tab.AddRow(
 				f1(d),
-				f1(cfg.Channel.CoherenceTime().Millis()),
+				f1(jobs[i*len(pcs)+j].Config.Channel.CoherenceTime().Millis()),
 				pc.name,
 				f3(1000*res.EnergyPerPktJ),
 				f1(res.MeanDelayMs),
@@ -107,13 +123,18 @@ func AblationBurst(opts Options) Report {
 	if opts.scale() < 0.8 {
 		cases = []struct{ min, max int }{{1, 1}, {3, 8}, {8, 8}}
 	}
+	var jobs []runner.Job
 	for _, c := range cases {
 		cfg := opts.baseConfig()
 		cfg.Policy = queueing.PolicyAdaptive
 		cfg.MAC.MinBurst = c.min
 		cfg.MAC.MaxBurst = c.max
 		cfg.Horizon = opts.horizon(300 * sim.Second)
-		res := runOne(opts, cfg, fmt.Sprintf("ablation-burst/min%d-max%d", c.min, c.max))
+		jobs = append(jobs, runner.Job{Label: fmt.Sprintf("ablation-burst/min%d-max%d", c.min, c.max), Config: cfg})
+	}
+	results := opts.run(jobs)
+	for i, c := range cases {
+		res := results[i]
 		commJ := res.CommEnergyJ
 		startShare := 0.0
 		if commJ > 0 {
@@ -172,16 +193,24 @@ func AblationCSINoise(opts Options) Report {
 	if opts.scale() < 0.8 {
 		sigmas = []float64{0, 2, 8}
 	}
+	pcs := []protocolCase{
+		{"Scheme1", queueing.PolicyAdaptive},
+		{"Scheme2", queueing.PolicyFixedHighest},
+	}
+	var jobs []runner.Job
 	for _, sigma := range sigmas {
-		for _, pc := range []protocolCase{
-			{"Scheme1", queueing.PolicyAdaptive},
-			{"Scheme2", queueing.PolicyFixedHighest},
-		} {
+		for _, pc := range pcs {
 			cfg := opts.baseConfig()
 			cfg.Policy = pc.policy
 			cfg.CSINoiseSigmaDB = sigma
 			cfg.Horizon = opts.horizon(300 * sim.Second)
-			res := runOne(opts, cfg, fmt.Sprintf("ablation-csinoise/%s/%.0fdB", pc.name, sigma))
+			jobs = append(jobs, runner.Job{Label: fmt.Sprintf("ablation-csinoise/%s/%.0fdB", pc.name, sigma), Config: cfg})
+		}
+	}
+	results := opts.run(jobs)
+	for i, sigma := range sigmas {
+		for j, pc := range pcs {
+			res := results[i*len(pcs)+j]
 			tab.AddRow(
 				f1(sigma),
 				pc.name,
@@ -215,19 +244,27 @@ func AblationRician(opts Options) Report {
 	if opts.scale() < 0.8 {
 		ks = []float64{0, 4}
 	}
-	var savings []float64
+	pcs := []protocolCase{
+		{"pure-LEACH", queueing.PolicyNone},
+		{"Scheme1", queueing.PolicyAdaptive},
+	}
+	var jobs []runner.Job
 	for _, k := range ks {
-		var perPkt [2]float64
-		for i, pc := range []protocolCase{
-			{"pure-LEACH", queueing.PolicyNone},
-			{"Scheme1", queueing.PolicyAdaptive},
-		} {
+		for _, pc := range pcs {
 			cfg := opts.baseConfig()
 			cfg.Policy = pc.policy
 			cfg.Channel.RicianK = k
 			cfg.Horizon = opts.horizon(300 * sim.Second)
-			res := runOne(opts, cfg, fmt.Sprintf("ablation-rician/%s/K%.0f", pc.name, k))
-			perPkt[i] = 1000 * res.EnergyPerPktJ
+			jobs = append(jobs, runner.Job{Label: fmt.Sprintf("ablation-rician/%s/K%.0f", pc.name, k), Config: cfg})
+		}
+	}
+	results := opts.run(jobs)
+	var savings []float64
+	for i, k := range ks {
+		var perPkt [2]float64
+		for j, pc := range pcs {
+			res := results[i*len(pcs)+j]
+			perPkt[j] = 1000 * res.EnergyPerPktJ
 			tab.AddRow(
 				f1(k),
 				pc.name,
@@ -260,8 +297,8 @@ func SeedVariance(opts Options) Report {
 	if opts.scale() < 0.8 {
 		seeds = []uint64{1, 2, 3}
 	}
+	var jobs []runner.Job
 	for _, pc := range protocolCases() {
-		var life, epp metrics.Welford
 		for _, seed := range seeds {
 			cfg := opts.baseConfig()
 			cfg.Seed = seed
@@ -269,7 +306,14 @@ func SeedVariance(opts Options) Report {
 			cfg.Horizon = opts.horizon(4000 * sim.Second)
 			cfg.StopWhenNetworkDead = true
 			cfg.SampleInterval = 20 * sim.Second
-			res := runOne(opts, cfg, fmt.Sprintf("seedvar/%s/seed%d", pc.name, seed))
+			jobs = append(jobs, runner.Job{Label: fmt.Sprintf("seedvar/%s/seed%d", pc.name, seed), Config: cfg})
+		}
+	}
+	results := opts.run(jobs)
+	for i, pc := range protocolCases() {
+		var life, epp metrics.Welford
+		for j := range seeds {
+			res := results[i*len(seeds)+j]
 			if res.NetworkDead {
 				life.Add(res.NetworkLifetime.Seconds())
 			}

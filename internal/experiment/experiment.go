@@ -15,16 +15,21 @@ import (
 	"repro/internal/core"
 	"repro/internal/plot"
 	"repro/internal/queueing"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
-// Options controls experiment scale and reproducibility.
+// Options controls experiment scale, reproducibility, and parallelism.
 type Options struct {
 	// Seed roots all runs.
 	Seed uint64
 	// Scale in (0, 1] shrinks the experiment: node count, horizon, and
 	// sweep sizes. 1.0 reproduces the paper's setup.
 	Scale float64
+	// Workers is the number of simulations run concurrently: 0 means one
+	// per CPU, 1 restores the legacy serial execution. Every run owns its
+	// own random streams, so the reports are bit-identical for any value.
+	Workers int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(format string, args ...any)
 }
@@ -45,6 +50,23 @@ func (o Options) logf(format string, args ...any) {
 	if o.Progress != nil {
 		o.Progress(format, args...)
 	}
+}
+
+// run submits a batch of labelled configurations to the worker pool and
+// returns the results in submission order. All experiment sweeps funnel
+// through here: the grid cells are fully independent simulations, so they
+// fan out across Options.Workers goroutines with bit-identical output.
+func (o Options) run(jobs []runner.Job) []core.Result {
+	if len(jobs) > 1 {
+		o.logf("running %d simulations (workers=%d; 0 means NumCPU)...", len(jobs), o.Workers)
+	}
+	return runner.Run(runner.Options{
+		Workers: o.Workers,
+		Progress: func(j runner.Job, res core.Result) {
+			o.logf("  %s: consumed %.1f J, delivered %d, elapsed %.0f s",
+				j.Label, res.TotalConsumedJ, res.Delivered, res.Elapsed.Seconds())
+		},
+	}, jobs)
 }
 
 // nodes returns the scaled node count (never below 20, so clustering and

@@ -171,6 +171,29 @@ func TestSeedVariance(t *testing.T) {
 	}
 }
 
+// Parallel sweeps must render byte-identical reports: every run owns its
+// random streams, and the runner returns results in submission order, so
+// the worker count cannot leak into any artifact.
+func TestParallelReportsBitIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func(Options) Report
+	}{
+		{"Figure9", Figure9},
+		{"AblationDoppler", AblationDoppler},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := Options{Seed: 1, Scale: 0.1, Workers: 1}
+			parallel := Options{Seed: 1, Scale: 0.1, Workers: 4}
+			want := tc.run(serial).Render()
+			got := tc.run(parallel).Render()
+			if want != got {
+				t.Fatalf("parallel report diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+			}
+		})
+	}
+}
+
 func TestProgressCallback(t *testing.T) {
 	opts := quickOpts()
 	var lines int

@@ -6,16 +6,23 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/plot"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
-// runOne executes a single configured simulation with progress logging.
-func runOne(opts Options, cfg core.Config, label string) core.Result {
-	opts.logf("running %s...", label)
-	res := core.New(cfg).Run()
-	opts.logf("  %s: consumed %.1f J, delivered %d, elapsed %.0f s",
-		label, res.TotalConsumedJ, res.Delivered, res.Elapsed.Seconds())
-	return res
+// protocolJobs builds one job per protocol variant from a shared
+// configuration template, labelled "<prefix>/<protocol>".
+func protocolJobs(opts Options, prefix string, mutate func(*core.Config)) []runner.Job {
+	jobs := make([]runner.Job, 0, 3)
+	for _, pc := range protocolCases() {
+		cfg := opts.baseConfig()
+		cfg.Policy = pc.policy
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		jobs = append(jobs, runner.Job{Label: prefix + "/" + pc.name, Config: cfg})
+	}
+	return jobs
 }
 
 // chartSeries converts a metrics time series into a plot series,
@@ -44,13 +51,9 @@ func seriesCell(ts *metrics.TimeSeries, t sim.Time) string {
 // 5 pkt/s with 10 J batteries, over the paper's 0-600 s window.
 func Figure8(opts Options) Report {
 	horizon := opts.horizon(600 * sim.Second)
-	results := make([]core.Result, 0, 3)
-	for _, pc := range protocolCases() {
-		cfg := opts.baseConfig()
-		cfg.Policy = pc.policy
+	results := opts.run(protocolJobs(opts, "figure8", func(cfg *core.Config) {
 		cfg.Horizon = horizon
-		results = append(results, runOne(opts, cfg, "figure8/"+pc.name))
-	}
+	}))
 
 	tab := Table{Headers: []string{"time(s)", "pure-LEACH(J)", "Scheme1(J)", "Scheme2(J)"}}
 	const points = 13
@@ -92,13 +95,9 @@ func Figure8(opts Options) Report {
 // pure LEACH at load 5).
 func Figure9(opts Options) Report {
 	horizon := opts.horizon(2500 * sim.Second)
-	results := make([]core.Result, 0, 3)
-	for _, pc := range protocolCases() {
-		cfg := opts.baseConfig()
-		cfg.Policy = pc.policy
+	results := opts.run(protocolJobs(opts, "figure9", func(cfg *core.Config) {
 		cfg.Horizon = horizon
-		results = append(results, runOne(opts, cfg, "figure9/"+pc.name))
-	}
+	}))
 
 	tab := Table{Headers: []string{"time(s)", "pure-LEACH", "Scheme1", "Scheme2"}}
 	const points = 15
@@ -162,17 +161,21 @@ func Figure10(opts Options) Report {
 	for i, pc := range protocolCases() {
 		sweep[i].Name = pc.name
 	}
-	for i, load := range opts.loads() {
-		row := []string{f1(load)}
-		var lifetimes []float64
-		for _, pc := range protocolCases() {
-			cfg := opts.baseConfig()
-			cfg.Policy = pc.policy
+	var jobs []runner.Job
+	for _, load := range opts.loads() {
+		jobs = append(jobs, protocolJobs(opts, fmt.Sprintf("figure10/load%.0f", load), func(cfg *core.Config) {
 			cfg.ArrivalRatePerSecond = load
 			cfg.Horizon = opts.horizon(4000 * sim.Second)
 			cfg.StopWhenNetworkDead = true
 			cfg.SampleInterval = 20 * sim.Second
-			res := runOne(opts, cfg, fmt.Sprintf("figure10/%s/load%.0f", pc.name, load))
+		})...)
+	}
+	results := opts.run(jobs)
+	for i, load := range opts.loads() {
+		row := []string{f1(load)}
+		var lifetimes []float64
+		for j := range protocolCases() {
+			res := results[i*len(protocolCases())+j]
 			if res.NetworkDead {
 				lifetimes = append(lifetimes, res.NetworkLifetime.Seconds())
 				row = append(row, f1(res.NetworkLifetime.Seconds()))
@@ -230,15 +233,19 @@ func Figure11(opts Options) Report {
 	for i, pc := range protocolCases() {
 		sweep[i].Name = pc.name
 	}
+	var jobs []runner.Job
+	for _, load := range opts.loads() {
+		jobs = append(jobs, protocolJobs(opts, fmt.Sprintf("figure11/load%.0f", load), func(cfg *core.Config) {
+			cfg.ArrivalRatePerSecond = load
+			cfg.Horizon = opts.horizon(300 * sim.Second)
+		})...)
+	}
+	results := opts.run(jobs)
 	for i, load := range opts.loads() {
 		row := []string{f1(load)}
 		var perPkt []float64
-		for _, pc := range protocolCases() {
-			cfg := opts.baseConfig()
-			cfg.Policy = pc.policy
-			cfg.ArrivalRatePerSecond = load
-			cfg.Horizon = opts.horizon(300 * sim.Second)
-			res := runOne(opts, cfg, fmt.Sprintf("figure11/%s/load%.0f", pc.name, load))
+		for j := range protocolCases() {
+			res := results[i*len(protocolCases())+j]
 			perPkt = append(perPkt, 1000*res.EnergyPerPktJ)
 			row = append(row, f3(1000*res.EnergyPerPktJ))
 			sweep[len(perPkt)-1].X = append(sweep[len(perPkt)-1].X, load)
@@ -287,16 +294,20 @@ func Figure12(opts Options) Report {
 	for i, pc := range protocolCases() {
 		sweep[i].Name = pc.name
 	}
+	var jobs []runner.Job
 	for _, load := range loads {
-		row := []string{f1(load)}
-		var devs []float64
-		for _, pc := range protocolCases() {
-			cfg := opts.baseConfig()
-			cfg.Policy = pc.policy
+		jobs = append(jobs, protocolJobs(opts, fmt.Sprintf("figure12/load%.0f", load), func(cfg *core.Config) {
 			cfg.ArrivalRatePerSecond = load
 			cfg.BufferCapacity = 0 // "substantially large enough" (§IV.C)
 			cfg.Horizon = opts.horizon(300 * sim.Second)
-			res := runOne(opts, cfg, fmt.Sprintf("figure12/%s/load%.0f", pc.name, load))
+		})...)
+	}
+	results := opts.run(jobs)
+	for i, load := range loads {
+		row := []string{f1(load)}
+		var devs []float64
+		for j := range protocolCases() {
+			res := results[i*len(protocolCases())+j]
 			devs = append(devs, res.QueueStdDev)
 			row = append(row, f2(res.QueueStdDev))
 			sweep[len(devs)-1].X = append(sweep[len(devs)-1].X, load)
@@ -339,13 +350,17 @@ func NetworkPerformance(opts Options) Report {
 	tab := Table{Headers: []string{
 		"load(pkt/s)", "protocol", "delay(ms)", "throughput(kbps)", "delivery",
 	}}
+	var jobs []runner.Job
 	for _, load := range opts.loads() {
-		for _, pc := range protocolCases() {
-			cfg := opts.baseConfig()
-			cfg.Policy = pc.policy
+		jobs = append(jobs, protocolJobs(opts, fmt.Sprintf("netperf/load%.0f", load), func(cfg *core.Config) {
 			cfg.ArrivalRatePerSecond = load
 			cfg.Horizon = opts.horizon(300 * sim.Second)
-			res := runOne(opts, cfg, fmt.Sprintf("netperf/%s/load%.0f", pc.name, load))
+		})...)
+	}
+	results := opts.run(jobs)
+	for i, load := range opts.loads() {
+		for j, pc := range protocolCases() {
+			res := results[i*len(protocolCases())+j]
 			tab.AddRow(f1(load), pc.name, f1(res.MeanDelayMs), f1(res.AggregateKbps), pct(res.DeliveryRate))
 		}
 	}

@@ -1,0 +1,143 @@
+// Package runner fans independent simulation runs out across worker
+// goroutines. Every experiment in the paper's evaluation is a grid of
+// fully independent runs (protocol × load × seed), and each run roots all
+// of its randomness in its own rng.Source derived from Config.Seed — so a
+// parallel execution is bit-identical to a serial one, and results are
+// always returned in submission order regardless of which worker finished
+// first.
+//
+// The pool is deliberately simple: a shared index channel, one goroutine
+// per worker, and a result slot per job. There is no cross-run state to
+// synchronize; the only serialized section is the optional Progress
+// callback.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Job is one simulation to execute.
+type Job struct {
+	// Label identifies the run in progress reporting ("figure9/Scheme1").
+	Label string
+	// Config fully specifies the run.
+	Config core.Config
+}
+
+// Options tunes the pool.
+type Options struct {
+	// Workers is the number of concurrent runs: 0 means NumCPU, 1 runs
+	// serially inline on the calling goroutine (the legacy behaviour),
+	// larger values cap at the job count.
+	Workers int
+	// Progress, when non-nil, is called once per completed run. Calls are
+	// serialized, but arrive in completion order, not submission order.
+	Progress func(job Job, res core.Result)
+}
+
+// workers resolves the effective worker count for a batch of n jobs.
+// Zero means NumCPU; a negative value falls back to serial (the
+// conservative reading of an underflowed caller computation).
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w == 0 {
+		w = runtime.NumCPU()
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every job and returns the results in submission order.
+// With the same seeds, the output is bit-identical for every worker
+// count: each run is single-threaded over its own state, and the workers
+// share nothing but the job list.
+//
+// A panic inside any run (e.g. an invalid Config) is re-raised on the
+// calling goroutine — deterministically the panic of the lowest-indexed
+// failing job — after the remaining jobs have drained.
+func Run(opts Options, jobs []Job) []core.Result {
+	results := make([]core.Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	var mu sync.Mutex // serializes Progress
+	failed, failVal := Do(opts.Workers, len(jobs), func(i int) {
+		res := core.New(jobs[i].Config).Run()
+		results[i] = res
+		if opts.Progress != nil {
+			mu.Lock()
+			opts.Progress(jobs[i], res)
+			mu.Unlock()
+		}
+	})
+	if failed >= 0 {
+		panic(fmt.Sprintf("runner: job %d (%s) panicked: %v", failed, jobs[failed].Label, failVal))
+	}
+	return results
+}
+
+// Do is the pool primitive Run is built on, and the generic escape hatch
+// for callers whose work is not a core.Config (the public caem
+// wrappers): it invokes fn(0..n-1) across the worker policy (0 = NumCPU,
+// 1 or negative = serial inline). fn must be safe to call concurrently
+// when more than one worker resolves.
+//
+// A panic inside fn is captured — the lowest failing index wins, for
+// determinism — and returned as (index, value) after every other task
+// has drained; (-1, nil) means all tasks completed. Callers that cannot
+// continue should re-raise it with context, as Run does.
+func Do(workers, n int, fn func(int)) (failedIndex int, panicValue any) {
+	opts := Options{Workers: workers}
+	var (
+		mu       sync.Mutex
+		panicked = -1
+		panicVal any
+	)
+	task := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if panicked < 0 || i < panicked {
+					panicked, panicVal = i, r
+				}
+				mu.Unlock()
+			}
+		}()
+		fn(i)
+	}
+	if n <= 0 {
+		return -1, nil
+	}
+	if w := opts.workers(n); w == 1 {
+		for i := 0; i < n; i++ {
+			task(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for ; w > 0; w-- {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					task(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	return panicked, panicVal
+}

@@ -1,0 +1,163 @@
+package runner
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/queueing"
+	"repro/internal/sim"
+)
+
+// testJobs builds a small protocol × seed grid of fast, fully independent
+// runs — the shape every experiment sweep has.
+func testJobs() []Job {
+	var jobs []Job
+	for _, policy := range []queueing.ThresholdPolicy{
+		queueing.PolicyNone, queueing.PolicyAdaptive, queueing.PolicyFixedHighest,
+	} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			cfg := core.DefaultConfig()
+			cfg.Nodes = 20
+			cfg.FieldWidth, cfg.FieldHeight = 45, 45
+			cfg.Horizon = 25 * sim.Second
+			cfg.SampleInterval = 5 * sim.Second
+			cfg.Policy = policy
+			cfg.Seed = seed
+			jobs = append(jobs, Job{Label: "grid", Config: cfg})
+		}
+	}
+	return jobs
+}
+
+// Parallel execution must be bit-identical to serial: each run owns its
+// rng.Source, so worker count and completion order cannot leak into the
+// results.
+func TestParallelMatchesSerial(t *testing.T) {
+	jobs := testJobs()
+	serial := Run(Options{Workers: 1}, jobs)
+	for _, workers := range []int{0, 2, 4, 16} {
+		parallel := Run(Options{Workers: workers}, jobs)
+		for i := range jobs {
+			if !reflect.DeepEqual(serial[i], parallel[i]) {
+				t.Fatalf("workers=%d: job %d diverged from the serial run", workers, i)
+			}
+		}
+	}
+}
+
+// Results must come back in submission order even when completion order
+// differs: each job gets a distinct horizon, which its result echoes back
+// as Elapsed (no node dies within these short runs).
+func TestSubmissionOrderPreserved(t *testing.T) {
+	jobs := testJobs()
+	for i := range jobs {
+		jobs[i].Config.Horizon = sim.Time(20+i) * sim.Second
+	}
+	res := Run(Options{Workers: 4}, jobs)
+	if len(res) != len(jobs) {
+		t.Fatalf("got %d results for %d jobs", len(res), len(jobs))
+	}
+	for i, j := range jobs {
+		if res[i].Elapsed != j.Config.Horizon {
+			t.Fatalf("result %d has Elapsed %v, want job %d's horizon %v", i, res[i].Elapsed, i, j.Config.Horizon)
+		}
+	}
+}
+
+// Worker-count edge cases: zero (NumCPU), more workers than jobs, a
+// single job, and no jobs at all.
+func TestWorkerEdgeCases(t *testing.T) {
+	jobs := testJobs()
+	want := Run(Options{Workers: 1}, jobs)
+
+	for _, workers := range []int{0, len(jobs) + 50} {
+		got := Run(Options{Workers: workers}, jobs)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d diverged", workers)
+		}
+	}
+	one := Run(Options{Workers: 8}, jobs[:1])
+	if len(one) != 1 || !reflect.DeepEqual(one[0], want[0]) {
+		t.Fatal("single-job batch diverged")
+	}
+	if got := Run(Options{Workers: 8}, nil); len(got) != 0 {
+		t.Fatalf("empty batch returned %d results", len(got))
+	}
+}
+
+// Progress must fire exactly once per job, serialized.
+func TestProgressCalledOncePerJob(t *testing.T) {
+	jobs := testJobs()
+	for i := range jobs {
+		jobs[i].Label = string(rune('a' + i))
+	}
+	var mu sync.Mutex
+	seen := map[string]int{}
+	opts := Options{
+		Workers: 4,
+		Progress: func(j Job, res core.Result) {
+			mu.Lock()
+			seen[j.Label]++
+			mu.Unlock()
+		},
+	}
+	Run(opts, jobs)
+	if len(seen) != len(jobs) {
+		t.Fatalf("progress saw %d distinct jobs, want %d", len(seen), len(jobs))
+	}
+	for k, n := range seen {
+		if n != 1 {
+			t.Fatalf("job %q reported %d times", k, n)
+		}
+	}
+}
+
+// A panicking job must surface as a panic on the caller, not crash a
+// worker goroutine, and it must be the lowest-indexed failing job.
+func TestPanicPropagates(t *testing.T) {
+	jobs := testJobs()
+	jobs[2].Config.Nodes = 0 // invalid: core.New panics
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid job did not panic the caller")
+		}
+	}()
+	Run(Options{Workers: 4}, jobs)
+}
+
+// Do covers the generic fan-out used by the public API wrappers.
+func TestDo(t *testing.T) {
+	for _, workers := range []int{1, 0, 3, 100, -2} {
+		out := make([]int, 50)
+		if i, v := Do(workers, len(out), func(i int) { out[i] = i + 1 }); i >= 0 {
+			t.Fatalf("workers=%d: unexpected panic report (%d, %v)", workers, i, v)
+		}
+		for i, v := range out {
+			if v != i+1 {
+				t.Fatalf("workers=%d: slot %d = %d", workers, i, v)
+			}
+		}
+	}
+	Do(4, 0, func(int) { t.Fatal("fn called for n=0") })
+}
+
+// Do must capture worker panics instead of crashing the process, and
+// report the lowest failing index for determinism.
+func TestDoCapturesPanics(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		i, v := Do(workers, 10, func(i int) {
+			if i == 3 || i == 7 {
+				panic(fmt.Sprintf("boom-%d", i))
+			}
+		})
+		if i != 3 {
+			t.Fatalf("workers=%d: failed index = %d, want 3 (lowest)", workers, i)
+		}
+		if s, ok := v.(string); !ok || s != "boom-3" {
+			t.Fatalf("workers=%d: panic value = %v", workers, v)
+		}
+	}
+}

@@ -9,10 +9,18 @@
 //
 // Ties are broken by scheduling order (a monotonically increasing sequence
 // number), which is the property that makes event execution deterministic.
+//
+// The future event list is an index-based 4-ary heap over a slot arena
+// with a free list, so the steady-state schedule/execute cycle performs no
+// heap allocations: slots are recycled as events execute or cancelled
+// entries drain out. Cancellation is lazy — a cancelled event stays in the
+// heap until it surfaces and is discarded — which keeps every heap
+// operation a pure push or pop-min. EventIDs carry a generation counter so
+// an ID held across a slot's reuse can neither cancel nor validate the
+// newer event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -49,55 +57,50 @@ func (t Time) String() string {
 // engine clock already advanced.
 type Handler func()
 
+type eventState uint8
+
+const (
+	evFree eventState = iota
+	evPending
+	evCancelled
+)
+
+// event is one arena slot. Slots are recycled through the free list; gen
+// distinguishes successive occupants so stale EventIDs stay inert.
 type event struct {
-	at     Time
-	seq    uint64
-	fn     Handler
-	index  int // heap index, -1 once popped or cancelled
-	cancel bool
-	label  string
+	at    Time
+	seq   uint64
+	fn    Handler
+	label string
+	gen   uint32
+	state eventState
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. The zero
+// value is never valid.
+type EventID struct {
+	eng  *Engine
+	slot int32
+	gen  uint32
+}
 
 // Valid reports whether the ID refers to a still-pending event.
-func (id EventID) Valid() bool { return id.ev != nil && !id.ev.cancel && id.ev.index >= 0 }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+func (id EventID) Valid() bool {
+	if id.eng == nil {
+		return false
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	ev := &id.eng.arena[id.slot]
+	return ev.gen == id.gen && ev.state == evPending
 }
 
 // Engine is a single-threaded discrete-event simulation kernel.
 type Engine struct {
 	now      Time
 	seq      uint64
-	fel      eventHeap
+	arena    []event
+	free     []int32
+	heap     []int32 // 4-ary min-heap of arena slots, ordered by (at, seq)
+	live     int     // pending, non-cancelled events
 	executed uint64
 	stopped  bool
 }
@@ -115,7 +118,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.fel) }
+func (e *Engine) Pending() int { return e.live }
 
 // Schedule runs fn after delay. A negative delay panics: the caller has a
 // logic error, and silently clamping would hide it.
@@ -144,21 +147,46 @@ func (e *Engine) at(at Time, label string, fn Handler) EventID {
 	if fn == nil {
 		panic("sim: nil handler")
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn, label: label}
+	var slot int32
+	if n := len(e.free); n > 0 {
+		slot = e.free[n-1]
+		e.free = e.free[:n-1]
+	} else {
+		e.arena = append(e.arena, event{})
+		slot = int32(len(e.arena) - 1)
+	}
+	ev := &e.arena[slot]
+	ev.at = at
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.label = label
+	ev.state = evPending
 	e.seq++
-	heap.Push(&e.fel, ev)
-	return EventID{ev: ev}
+	e.live++
+	e.push(slot)
+	return EventID{eng: e, slot: slot, gen: ev.gen}
+}
+
+// release returns an executed or drained slot to the free list, bumping
+// its generation so outstanding EventIDs go stale.
+func (e *Engine) release(slot int32) {
+	ev := &e.arena[slot]
+	ev.fn = nil
+	ev.label = ""
+	ev.gen++
+	ev.state = evFree
+	e.free = append(e.free, slot)
 }
 
 // Cancel removes a pending event. Cancelling an already-executed or
-// already-cancelled event is a no-op and returns false.
+// already-cancelled event is a no-op and returns false. The slot drains
+// out of the heap lazily when it surfaces.
 func (e *Engine) Cancel(id EventID) bool {
-	ev := id.ev
-	if ev == nil || ev.cancel || ev.index < 0 {
+	if id.eng != e || !id.Valid() {
 		return false
 	}
-	ev.cancel = true
-	heap.Remove(&e.fel, ev.index)
+	e.arena[id.slot].state = evCancelled
+	e.live--
 	return true
 }
 
@@ -172,15 +200,24 @@ func (e *Engine) Stop() { e.stopped = true }
 // advanced to horizon on normal completion so Now() is well-defined.
 func (e *Engine) Run(horizon Time) {
 	e.stopped = false
-	for len(e.fel) > 0 && !e.stopped {
-		ev := e.fel[0]
+	for len(e.heap) > 0 && !e.stopped {
+		slot := e.heap[0]
+		ev := &e.arena[slot]
+		if ev.state == evCancelled {
+			e.popMin()
+			e.release(slot)
+			continue
+		}
 		if ev.at > horizon {
 			break
 		}
-		heap.Pop(&e.fel)
+		e.popMin()
+		fn := ev.fn
 		e.now = ev.at
+		e.live--
 		e.executed++
-		ev.fn()
+		e.release(slot)
+		fn()
 	}
 	if !e.stopped && e.now < horizon {
 		e.now = horizon
@@ -191,12 +228,77 @@ func (e *Engine) Run(horizon Time) {
 // tests; production runs should bound time with Run.
 func (e *Engine) RunAll() {
 	e.stopped = false
-	for len(e.fel) > 0 && !e.stopped {
-		ev := heap.Pop(&e.fel).(*event)
+	for len(e.heap) > 0 && !e.stopped {
+		slot := e.popMin()
+		ev := &e.arena[slot]
+		if ev.state == evCancelled {
+			e.release(slot)
+			continue
+		}
+		fn := ev.fn
 		e.now = ev.at
+		e.live--
 		e.executed++
-		ev.fn()
+		e.release(slot)
+		fn()
 	}
+}
+
+// less orders heap entries by (timestamp, scheduling sequence).
+func (e *Engine) less(a, b int32) bool {
+	ea, eb := &e.arena[a], &e.arena[b]
+	if ea.at != eb.at {
+		return ea.at < eb.at
+	}
+	return ea.seq < eb.seq
+}
+
+// push appends a slot and sifts it up the 4-ary heap.
+func (e *Engine) push(slot int32) {
+	h := append(e.heap, slot)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !e.less(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+// popMin removes and returns the root of the 4-ary heap.
+func (e *Engine) popMin() int32 {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if e.less(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !e.less(h[best], h[i]) {
+			break
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+	e.heap = h
+	return top
 }
 
 // Timer is a restartable one-shot convenience wrapper around Schedule.

@@ -295,6 +295,68 @@ func TestOrderingProperty(t *testing.T) {
 	}
 }
 
+// The schedule/execute cycle must not allocate once the arena has grown
+// to the working set: slots are recycled through the free list and the
+// 4-ary heap is index-based, so the steady-state event loop is
+// allocation-free (the closure below is hoisted out of the measured
+// region by being allocated once).
+func TestScheduleExecuteZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	var churn func()
+	churn = func() {
+		if e.Now() < 100*Second {
+			e.Schedule(Millisecond, churn)
+		}
+	}
+	// Warm-up: grow the arena, free list, and heap to steady state.
+	e.Schedule(Millisecond, churn)
+	e.Run(Second)
+
+	allocs := testing.AllocsPerRun(100, func() {
+		horizon := e.Now() + 100*Millisecond
+		e.Run(horizon)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state schedule/execute allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+// Cancelled slots must drain and be reused rather than growing the arena.
+func TestCancelledSlotsAreRecycled(t *testing.T) {
+	e := NewEngine()
+	for round := 0; round < 1000; round++ {
+		id := e.Schedule(Millisecond, func() {})
+		e.Cancel(id)
+		e.Run(e.Now() + 2*Millisecond)
+	}
+	if got := len(e.arena); got > 4 {
+		t.Fatalf("arena grew to %d slots under schedule/cancel churn, want <= 4", got)
+	}
+}
+
+// A stale EventID (its slot recycled by a newer event) must neither
+// validate nor cancel the new occupant.
+func TestStaleEventIDAfterSlotReuse(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	old := e.Schedule(Millisecond, func() {})
+	e.Run(Second) // executes and releases the slot
+	fresh := e.Schedule(Millisecond, func() { ran = true })
+	if old.Valid() {
+		t.Fatal("stale id still valid after slot reuse")
+	}
+	if e.Cancel(old) {
+		t.Fatal("stale id cancelled the slot's new occupant")
+	}
+	if !fresh.Valid() {
+		t.Fatal("fresh id not valid")
+	}
+	e.Run(2 * Second)
+	if !ran {
+		t.Fatal("new occupant did not run")
+	}
+}
+
 func BenchmarkScheduleRun(b *testing.B) {
 	b.ReportAllocs()
 	e := NewEngine()
