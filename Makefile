@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke figures clean
+.PHONY: all build test race vet bench bench-smoke figures scenarios examples clean
 
 all: build test vet
 
@@ -30,6 +30,24 @@ bench-smoke:
 # Regenerate every paper artifact (tables, figures, ablations) into out/.
 figures:
 	$(GO) run ./cmd/caem-bench -out out/
+
+# Smoke-run every library scenario through the real CLI (the library is
+# also unit-tested by `go test ./caem/`; this drives file loading, flag
+# overrides, and the full caem-sim path end to end). The 500 s horizon
+# reaches past every library timeline event — all scenarios' last events
+# fire by 480 s — so the smoke executes the world mutations themselves,
+# not just spec loading.
+scenarios:
+	@set -e; for f in scenarios/*.json; do \
+		echo "== $$f"; \
+		$(GO) run ./cmd/caem-sim -scenario $$f -duration 500 >/dev/null; \
+	done; echo "all scenarios ran"
+
+# Compile and vet the examples explicitly (they are plain main packages,
+# so a plain `go test ./...` would not catch vet regressions in them).
+examples:
+	$(GO) build ./examples/...
+	$(GO) vet ./examples/...
 
 clean:
 	rm -rf out/

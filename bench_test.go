@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/queueing"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -77,6 +78,47 @@ func BenchmarkAblationRician(b *testing.B) { benchReport(b, experiment.AblationR
 
 // BenchmarkSeedVariance runs the A6 realization-variance study.
 func BenchmarkSeedVariance(b *testing.B) { benchReport(b, experiment.SeedVariance) }
+
+// BenchmarkScenarioSecond measures one simulated second at full scale
+// under a busy dynamic-world timeline — a churn/burst/weather/service
+// cycle every simulated minute — so the scenario engine's overhead can be
+// compared directly against BenchmarkSimulatedSecond's static world.
+func BenchmarkScenarioSecond(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Horizon = sim.Time(b.N) * sim.Second
+	cfg.SampleInterval = 1000 * sim.Second
+
+	spec := scenario.Spec{
+		Name: "bench-dynamic",
+		Nodes: []scenario.NodeRule{
+			{Nodes: scenario.Selector{From: 0, To: 10}, RateScale: 3},
+		},
+	}
+	for t := 10.0; t < float64(b.N); t += 60 {
+		spec.Timeline = append(spec.Timeline,
+			scenario.Event{AtSeconds: t, Type: scenario.EventKill,
+				Nodes: scenario.Selector{From: 20, To: 25}},
+			scenario.Event{AtSeconds: t + 15, Type: scenario.EventBurst,
+				Scale: 2, DurationSeconds: 10},
+			scenario.Event{AtSeconds: t + 30, Type: scenario.EventChannel,
+				Channel: &scenario.ChannelShift{DopplerHz: benchFloat(8)}},
+			scenario.Event{AtSeconds: t + 40, Type: scenario.EventChannel,
+				Channel: &scenario.ChannelShift{DopplerHz: benchFloat(2)}},
+			scenario.Event{AtSeconds: t + 45, Type: scenario.EventRevive,
+				Nodes: scenario.Selector{From: 20, To: 25}},
+			scenario.Event{AtSeconds: t + 50, Type: scenario.EventTopUp,
+				EnergyJ: 0.05, Nodes: scenario.Selector{From: 20, To: 25}},
+		)
+	}
+	if err := scenario.Compile(spec, &cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	core.New(cfg).Run()
+}
+
+func benchFloat(v float64) *float64 { return &v }
 
 // BenchmarkSimulatedSecond measures the raw cost of one simulated second
 // at the paper's full scale (100 nodes, load 5), per protocol — the

@@ -27,6 +27,7 @@ package caem
 import (
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/queueing"
@@ -63,6 +64,44 @@ func (p Protocol) String() string {
 	}
 }
 
+// ParseProtocol resolves a protocol name as used by the CLI flags and
+// scenario files. It accepts the canonical String() forms and the common
+// short aliases, case-insensitively: "leach" | "pure-leach" | "none",
+// "scheme1" | "s1" | "adaptive", "scheme2" | "s2" | "fixed".
+func ParseProtocol(s string) (Protocol, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "leach", "pure-leach", "pureleach", "none":
+		return PureLEACH, nil
+	case "scheme1", "s1", "adaptive", "caem-scheme1":
+		return Scheme1, nil
+	case "scheme2", "s2", "fixed", "caem-scheme2":
+		return Scheme2, nil
+	default:
+		return 0, fmt.Errorf("caem: unknown protocol %q (want leach, scheme1, or scheme2)", s)
+	}
+}
+
+// MarshalText encodes the protocol as its canonical name, making Config
+// JSON files human-readable ("CAEM-scheme1" instead of 1).
+func (p Protocol) MarshalText() ([]byte, error) {
+	switch p {
+	case PureLEACH, Scheme1, Scheme2:
+		return []byte(p.String()), nil
+	default:
+		return nil, fmt.Errorf("caem: cannot marshal unknown protocol %d", int(p))
+	}
+}
+
+// UnmarshalText decodes any spelling ParseProtocol accepts.
+func (p *Protocol) UnmarshalText(text []byte) error {
+	v, err := ParseProtocol(string(text))
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
 func (p Protocol) policy() (queueing.ThresholdPolicy, error) {
 	switch p {
 	case PureLEACH:
@@ -80,72 +119,79 @@ func (p Protocol) policy() (queueing.ThresholdPolicy, error) {
 // value of any field means "use the paper default" (DESIGN.md §4).
 type Advanced struct {
 	// RoundLengthSeconds is the LEACH round duration.
-	RoundLengthSeconds float64
+	RoundLengthSeconds float64 `json:"roundLengthSeconds,omitempty"`
 	// HeadFraction is LEACH's P, the expected cluster-head fraction.
-	HeadFraction float64
+	HeadFraction float64 `json:"headFraction,omitempty"`
 	// DopplerHz scales the microscopic fading rate (channel coherence
 	// time ≈ 9/(16π·Doppler)).
-	DopplerHz float64
+	DopplerHz float64 `json:"dopplerHz,omitempty"`
 	// ShadowingSigmaDB is the log-normal shadowing spread. Negative
 	// disables shadowing entirely.
-	ShadowingSigmaDB float64
+	ShadowingSigmaDB float64 `json:"shadowingSigmaDB,omitempty"`
 	// PathLossExponent is the log-distance path loss slope.
-	PathLossExponent float64
+	PathLossExponent float64 `json:"pathLossExponent,omitempty"`
 	// ReferenceSNRdB is the link budget: mean SNR at 10 m.
-	ReferenceSNRdB float64
+	ReferenceSNRdB float64 `json:"referenceSNRdB,omitempty"`
 	// QueueThreshold is Scheme 1's Q_th activation level.
-	QueueThreshold int
+	QueueThreshold int `json:"queueThreshold,omitempty"`
 	// SampleEvery is Scheme 1's m (queue sampled every m arrivals).
-	SampleEvery int
+	SampleEvery int `json:"sampleEvery,omitempty"`
 	// MinBurst / MaxBurst bound the packets per transmission.
-	MinBurst, MaxBurst int
+	MinBurst int `json:"minBurst,omitempty"`
+	MaxBurst int `json:"maxBurst,omitempty"`
 	// MaxRetries caps per-packet retransmissions.
-	MaxRetries int
+	MaxRetries int `json:"maxRetries,omitempty"`
 	// StartupTimeMicros is the data radio's sleep→active time.
-	StartupTimeMicros float64
+	StartupTimeMicros float64 `json:"startupTimeMicros,omitempty"`
 }
 
 // Config parameterizes one simulation run. DefaultConfig returns the
 // paper's Table II operating point.
+//
+// Config round-trips through JSON: scenario files (see Scenario) embed a
+// partial Config object as overrides, and a marshalled-then-unmarshalled
+// Config produces a bit-identical run. The TraceCSV writer is the one
+// runtime-only field and is excluded from serialization.
 type Config struct {
 	// Protocol is the variant under test.
-	Protocol Protocol
+	Protocol Protocol `json:"protocol,omitempty"`
 	// Seed makes the run reproducible; equal seeds give identical runs.
-	Seed uint64
+	Seed uint64 `json:"seed,omitempty"`
 	// Nodes is the network size.
-	Nodes int
+	Nodes int `json:"nodes,omitempty"`
 	// FieldWidthM and FieldHeightM give the deployment area in meters.
-	FieldWidthM, FieldHeightM float64
+	FieldWidthM  float64 `json:"fieldWidthM,omitempty"`
+	FieldHeightM float64 `json:"fieldHeightM,omitempty"`
 	// TrafficLoad is the per-node Poisson packet rate (the paper's
 	// "added traffic load", packets/second).
-	TrafficLoad float64
+	TrafficLoad float64 `json:"trafficLoad,omitempty"`
 	// PacketSizeBits is the information payload per packet.
-	PacketSizeBits int
+	PacketSizeBits int `json:"packetSizeBits,omitempty"`
 	// BufferCapacity is the per-node queue limit in packets
 	// (0 = unbounded, as the paper's fairness experiment uses).
-	BufferCapacity int
+	BufferCapacity int `json:"bufferCapacity,omitempty"`
 	// InitialEnergyJ is the per-node battery budget.
-	InitialEnergyJ float64
+	InitialEnergyJ float64 `json:"initialEnergyJ,omitempty"`
 	// DurationSeconds bounds simulated time.
-	DurationSeconds float64
+	DurationSeconds float64 `json:"durationSeconds,omitempty"`
 	// StopWhenNetworkDead ends the run once 80% of nodes are exhausted
 	// (the network-lifetime event) instead of running to the horizon.
-	StopWhenNetworkDead bool
+	StopWhenNetworkDead bool `json:"stopWhenNetworkDead,omitempty"`
 	// SampleIntervalSeconds sets the metric time-series cadence.
-	SampleIntervalSeconds float64
+	SampleIntervalSeconds float64 `json:"sampleIntervalSeconds,omitempty"`
 	// Advanced optionally overrides deeper model parameters.
-	Advanced Advanced
+	Advanced Advanced `json:"advanced,omitzero"`
 	// TraceCSV, when non-nil, receives the full protocol event stream
 	// (rounds, bursts, deliveries, collisions, drops, deferrals, deaths)
 	// as CSV rows while the simulation runs. Expect millions of rows for
-	// saturated full-scale runs.
-	TraceCSV io.Writer
+	// saturated full-scale runs. Never serialized.
+	TraceCSV io.Writer `json:"-"`
 	// Workers bounds the concurrency of the multi-run entry points
-	// (RunComparison, RunSeeds): 0 means one worker per CPU, 1 forces
-	// serial execution — results are bit-identical either way. Callers
-	// that parallelize at a higher level should set 1 to avoid
+	// (RunComparison, RunSeeds, RunCampaign): 0 means one worker per CPU,
+	// 1 forces serial execution — results are bit-identical either way.
+	// Callers that parallelize at a higher level should set 1 to avoid
 	// oversubscription. Run ignores it (a single run is single-threaded).
-	Workers int
+	Workers int `json:"workers,omitempty"`
 }
 
 // DefaultConfig returns the paper's simulation parameters (Table II):
@@ -245,6 +291,12 @@ func Run(c Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	return runSim(c, sc)
+}
+
+// runSim validates and executes one resolved core configuration, wiring
+// the optional trace stream. Shared by Run and RunScenario.
+func runSim(c Config, sc core.Config) (Result, error) {
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,199 @@
+package caem
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/scenario"
+	"repro/scenarios"
+)
+
+// Scenario is a declarative dynamic-world specification: per-node
+// heterogeneity rules plus a timeline of world events (node failures and
+// revivals, battery service, traffic shifts and bursts, channel-weather
+// changes) layered over a base Config. Scenarios are JSON-serializable;
+// the curated library under scenarios/ ships with the binary (see
+// LibraryScenarios) and cmd/caem-sim runs both library and on-disk specs
+// via -scenario.
+//
+// A scenario run is exactly as deterministic as a static one: the
+// timeline compiles into discrete-event hooks scheduled before the first
+// protocol event, so equal (Scenario, Config) pairs give bit-identical
+// results at any worker count.
+type Scenario = scenario.Spec
+
+// Scenario building blocks, re-exported so callers outside this module
+// (which cannot import internal/scenario) can construct Scenario values
+// in code as well as load them from JSON.
+type (
+	// ScenarioEvent is one timeline entry of a Scenario.
+	ScenarioEvent = scenario.Event
+	// ScenarioEventType names a timeline event kind.
+	ScenarioEventType = scenario.EventType
+	// ScenarioNodeRule applies per-node heterogeneity at t = 0.
+	ScenarioNodeRule = scenario.NodeRule
+	// ScenarioSelector picks the nodes an event or rule affects.
+	ScenarioSelector = scenario.Selector
+	// ChannelShift is the parameter delta of an EventChannel.
+	ChannelShift = scenario.ChannelShift
+)
+
+// Timeline event kinds (see the ScenarioEventType constants of
+// internal/scenario for semantics): node lifecycle (EventKill,
+// EventRevive), energy (EventTopUp), traffic (EventSetRate,
+// EventScaleRate, EventRampRate, EventBurst), channel (EventChannel).
+const (
+	EventKill      = scenario.EventKill
+	EventRevive    = scenario.EventRevive
+	EventTopUp     = scenario.EventTopUp
+	EventSetRate   = scenario.EventSetRate
+	EventScaleRate = scenario.EventScaleRate
+	EventRampRate  = scenario.EventRampRate
+	EventBurst     = scenario.EventBurst
+	EventChannel   = scenario.EventChannel
+)
+
+// LoadScenario decodes and validates a scenario spec from JSON. Unknown
+// fields are rejected so schema typos fail loudly.
+func LoadScenario(r io.Reader) (Scenario, error) {
+	return scenario.Load(r)
+}
+
+// LoadScenarioFile loads a scenario spec from a JSON file.
+func LoadScenarioFile(path string) (Scenario, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("caem: %w", err)
+	}
+	defer f.Close()
+	return LoadScenario(f)
+}
+
+// LibraryScenarios returns the curated scenario library embedded in the
+// binary, sorted by file name.
+func LibraryScenarios() ([]Scenario, error) {
+	files := scenarios.Files()
+	out := make([]Scenario, 0, len(files))
+	for _, name := range files {
+		blob, err := scenarios.FS.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("caem: library scenario %s: %w", name, err)
+		}
+		sc, err := LoadScenario(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("caem: library scenario %s: %w", name, err)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// FindScenario returns the library scenario with the given name.
+func FindScenario(name string) (Scenario, error) {
+	lib, err := LibraryScenarios()
+	if err != nil {
+		return Scenario{}, err
+	}
+	for _, sc := range lib {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("caem: no library scenario named %q (have %d; see -list-scenarios)", name, len(lib))
+}
+
+// ScenarioConfig resolves the scenario's embedded config overrides over
+// the package defaults: the spec's "config" object is a partial Config in
+// the same JSON schema, and absent fields keep their DefaultConfig
+// values. Callers typically apply their own overrides (CLI flags, sweep
+// axes) on the returned Config before RunScenario.
+func ScenarioConfig(sc Scenario) (Config, error) {
+	cfg := DefaultConfig()
+	if len(sc.Config) == 0 {
+		return cfg, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(sc.Config))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("caem: scenario %q config overrides: %w", sc.Name, err)
+	}
+	return cfg, nil
+}
+
+// RunScenario executes one simulation of cfg under the scenario's node
+// rules and timeline. The scenario's embedded config overrides are NOT
+// applied here — resolve them explicitly with ScenarioConfig so the
+// caller controls the override order.
+func RunScenario(sc Scenario, cfg Config) (Result, error) {
+	simCfg, err := cfg.simConfig()
+	if err != nil {
+		return Result{}, err
+	}
+	if err := scenario.Compile(sc, &simCfg); err != nil {
+		return Result{}, fmt.Errorf("caem: %w", err)
+	}
+	return runSim(cfg, simCfg)
+}
+
+// CampaignCell is one grid point of a campaign: which scenario, protocol,
+// and seed produced the Result.
+type CampaignCell struct {
+	Scenario string
+	Protocol Protocol
+	Seed     uint64
+	Result   Result
+}
+
+// RunCampaign expands the scenario × protocol × seed grid over the base
+// configuration and executes every cell through the worker pool
+// (base.Workers; 0 = one per CPU, 1 = serial). Cells come back in
+// submission order — scenario-major, then protocol, then seed — and are
+// bit-identical for every worker count, so a campaign is a reproducible
+// experiment artifact. Empty protocols defaults to Protocols(); empty
+// seeds defaults to {base.Seed}. Tracing is incompatible with campaigns
+// (one stream per run); run cells individually to trace them.
+func RunCampaign(base Config, scs []Scenario, protocols []Protocol, seeds []uint64) ([]CampaignCell, error) {
+	if len(scs) == 0 {
+		return nil, fmt.Errorf("caem: campaign needs at least one scenario")
+	}
+	if base.TraceCSV != nil {
+		return nil, fmt.Errorf("caem: campaigns cannot stream traces from concurrent runs")
+	}
+	if len(protocols) == 0 {
+		protocols = Protocols()
+	}
+	if len(seeds) == 0 {
+		seeds = []uint64{base.Seed}
+	}
+	cells := make([]CampaignCell, 0, len(scs)*len(protocols)*len(seeds))
+	scFor := make([]Scenario, 0, cap(cells))
+	for _, sc := range scs {
+		for _, p := range protocols {
+			for _, seed := range seeds {
+				cells = append(cells, CampaignCell{Scenario: sc.Name, Protocol: p, Seed: seed})
+				scFor = append(scFor, sc)
+			}
+		}
+	}
+	results, err := runVariants(base.Workers, len(cells),
+		func(i int) string {
+			return fmt.Sprintf("%s/%s/seed %d", cells[i].Scenario, cells[i].Protocol, cells[i].Seed)
+		},
+		func(i int) (Result, error) {
+			cc := base
+			cc.Protocol = cells[i].Protocol
+			cc.Seed = cells[i].Seed
+			cc.Workers = 1 // the grid is the parallel unit
+			return RunScenario(scFor[i], cc)
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i := range cells {
+		cells[i].Result = results[i]
+	}
+	return cells, nil
+}

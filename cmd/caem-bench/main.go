@@ -23,7 +23,7 @@ import (
 func main() {
 	var (
 		which = flag.String("experiment", "all",
-			"which artifact to regenerate: all | table1 | table2 | figure8 | figure9 | figure10 | figure11 | figure12 | netperf | ablation-threshold | ablation-doppler | ablation-burst | ablation-csinoise | ablation-rician | seedvar")
+			"which artifact to regenerate: all | table1 | table2 | figure8 | figure9 | figure10 | figure11 | figure12 | netperf | ablation-threshold | ablation-doppler | ablation-burst | ablation-csinoise | ablation-rician | seedvar | dynamicworld")
 		scale   = flag.Float64("scale", 1.0, "experiment scale in (0, 1]: nodes, horizons, sweep sizes")
 		seed    = flag.Uint64("seed", 1, "master random seed")
 		out     = flag.String("out", "", "directory to write per-experiment CSV files (empty = don't)")
@@ -54,6 +54,7 @@ func main() {
 		"ablation-csinoise":  experiment.AblationCSINoise,
 		"ablation-rician":    experiment.AblationRician,
 		"seedvar":            experiment.SeedVariance,
+		"dynamicworld":       experiment.DynamicWorld,
 	}
 
 	var reports []experiment.Report

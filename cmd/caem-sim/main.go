@@ -3,9 +3,19 @@
 // Usage:
 //
 //	caem-sim -protocol scheme1 -load 5 -duration 600 -nodes 100 -seed 1
+//	caem-sim -list-scenarios
+//	caem-sim -scenario node-churn
+//	caem-sim -scenario my-world.json -protocol all -seeds 3
 //
 // Protocols: leach (pure LEACH baseline), scheme1 (CAEM with adaptive
-// threshold), scheme2 (CAEM with fixed highest threshold).
+// threshold), scheme2 (CAEM with fixed highest threshold); "all" (with
+// -scenario) runs the full protocol grid as a campaign.
+//
+// Scenarios are declarative dynamic-world specs (node churn, traffic
+// ramps and bursts, channel weather, battery service) layered over the
+// configuration; -scenario accepts a curated library name or a path to a
+// JSON spec file. A scenario file's embedded config overrides apply
+// first; explicitly passed flags override the scenario.
 package main
 
 import (
@@ -21,7 +31,7 @@ import (
 
 func main() {
 	var (
-		protocol = flag.String("protocol", "scheme1", "protocol: leach | scheme1 | scheme2")
+		protocol = flag.String("protocol", "scheme1", "protocol: leach | scheme1 | scheme2, or all (campaign over every protocol; needs -scenario)")
 		load     = flag.Float64("load", 5, "per-node traffic load, packets/second")
 		duration = flag.Float64("duration", 600, "simulated seconds")
 		nodes    = flag.Int("nodes", 100, "number of sensor nodes")
@@ -34,41 +44,95 @@ func main() {
 		traceOut = flag.String("trace", "", "write the protocol event stream as CSV to this file")
 		seeds    = flag.Int("seeds", 1, "number of replicate runs at consecutive seeds; >1 prints per-seed summaries plus a mean/sd aggregate")
 		workers  = flag.Int("workers", 0, "concurrent replicate runs (0 = one per CPU, 1 = serial)")
+
+		scenarioName  = flag.String("scenario", "", "dynamic-world scenario: a library name (see -list-scenarios) or a JSON spec file path")
+		listScenarios = flag.Bool("list-scenarios", false, "list the curated scenario library and exit")
 	)
 	flag.Parse()
 
+	if *listScenarios {
+		printScenarioLibrary()
+		return
+	}
+
+	// Which flags the user actually set: a scenario's embedded config
+	// overrides must not be clobbered by flag defaults.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	allProtocols := strings.EqualFold(*protocol, "all")
+	var proto caem.Protocol
+	if !allProtocols {
+		var err error
+		if proto, err = caem.ParseProtocol(*protocol); err != nil {
+			fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	var (
+		scenario    caem.Scenario
+		hasScenario bool
+	)
 	cfg := caem.DefaultConfig()
-	switch strings.ToLower(*protocol) {
-	case "leach", "pure-leach", "none":
-		cfg.Protocol = caem.PureLEACH
-	case "scheme1", "s1", "adaptive":
-		cfg.Protocol = caem.Scheme1
-	case "scheme2", "s2", "fixed":
-		cfg.Protocol = caem.Scheme2
-	default:
-		fmt.Fprintf(os.Stderr, "caem-sim: unknown protocol %q (want leach, scheme1, or scheme2)\n", *protocol)
+	if *scenarioName != "" {
+		var err error
+		scenario, err = loadScenario(*scenarioName)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+			os.Exit(2)
+		}
+		hasScenario = true
+		if cfg, err = caem.ScenarioConfig(scenario); err != nil {
+			fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	if allProtocols && !hasScenario {
+		fmt.Fprintln(os.Stderr, "caem-sim: -protocol all needs -scenario (campaign mode)")
 		os.Exit(2)
 	}
-	cfg.TrafficLoad = *load
-	cfg.DurationSeconds = *duration
-	cfg.Nodes = *nodes
-	cfg.Seed = *seed
-	cfg.InitialEnergyJ = *energy
-	cfg.FieldWidthM = *field
-	cfg.FieldHeightM = *field
-	cfg.BufferCapacity = *buffer
-	cfg.StopWhenNetworkDead = *stopDead
+
+	if !allProtocols && (set["protocol"] || !hasScenario) {
+		cfg.Protocol = proto
+	}
+	if set["load"] || !hasScenario {
+		cfg.TrafficLoad = *load
+	}
+	if set["duration"] || !hasScenario {
+		cfg.DurationSeconds = *duration
+	}
+	if set["nodes"] || !hasScenario {
+		cfg.Nodes = *nodes
+	}
+	if set["seed"] || !hasScenario {
+		cfg.Seed = *seed
+	}
+	if set["energy"] || !hasScenario {
+		cfg.InitialEnergyJ = *energy
+	}
+	if set["field"] || !hasScenario {
+		cfg.FieldWidthM, cfg.FieldHeightM = *field, *field
+	}
+	if set["buffer"] || !hasScenario {
+		cfg.BufferCapacity = *buffer
+	}
+	if set["stop-when-dead"] || !hasScenario {
+		cfg.StopWhenNetworkDead = *stopDead
+	}
+
+	campaign := hasScenario && (allProtocols || *seeds > 1)
 
 	// Reject incompatible replication flags before touching the trace
 	// file: os.Create truncates, and a rejected invocation must not
 	// destroy an existing trace.
-	if *seeds > 1 {
+	if *seeds > 1 || campaign {
 		if *traceOut != "" {
-			fmt.Fprintln(os.Stderr, "caem-sim: -trace is incompatible with -seeds > 1 (one trace stream per run)")
+			fmt.Fprintln(os.Stderr, "caem-sim: -trace is incompatible with replicate/campaign runs (one trace stream per run)")
 			os.Exit(2)
 		}
 		if *perNode {
-			fmt.Fprintln(os.Stderr, "caem-sim: -per-node is incompatible with -seeds > 1; inspect one seed at a time")
+			fmt.Fprintln(os.Stderr, "caem-sim: -per-node is incompatible with replicate/campaign runs; inspect one run at a time")
 			os.Exit(2)
 		}
 	}
@@ -90,19 +154,56 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *seeds > 1 {
-		runReplicates(cfg, *seed, *seeds, *workers)
-		return
+	switch {
+	case campaign:
+		runCampaign(scenario, cfg, allProtocols, cfg.Seed, *seeds, *workers)
+	case *seeds > 1:
+		runReplicates(cfg, cfg.Seed, *seeds, *workers)
+	case hasScenario:
+		fmt.Printf("scenario          %s (%d timeline events)\n", scenario.Name, scenario.EventCount())
+		res, err := caem.RunScenario(scenario, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+			os.Exit(1)
+		}
+		printRun(res, *perNode)
+	default:
+		res, err := caem.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+			os.Exit(1)
+		}
+		printRun(res, *perNode)
 	}
+}
 
-	res, err := caem.Run(cfg)
+// loadScenario resolves the -scenario argument: an existing file path is
+// loaded from disk, anything else is looked up in the embedded library.
+func loadScenario(name string) (caem.Scenario, error) {
+	if _, err := os.Stat(name); err == nil {
+		return caem.LoadScenarioFile(name)
+	}
+	if strings.HasSuffix(name, ".json") {
+		return caem.Scenario{}, fmt.Errorf("scenario file %s not found", name)
+	}
+	return caem.FindScenario(name)
+}
+
+func printScenarioLibrary() {
+	lib, err := caem.LibraryScenarios()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Print(res.Summary())
+	fmt.Printf("%-24s %-7s %s\n", "name", "events", "description")
+	for _, sc := range lib {
+		fmt.Printf("%-24s %-7d %s\n", sc.Name, sc.EventCount(), sc.Description)
+	}
+}
 
-	if *perNode {
+func printRun(res caem.Result, perNode bool) {
+	fmt.Print(res.Summary())
+	if perNode {
 		fmt.Println("\nnode  remaining(J)  consumed(J)  delivered  queue  status")
 		for _, n := range res.Nodes {
 			status := "alive"
@@ -111,6 +212,48 @@ func main() {
 			}
 			fmt.Printf("%4d  %11.3f  %10.3f  %9d  %5d  %s\n",
 				n.Index, n.RemainingJ, n.ConsumedJ, n.DeliveredCount, n.QueueLen, status)
+		}
+	}
+}
+
+// runCampaign expands the scenario × protocol × seed grid and prints one
+// row per cell plus per-protocol aggregates.
+func runCampaign(sc caem.Scenario, cfg caem.Config, allProtocols bool, firstSeed uint64, nSeeds, workers int) {
+	protocols := []caem.Protocol{cfg.Protocol}
+	if allProtocols {
+		protocols = caem.Protocols()
+	}
+	seedList := make([]uint64, nSeeds)
+	for i := range seedList {
+		seedList[i] = firstSeed + uint64(i)
+	}
+	cfg.Workers = workers
+	cells, err := caem.RunCampaign(cfg, []caem.Scenario{sc}, protocols, seedList)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("campaign: scenario %s, %d protocol(s) x %d seed(s)\n\n", sc.Name, len(protocols), len(seedList))
+	fmt.Println("protocol      seed  consumed(J)  delivered  delivery  delay(ms)  alive")
+	for _, c := range cells {
+		fmt.Printf("%-12s  %4d  %11.2f  %9d  %7.1f%%  %9.1f  %5d\n",
+			c.Protocol, c.Seed, c.Result.TotalConsumedJ, c.Result.Delivered,
+			100*c.Result.DeliveryRate, c.Result.MeanDelayMs, c.Result.AliveAtEnd)
+	}
+
+	if len(seedList) > 1 {
+		fmt.Println()
+		for _, p := range protocols {
+			var consumed, delivery metrics.Welford
+			for _, c := range cells {
+				if c.Protocol == p {
+					consumed.Add(c.Result.TotalConsumedJ)
+					delivery.Add(c.Result.DeliveryRate)
+				}
+			}
+			fmt.Printf("%-12s  consumed %.2f J (sd %.2f), delivery %.1f%% (sd %.1f)\n",
+				p, consumed.Mean(), consumed.StdDev(), 100*delivery.Mean(), 100*delivery.StdDev())
 		}
 	}
 }

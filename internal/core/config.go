@@ -39,6 +39,10 @@ type Config struct {
 	// ArrivalRatePerSecond is the Poisson traffic load per node (the
 	// paper's "added traffic load", 5..30 pkt/s).
 	ArrivalRatePerSecond float64
+	// NodeArrivalRate, when non-empty, overrides ArrivalRatePerSecond per
+	// node (len must equal Nodes). The scenario engine uses it for
+	// heterogeneous traffic profiles such as hotspot clusters.
+	NodeArrivalRate []float64
 	// PacketSizeBits is the information payload per packet (2 Kbits).
 	PacketSizeBits int
 	// BufferCapacity is the node buffer in packets (50; 0 = unbounded,
@@ -47,6 +51,9 @@ type Config struct {
 
 	// InitialEnergyJ is the battery budget per node (10 J).
 	InitialEnergyJ float64
+	// NodeEnergyJ, when non-empty, overrides InitialEnergyJ per node (len
+	// must equal Nodes) for heterogeneous battery budgets.
+	NodeEnergyJ []float64
 
 	// RoundLength is the LEACH round duration.
 	RoundLength sim.Time
@@ -113,6 +120,14 @@ type Config struct {
 	// mode choice still uses the receive-tone feedback loop, which
 	// tracks the channel continuously.
 	CSINoiseSigmaDB float64
+
+	// World is the timeline of external world mutations (node failures,
+	// revivals, battery service, traffic shifts, channel weather) applied
+	// during the run. Events are scheduled into the discrete-event engine
+	// before the first protocol event, so a given timeline is executed
+	// deterministically. See internal/scenario for the declarative layer
+	// that compiles to this field.
+	World []WorldEvent
 
 	// Trace, when non-nil, receives every protocol-level event
 	// synchronously (round starts, FSM transitions, bursts, deliveries,
@@ -213,6 +228,34 @@ func (c Config) Validate() error {
 	}
 	if err := c.Adjust.Validate(); err != nil {
 		return err
+	}
+	if len(c.NodeArrivalRate) != 0 {
+		if len(c.NodeArrivalRate) != c.Nodes {
+			return fmt.Errorf("netsim: NodeArrivalRate has %d entries for %d nodes", len(c.NodeArrivalRate), c.Nodes)
+		}
+		for i, r := range c.NodeArrivalRate {
+			if r < 0 {
+				return fmt.Errorf("netsim: NodeArrivalRate[%d] = %v is negative", i, r)
+			}
+		}
+	}
+	if len(c.NodeEnergyJ) != 0 {
+		if len(c.NodeEnergyJ) != c.Nodes {
+			return fmt.Errorf("netsim: NodeEnergyJ has %d entries for %d nodes", len(c.NodeEnergyJ), c.Nodes)
+		}
+		for i, e := range c.NodeEnergyJ {
+			if e <= 0 {
+				return fmt.Errorf("netsim: NodeEnergyJ[%d] = %v is not positive", i, e)
+			}
+		}
+	}
+	for i, ev := range c.World {
+		if ev.At < 0 {
+			return fmt.Errorf("netsim: World[%d] at negative time %v", i, ev.At)
+		}
+		if ev.Apply == nil {
+			return fmt.Errorf("netsim: World[%d] has a nil Apply", i)
+		}
 	}
 	return nil
 }

@@ -174,10 +174,18 @@ func New(cfg Config) *Network {
 	net.aliveMask = make([]bool, cfg.Nodes)
 	net.nodes = make([]*node, cfg.Nodes)
 	for i := range net.nodes {
+		initialJ := cfg.InitialEnergyJ
+		if len(cfg.NodeEnergyJ) == cfg.Nodes {
+			initialJ = cfg.NodeEnergyJ[i]
+		}
+		rate := cfg.ArrivalRatePerSecond
+		if len(cfg.NodeArrivalRate) == cfg.Nodes {
+			rate = cfg.NodeArrivalRate[i]
+		}
 		n := &node{
 			idx:           i,
 			pos:           net.positions[i],
-			battery:       energy.NewBattery(cfg.InitialEnergyJ),
+			battery:       energy.NewBattery(initialJ),
 			buf:           queueing.NewBuffer(cfg.BufferCapacity),
 			adjust:        queueing.NewThresholdAdjuster(cfg.Adjust),
 			state:         mac.SensorSleep,
@@ -187,7 +195,7 @@ func New(cfg Config) *Network {
 			csiStream:     net.src.Stream("csinoise", uint64(i)),
 			alive:         true,
 		}
-		n.source = queueing.NewPoissonSource(cfg.ArrivalRatePerSecond, cfg.PacketSizeBits, i, net.src.Stream("arrival", uint64(i)), &net.nextPacketID)
+		n.source = queueing.NewPoissonSource(rate, cfg.PacketSizeBits, i, net.src.Stream("arrival", uint64(i)), &net.nextPacketID)
 		n.arrivalFn = func() { net.onArrival(n) }
 		n.backoffFn = func() { net.onBackoffExpire(n, n.backoffCl, n.backoffGen) }
 		net.nodes[i] = n
@@ -235,6 +243,14 @@ func (net *Network) Run() Result {
 	net.sample()
 	for _, n := range net.nodes {
 		net.scheduleArrival(n)
+	}
+	// The scenario timeline: world events are scheduled before the first
+	// protocol event fires, so their engine sequence numbers — and with
+	// them the whole event interleaving — are a pure function of Config.
+	world := &World{net: net}
+	for i := range net.cfg.World {
+		ev := net.cfg.World[i]
+		net.eng.ScheduleAt(ev.At, func() { ev.Apply(world) })
 	}
 	net.eng.Schedule(net.cfg.BookkeepingInterval, net.bookkeepingFn)
 	net.eng.Schedule(net.cfg.SampleInterval, net.sampleTickFn)
@@ -974,6 +990,7 @@ func (net *Network) nodeDied(n *node, now sim.Time) {
 	}
 	n.alive = false
 	n.lastAccrual = now
+	n.diedAt = now
 	net.aliveMask[n.idx] = false
 	net.life.NodeDied(now)
 	net.emit(TraceDeath, n.idx, 0, "")

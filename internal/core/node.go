@@ -28,6 +28,7 @@ type node struct {
 	clusterIdx   int // index into net.clusters, -1 when unassigned/dead
 	sensingSince sim.Time
 	lastAccrual  sim.Time
+	diedAt       sim.Time // latest death time (exhaustion or world kill)
 
 	arrivalEv sim.EventID
 	backoffEv sim.EventID

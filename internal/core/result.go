@@ -141,7 +141,10 @@ func (net *Network) buildResult(end sim.Time) Result {
 			ServiceShare: n.serviceShare,
 		}
 		if !n.alive {
-			rep.DiedAt = n.battery.DiedAt()
+			// The node's own record, not the battery's: a world-event kill
+			// leaves charge behind, and a revived-then-dead node's latest
+			// death is the one that matters.
+			rep.DiedAt = n.diedAt
 		}
 		r.Nodes = append(r.Nodes, rep)
 	}

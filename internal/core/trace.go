@@ -35,6 +35,8 @@ const (
 	TraceDeferral
 	// TraceDeath marks a battery exhaustion.
 	TraceDeath
+	// TraceRevive marks a dead node returning to service (world event).
+	TraceRevive
 	numTraceKinds
 )
 
@@ -49,6 +51,7 @@ var traceKindNames = [...]string{
 	TraceDrop:        "drop",
 	TraceDeferral:    "deferral",
 	TraceDeath:       "death",
+	TraceRevive:      "revive",
 }
 
 func (k TraceKind) String() string {

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/mac"
+	"repro/internal/sim"
+)
+
+// WorldEvent is one scheduled mutation of the simulated world: an external
+// condition change (node failure, battery service, traffic shift, channel
+// weather) that the protocol under test must adapt to. World events are
+// the execution layer of the scenario engine (internal/scenario): the
+// declarative timeline compiles down to a []WorldEvent on the Config, and
+// Run schedules each one into the discrete-event engine before the first
+// protocol event fires, so event ordering — and therefore the whole run —
+// stays deterministic for a given Config.
+//
+// Apply closures must be pure functions of the World they receive (no
+// captured mutable state), so a compiled Config can be shared across
+// concurrent runs.
+type WorldEvent struct {
+	// At is the absolute simulation time the mutation takes effect.
+	At sim.Time
+	// Apply performs the mutation through the World surface.
+	Apply func(w *World)
+}
+
+// World is the mutation surface handed to world events. It exposes the
+// externally-forceable state of the network — node lifecycle, batteries,
+// traffic sources, propagation parameters — while keeping protocol state
+// (FSMs, queues, clustering) under the simulation's own control.
+type World struct {
+	net *Network
+}
+
+// Now returns the current simulation time.
+func (w *World) Now() sim.Time { return w.net.eng.Now() }
+
+// NodeCount returns the network size.
+func (w *World) NodeCount() int { return len(w.net.nodes) }
+
+// Alive reports whether node i is currently operational.
+func (w *World) Alive(i int) bool { return w.net.nodes[i].alive }
+
+// RemainingEnergyJ returns node i's current battery level.
+func (w *World) RemainingEnergyJ(i int) float64 { return w.net.nodes[i].battery.Remaining() }
+
+// ArrivalRate returns node i's current traffic rate in packets/second.
+func (w *World) ArrivalRate(i int) float64 { return w.net.nodes[i].source.RatePerSecond }
+
+// Kill forces node i to fail immediately (crash, tampering, environmental
+// damage — any failure other than battery exhaustion; the battery keeps
+// its charge). The usual death bookkeeping applies: if the node headed a
+// cluster, the cluster collapses until the next election. Killing a dead
+// node is a no-op.
+func (w *World) Kill(i int) {
+	net := w.net
+	n := net.nodes[i]
+	if !n.alive {
+		return
+	}
+	now := net.eng.Now()
+	// Settle dwell energy under the pre-failure state first, so the
+	// ledger is exact up to the failure instant.
+	n.accrue(net, now)
+	if n.alive {
+		net.nodeDied(n, now)
+	}
+}
+
+// Revive returns a dead node to service with energyJ added to whatever
+// charge its battery retained (a battery swap / field repair). The node
+// wakes in the sleep state outside any cluster and rejoins at the next
+// LEACH election; its traffic source restarts immediately. Packets that
+// were buffered when the node failed are lost (the repair replaces the
+// hardware; a delivered months-stale reading would also poison the delay
+// metric with repair downtime rather than MAC behaviour). Reviving an
+// alive node is a no-op.
+func (w *World) Revive(i int, energyJ float64) {
+	net := w.net
+	n := net.nodes[i]
+	if n.alive {
+		return
+	}
+	n.battery.Recharge(energyJ)
+	if n.battery.Dead() {
+		return // no usable charge; the repair failed
+	}
+	now := net.eng.Now()
+	n.alive = true
+	n.lastAccrual = now
+	n.state = mac.SensorSleep
+	n.isHead = false
+	n.clusterIdx = -1
+	for {
+		if !n.buf.DropHead() {
+			break
+		}
+	}
+	n.adjust.OnServiced(0)
+	net.aliveMask[i] = true
+	net.life.NodeRevived(now)
+	net.emit(TraceRevive, i, 0, "")
+	net.scheduleArrival(n)
+}
+
+// AddEnergy tops up an alive node's battery by joules (energy harvesting,
+// battery service). Dead nodes are unaffected — use Revive to also return
+// the node to service.
+func (w *World) AddEnergy(i int, joules float64) {
+	n := w.net.nodes[i]
+	if !n.alive {
+		return
+	}
+	n.battery.Recharge(joules)
+}
+
+// SetArrivalRate changes node i's Poisson traffic rate to perSecond
+// (0 silences the source). The next inter-arrival gap is redrawn at the
+// new rate; the change applies even while the node is dead, taking effect
+// if it is later revived.
+func (w *World) SetArrivalRate(i int, perSecond float64) {
+	if perSecond < 0 {
+		panic(fmt.Sprintf("core: negative arrival rate %v for node %d", perSecond, i))
+	}
+	net := w.net
+	n := net.nodes[i]
+	n.source.RatePerSecond = perSecond
+	net.eng.Cancel(n.arrivalEv)
+	if n.alive {
+		net.scheduleArrival(n)
+	}
+}
+
+// ScaleArrivalRate multiplies node i's current traffic rate by factor.
+func (w *World) ScaleArrivalRate(i int, factor float64) {
+	if factor < 0 {
+		panic(fmt.Sprintf("core: negative rate factor %v for node %d", factor, i))
+	}
+	w.SetArrivalRate(i, w.net.nodes[i].source.RatePerSecond*factor)
+}
+
+// UpdateChannel mutates the deployment-wide propagation parameters
+// (Doppler, shadowing, path loss, link budget — the "weather"). Every
+// cached link realization is discarded; links re-materialize lazily under
+// the new parameters from their original per-pair streams, so the run
+// stays a pure function of the master seed. It panics on parameters that
+// fail validation — the scenario compiler validates values up front, so
+// reaching an invalid combination here is a programming error.
+func (w *World) UpdateChannel(mutate func(p *channel.Params)) {
+	net := w.net
+	params := net.cfg.Channel
+	mutate(&params)
+	if err := params.Validate(); err != nil {
+		panic(fmt.Sprintf("core: world event produced invalid channel parameters: %v", err))
+	}
+	net.cfg.Channel = params
+	net.links = make(map[uint64]*channel.Link)
+}

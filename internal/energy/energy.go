@@ -146,6 +146,7 @@ func (d DeviceModel) StartupEnergy() float64 {
 type Battery struct {
 	initial   float64
 	remaining float64
+	recharged float64
 	byCause   [numCauses]float64
 	diedAt    sim.Time
 	dead      bool
@@ -165,8 +166,29 @@ func (b *Battery) Initial() float64 { return b.initial }
 // Remaining returns the current level in Joules (never negative).
 func (b *Battery) Remaining() float64 { return b.remaining }
 
-// Consumed returns total energy drawn so far.
-func (b *Battery) Consumed() float64 { return b.initial - b.remaining }
+// Consumed returns total energy drawn so far (recharges do not reduce it).
+func (b *Battery) Consumed() float64 { return b.initial + b.recharged - b.remaining }
+
+// Recharged returns total externally added energy (world top-up events).
+func (b *Battery) Recharged() float64 { return b.recharged }
+
+// Recharge adds joules to the battery — an external top-up (energy
+// harvesting, battery swap, field service) driven by a world event. A dead
+// battery returns to service once its level becomes positive; the
+// per-cause consumption ledger is unaffected. Negative amounts panic.
+func (b *Battery) Recharge(joules float64) {
+	if joules < 0 {
+		panic(fmt.Sprintf("energy: negative recharge %v", joules))
+	}
+	if joules == 0 {
+		return
+	}
+	b.remaining += joules
+	b.recharged += joules
+	if b.dead && b.remaining > 0 {
+		b.dead = false
+	}
+}
 
 // ConsumedBy returns the energy attributed to a cause.
 func (b *Battery) ConsumedBy(c Cause) float64 { return b.byCause[c] }

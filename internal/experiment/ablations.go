@@ -178,6 +178,7 @@ func All(opts Options) []Report {
 		AblationCSINoise(opts),
 		AblationRician(opts),
 		SeedVariance(opts),
+		DynamicWorld(opts),
 	}
 }
 

@@ -174,6 +174,24 @@ func TestSeedVariance(t *testing.T) {
 // Parallel sweeps must render byte-identical reports: every run owns its
 // random streams, and the runner returns results in submission order, so
 // the worker count cannot leak into any artifact.
+func TestDynamicWorld(t *testing.T) {
+	r := DynamicWorld(quickOpts())
+	if len(r.Table.Rows) != 3 {
+		t.Fatalf("DynamicWorld rows = %d, want one per protocol", len(r.Table.Rows))
+	}
+	if len(r.Notes) < 2 {
+		t.Fatalf("DynamicWorld notes = %v", r.Notes)
+	}
+	if len(r.Charts) != 2 {
+		t.Fatalf("DynamicWorld charts = %d, want 2", len(r.Charts))
+	}
+	for _, n := range r.Notes {
+		if strings.Contains(n, "did NOT survive") {
+			t.Errorf("unexpected ordering inversion: %s", n)
+		}
+	}
+}
+
 func TestParallelReportsBitIdentical(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -181,6 +199,7 @@ func TestParallelReportsBitIdentical(t *testing.T) {
 	}{
 		{"Figure9", Figure9},
 		{"AblationDoppler", AblationDoppler},
+		{"DynamicWorld", DynamicWorld},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			serial := Options{Seed: 1, Scale: 0.1, Workers: 1}

@@ -206,13 +206,22 @@ func (f *FairnessProbe) Snapshots() uint64 { return f.snapshots.Count() }
 // the Fig. 12 y-axis.
 func (f *FairnessProbe) MeanStdDev() float64 { return f.snapshots.Mean() }
 
-// Lifetime tracks node deaths and derives the network lifetime: the paper
-// calls the network dead once the fraction of exhausted nodes passes a
-// threshold (value lost in the scan; DESIGN.md fixes 80%).
+// Lifetime tracks node deaths (and scenario revivals) and derives the
+// network lifetime: the paper calls the network dead once the fraction of
+// dead nodes passes a threshold (value lost in the scan; DESIGN.md fixes
+// 80%). With revivals in play the dead count is a step function of time,
+// so the lifetime is the first instant the *concurrent* dead fraction
+// reaches the threshold — a node dying twice is not double-counted.
 type Lifetime struct {
 	total      int
 	deadTimes  []sim.Time
+	deltas     []lifeDelta // +1 death / -1 revival, in occurrence order
 	deadsSoFar int
+}
+
+type lifeDelta struct {
+	at    sim.Time
+	delta int
 }
 
 // NewLifetime tracks a population of total nodes.
@@ -224,6 +233,19 @@ func NewLifetime(total int) *Lifetime {
 func (l *Lifetime) NodeDied(at sim.Time) {
 	l.deadsSoFar++
 	l.deadTimes = append(l.deadTimes, at)
+	l.deltas = append(l.deltas, lifeDelta{at: at, delta: 1})
+}
+
+// NodeRevived records one node returning to service at the given time
+// (scenario world events). The death history is retained — FirstDeath
+// keeps reporting the first exhaustion — while Alive and NetworkDeadAt
+// reflect the concurrent population.
+func (l *Lifetime) NodeRevived(at sim.Time) {
+	if l.deadsSoFar == 0 {
+		panic("metrics: NodeRevived without a prior death")
+	}
+	l.deadsSoFar--
+	l.deltas = append(l.deltas, lifeDelta{at: at, delta: -1})
 }
 
 // Alive returns the current alive count.
@@ -240,17 +262,24 @@ func (l *Lifetime) FirstDeath() (sim.Time, bool) {
 	return l.deadTimes[0], true
 }
 
-// NetworkDeadAt returns the time at which the dead fraction first reached
-// deadFraction; ok=false if the network survived the whole run.
+// NetworkDeadAt returns the first time the concurrent dead fraction
+// reached deadFraction; ok=false if it never did. Revivals lower the
+// concurrent count, so a churn world where nodes die, return, and die
+// again is judged on how many are dead at once, not on cumulative death
+// events.
 func (l *Lifetime) NetworkDeadAt(deadFraction float64) (sim.Time, bool) {
 	need := int(math.Ceil(deadFraction * float64(l.total)))
 	if need < 1 {
 		need = 1
 	}
-	if len(l.deadTimes) < need {
-		return 0, false
+	dead := 0
+	for _, d := range l.deltas {
+		dead += d.delta
+		if dead >= need {
+			return d.at, true
+		}
 	}
-	return l.deadTimes[need-1], true
+	return 0, false
 }
 
 // Throughput accumulates delivered payload for the aggregate network

@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// Compile lowers the spec onto cfg: node rules materialize into the
+// per-node override arrays, and the timeline translates into
+// core.WorldEvent hooks appended to cfg.World (ramps and bursts expand
+// into multiple discrete events). The spec's embedded Config overlay is
+// NOT applied here — that is the public layer's job (it owns the public
+// config schema); Compile consumes the already-resolved core.Config.
+//
+// Every compiled closure captures only immutable data, so the resulting
+// Config may be shared across concurrent runs.
+func Compile(s Spec, cfg *core.Config) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if cfg.Nodes < 2 {
+		return fmt.Errorf("scenario %q: config has %d nodes", s.Name, cfg.Nodes)
+	}
+
+	// Per-node heterogeneity: materialize full override arrays from the
+	// homogeneous base (or pre-existing overrides), then apply rules in
+	// order.
+	rates := make([]float64, cfg.Nodes)
+	energies := make([]float64, cfg.Nodes)
+	for i := range rates {
+		rates[i] = cfg.ArrivalRatePerSecond
+		if len(cfg.NodeArrivalRate) == cfg.Nodes {
+			rates[i] = cfg.NodeArrivalRate[i]
+		}
+		energies[i] = cfg.InitialEnergyJ
+		if len(cfg.NodeEnergyJ) == cfg.Nodes {
+			energies[i] = cfg.NodeEnergyJ[i]
+		}
+	}
+	for ri, rule := range s.Nodes {
+		idx, err := rule.Nodes.Resolve(cfg.Nodes)
+		if err != nil {
+			return fmt.Errorf("scenario %q: node rule %d: %w", s.Name, ri, err)
+		}
+		for _, i := range idx {
+			if rule.RatePerSecond != nil {
+				rates[i] = *rule.RatePerSecond
+			}
+			if rule.RateScale > 0 {
+				rates[i] *= rule.RateScale
+			}
+			if rule.EnergyJ != nil {
+				energies[i] = *rule.EnergyJ
+			}
+			if rule.EnergyScale > 0 {
+				energies[i] *= rule.EnergyScale
+			}
+		}
+	}
+	if len(s.Nodes) > 0 {
+		cfg.NodeArrivalRate = rates
+		cfg.NodeEnergyJ = energies
+	}
+
+	for ei, ev := range s.Timeline {
+		compiled, err := compileEvent(ev, cfg, rates)
+		if err != nil {
+			return fmt.Errorf("scenario %q: timeline[%d] (%s): %w", s.Name, ei, ev.Type, err)
+		}
+		cfg.World = append(cfg.World, compiled...)
+	}
+	return nil
+}
+
+// compileEvent lowers one declared event into one or more world events.
+// baseRates holds the post-rule per-node base rates (the ramp default
+// start).
+func compileEvent(ev Event, cfg *core.Config, baseRates []float64) ([]core.WorldEvent, error) {
+	at := sim.FromSeconds(ev.AtSeconds)
+	idx := []int(nil)
+	if ev.Type != EventChannel {
+		var err error
+		idx, err = ev.Nodes.Resolve(cfg.Nodes)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	switch ev.Type {
+	case EventKill:
+		return []core.WorldEvent{{At: at, Apply: func(w *core.World) {
+			for _, i := range idx {
+				w.Kill(i)
+			}
+		}}}, nil
+
+	case EventRevive:
+		charge := ev.EnergyJ
+		perNode := charge == 0 // fall back to each node's initial budget
+		energies := cfg.NodeEnergyJ
+		initial := cfg.InitialEnergyJ
+		return []core.WorldEvent{{At: at, Apply: func(w *core.World) {
+			for _, i := range idx {
+				j := charge
+				if perNode {
+					j = initial
+					if len(energies) > i {
+						j = energies[i]
+					}
+				}
+				w.Revive(i, j)
+			}
+		}}}, nil
+
+	case EventTopUp:
+		j := ev.EnergyJ
+		return []core.WorldEvent{{At: at, Apply: func(w *core.World) {
+			for _, i := range idx {
+				w.AddEnergy(i, j)
+			}
+		}}}, nil
+
+	case EventSetRate:
+		r := *ev.RatePerSecond
+		return []core.WorldEvent{{At: at, Apply: func(w *core.World) {
+			for _, i := range idx {
+				w.SetArrivalRate(i, r)
+			}
+		}}}, nil
+
+	case EventScaleRate:
+		f := ev.Scale
+		return []core.WorldEvent{{At: at, Apply: func(w *core.World) {
+			for _, i := range idx {
+				w.ScaleArrivalRate(i, f)
+			}
+		}}}, nil
+
+	case EventRampRate:
+		// A linear ramp is a staircase of absolute set-rate events: the
+		// start and target are fixed at compile time, so the compiled
+		// closures stay pure and the staircase is identical on every run.
+		steps := ev.Steps
+		if steps == 0 {
+			steps = 8
+		}
+		target := *ev.RatePerSecond
+		out := make([]core.WorldEvent, 0, steps)
+		for s := 1; s <= steps; s++ {
+			frac := float64(s) / float64(steps)
+			stepAt := at + sim.FromSeconds(ev.DurationSeconds*frac)
+			fromFixed := ev.FromRatePerSecond
+			out = append(out, core.WorldEvent{At: stepAt, Apply: func(w *core.World) {
+				for _, i := range idx {
+					from := baseRates[i]
+					if fromFixed != nil {
+						from = *fromFixed
+					}
+					w.SetArrivalRate(i, from+(target-from)*frac)
+				}
+			}})
+		}
+		return out, nil
+
+	case EventBurst:
+		// Scale up at the start, divide back out at the end. Stateless by
+		// design (no captured pre-burst snapshot), so overlapping events
+		// compose multiplicatively and compiled configs stay shareable.
+		f := ev.Scale
+		end := at + sim.FromSeconds(ev.DurationSeconds)
+		return []core.WorldEvent{
+			{At: at, Apply: func(w *core.World) {
+				for _, i := range idx {
+					w.ScaleArrivalRate(i, f)
+				}
+			}},
+			{At: end, Apply: func(w *core.World) {
+				for _, i := range idx {
+					w.ScaleArrivalRate(i, 1/f)
+				}
+			}},
+		}, nil
+
+	case EventChannel:
+		shift := *ev.Channel
+		// Pre-flight the shift against the config's own parameters so an
+		// invalid combination fails at compile time, not mid-run. The
+		// runtime re-check in UpdateChannel guards against shifts stacking
+		// into invalidity (e.g. two events with partial fields).
+		trial := cfg.Channel
+		shift.apply(&trial)
+		if err := trial.Validate(); err != nil {
+			return nil, err
+		}
+		return []core.WorldEvent{{At: at, Apply: func(w *core.World) {
+			w.UpdateChannel(func(p *channel.Params) { shift.apply(p) })
+		}}}, nil
+	}
+	return nil, fmt.Errorf("unknown event type %q", ev.Type)
+}
+
+// apply writes the shift's non-nil fields onto p.
+func (c ChannelShift) apply(p *channel.Params) {
+	if c.DopplerHz != nil {
+		p.DopplerHz = *c.DopplerHz
+	}
+	if c.ShadowingSigmaDB != nil {
+		p.ShadowingSigmaDB = *c.ShadowingSigmaDB
+	}
+	if c.ShadowingCorr != nil {
+		p.ShadowingCorr = *c.ShadowingCorr
+	}
+	if c.PathLossExponent != nil {
+		p.PathLossExponent = *c.PathLossExponent
+	}
+	if c.ReferenceSNRdB != nil {
+		p.ReferenceSNRdB = *c.ReferenceSNRdB
+	}
+	if c.RicianK != nil {
+		p.RicianK = *c.RicianK
+	}
+}

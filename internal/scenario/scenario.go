@@ -1,0 +1,301 @@
+// Package scenario is the declarative layer of the dynamic-world engine:
+// a JSON-serializable Spec describes per-node heterogeneity and a timeline
+// of world events — node failures and revivals, battery service, traffic
+// shifts and bursts, channel-weather changes — layered on top of a base
+// core.Config. Compile lowers a Spec onto a concrete configuration by
+// materializing per-node overrides and translating the timeline into
+// core.WorldEvent hooks executed by the discrete-event engine, so a
+// scenario run is exactly as deterministic as a static one.
+//
+// The paper evaluates CAEM only on a static world (100 immobile nodes,
+// constant Poisson load, no failures); scenarios turn the simulator into a
+// general experimentation platform for the conditions the protocol was
+// actually designed to adapt to. The curated library under scenarios/
+// holds named Specs; the public entry points live in package caem
+// (caem.RunScenario, caem.RunCampaign).
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// EventType names a timeline event kind. The types cover four categories
+// of world change: node lifecycle (kill, revive), energy (topup), traffic
+// (set-rate, scale-rate, ramp-rate, burst), and channel (channel).
+type EventType string
+
+const (
+	// EventKill forces the selected nodes to fail (non-battery failure:
+	// the battery keeps its charge).
+	EventKill EventType = "kill"
+	// EventRevive returns selected dead nodes to service with EnergyJ
+	// added charge (0 = the run's initial per-node budget).
+	EventRevive EventType = "revive"
+	// EventTopUp adds EnergyJ to the selected alive nodes' batteries.
+	EventTopUp EventType = "topup"
+	// EventSetRate sets the selected nodes' Poisson arrival rate to
+	// RatePerSecond (0 silences them).
+	EventSetRate EventType = "set-rate"
+	// EventScaleRate multiplies the selected nodes' current arrival rate
+	// by Scale.
+	EventScaleRate EventType = "scale-rate"
+	// EventRampRate moves the selected nodes' arrival rate linearly to
+	// RatePerSecond over DurationSeconds in Steps discrete steps, starting
+	// from FromRatePerSecond (or each node's configured base rate).
+	EventRampRate EventType = "ramp-rate"
+	// EventBurst multiplies the selected nodes' arrival rate by Scale for
+	// DurationSeconds, then divides it back out.
+	EventBurst EventType = "burst"
+	// EventChannel shifts the deployment-wide propagation parameters
+	// (Doppler, shadowing, path loss, link budget).
+	EventChannel EventType = "channel"
+)
+
+// eventTypes is the closed set of valid types.
+var eventTypes = map[EventType]bool{
+	EventKill: true, EventRevive: true, EventTopUp: true,
+	EventSetRate: true, EventScaleRate: true, EventRampRate: true,
+	EventBurst: true, EventChannel: true,
+}
+
+// Selector picks a subset of node indices. The zero value selects every
+// node. Otherwise the selection is the union of the explicit Indices and
+// the half-open range [From, To) taken with stride Every (default 1).
+type Selector struct {
+	All     bool  `json:"all,omitempty"`
+	Indices []int `json:"indices,omitempty"`
+	From    int   `json:"from,omitempty"`
+	To      int   `json:"to,omitempty"`
+	Every   int   `json:"every,omitempty"`
+}
+
+// isZero reports whether the selector is the select-everything zero value.
+func (s Selector) isZero() bool {
+	return !s.All && len(s.Indices) == 0 && s.From == 0 && s.To == 0 && s.Every == 0
+}
+
+// Resolve returns the selected indices for a network of n nodes, sorted
+// and de-duplicated. It errors on out-of-range indices or a degenerate
+// range, so scenario typos fail loudly at compile time.
+func (s Selector) Resolve(n int) ([]int, error) {
+	if s.All || s.isZero() {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	pick := make(map[int]bool)
+	for _, i := range s.Indices {
+		if i < 0 || i >= n {
+			return nil, fmt.Errorf("scenario: node index %d outside [0, %d)", i, n)
+		}
+		pick[i] = true
+	}
+	if s.From != 0 || s.To != 0 || s.Every != 0 {
+		every := s.Every
+		if every == 0 {
+			every = 1
+		}
+		if every < 1 {
+			return nil, fmt.Errorf("scenario: selector stride %d < 1", every)
+		}
+		if s.From < 0 || s.To > n || s.From >= s.To {
+			return nil, fmt.Errorf("scenario: selector range [%d, %d) invalid for %d nodes", s.From, s.To, n)
+		}
+		for i := s.From; i < s.To; i += every {
+			pick[i] = true
+		}
+	}
+	out := make([]int, 0, len(pick))
+	for i := range pick {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	if len(out) == 0 {
+		return nil, fmt.Errorf("scenario: selector selects no nodes")
+	}
+	return out, nil
+}
+
+// ChannelShift is the parameter delta of an EventChannel: nil fields keep
+// their current value.
+type ChannelShift struct {
+	DopplerHz        *float64 `json:"dopplerHz,omitempty"`
+	ShadowingSigmaDB *float64 `json:"shadowingSigmaDB,omitempty"`
+	ShadowingCorr    *float64 `json:"shadowingCorr,omitempty"`
+	PathLossExponent *float64 `json:"pathLossExponent,omitempty"`
+	ReferenceSNRdB   *float64 `json:"referenceSNRdB,omitempty"`
+	RicianK          *float64 `json:"ricianK,omitempty"`
+}
+
+func (c ChannelShift) empty() bool {
+	return c.DopplerHz == nil && c.ShadowingSigmaDB == nil && c.ShadowingCorr == nil &&
+		c.PathLossExponent == nil && c.ReferenceSNRdB == nil && c.RicianK == nil
+}
+
+// Event is one timeline entry. Which fields apply depends on Type; the
+// rest must stay zero (Validate enforces the required ones).
+type Event struct {
+	// AtSeconds is the absolute simulation time the event takes effect.
+	AtSeconds float64 `json:"at"`
+	// Type selects the event kind.
+	Type EventType `json:"type"`
+	// Nodes selects the affected nodes (zero value = all). Ignored by
+	// channel events, which are deployment-wide.
+	Nodes Selector `json:"nodes,omitzero"`
+
+	// RatePerSecond is the set-rate value / ramp-rate target.
+	RatePerSecond *float64 `json:"ratePerSecond,omitempty"`
+	// FromRatePerSecond optionally pins the ramp-rate start; nil starts
+	// from each node's configured base rate.
+	FromRatePerSecond *float64 `json:"fromRatePerSecond,omitempty"`
+	// Scale is the scale-rate / burst factor.
+	Scale float64 `json:"scale,omitempty"`
+	// DurationSeconds spans a ramp-rate or burst.
+	DurationSeconds float64 `json:"durationSeconds,omitempty"`
+	// Steps is the ramp-rate granularity (default 8).
+	Steps int `json:"steps,omitempty"`
+
+	// EnergyJ is the topup amount or the revive charge (revive: 0 means
+	// the run's initial per-node budget).
+	EnergyJ float64 `json:"energyJ,omitempty"`
+
+	// Channel carries the channel-event parameter shift.
+	Channel *ChannelShift `json:"channel,omitempty"`
+}
+
+// NodeRule applies per-node heterogeneity at t = 0: absolute or scaled
+// arrival rates and battery budgets for the selected nodes. Rules apply in
+// order, so later rules override earlier ones on overlapping selections.
+type NodeRule struct {
+	Nodes Selector `json:"nodes,omitzero"`
+	// RatePerSecond sets the selected nodes' base arrival rate.
+	RatePerSecond *float64 `json:"ratePerSecond,omitempty"`
+	// RateScale multiplies the selected nodes' base arrival rate
+	// (applied after RatePerSecond when both are given).
+	RateScale float64 `json:"rateScale,omitempty"`
+	// EnergyJ sets the selected nodes' initial battery budget.
+	EnergyJ *float64 `json:"energyJ,omitempty"`
+	// EnergyScale multiplies the selected nodes' initial battery budget.
+	EnergyScale float64 `json:"energyScale,omitempty"`
+}
+
+// Spec is one complete declarative scenario.
+type Spec struct {
+	// Name identifies the scenario (library lookup key).
+	Name string `json:"name"`
+	// Description is a one-line human summary.
+	Description string `json:"description,omitempty"`
+	// Config optionally embeds a partial public configuration (a
+	// caem.Config JSON object) applied over the defaults; the scenario
+	// layer treats it as opaque so this package stays independent of the
+	// public API package.
+	Config json.RawMessage `json:"config,omitempty"`
+	// Nodes lists per-node heterogeneity rules applied at t = 0.
+	Nodes []NodeRule `json:"nodes,omitempty"`
+	// Timeline lists the world events, in any order; same-time events
+	// apply in listing order.
+	Timeline []Event `json:"timeline,omitempty"`
+}
+
+// Load decodes a Spec from JSON, rejecting unknown fields so schema typos
+// (a misspelled event field silently ignored) cannot corrupt a study.
+func Load(r io.Reader) (Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Validate reports the first structural error in the spec, or nil.
+// Selector ranges are checked against the node count at Compile time,
+// since the spec alone does not fix the network size.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	for i, r := range s.Nodes {
+		if r.RatePerSecond == nil && r.RateScale == 0 && r.EnergyJ == nil && r.EnergyScale == 0 {
+			return fmt.Errorf("scenario %q: node rule %d changes nothing", s.Name, i)
+		}
+		if r.RatePerSecond != nil && *r.RatePerSecond < 0 {
+			return fmt.Errorf("scenario %q: node rule %d has negative rate %v", s.Name, i, *r.RatePerSecond)
+		}
+		if r.RateScale < 0 {
+			return fmt.Errorf("scenario %q: node rule %d has negative rate scale %v", s.Name, i, r.RateScale)
+		}
+		if r.EnergyJ != nil && *r.EnergyJ <= 0 {
+			return fmt.Errorf("scenario %q: node rule %d has non-positive energy %v", s.Name, i, *r.EnergyJ)
+		}
+		if r.EnergyScale < 0 {
+			return fmt.Errorf("scenario %q: node rule %d has negative energy scale %v", s.Name, i, r.EnergyScale)
+		}
+	}
+	for i, ev := range s.Timeline {
+		where := fmt.Sprintf("scenario %q: timeline[%d] (%s)", s.Name, i, ev.Type)
+		if !eventTypes[ev.Type] {
+			return fmt.Errorf("scenario %q: timeline[%d] has unknown type %q", s.Name, i, ev.Type)
+		}
+		if ev.AtSeconds < 0 {
+			return fmt.Errorf("%s: negative time %v", where, ev.AtSeconds)
+		}
+		switch ev.Type {
+		case EventKill:
+			// Selection only.
+		case EventRevive, EventTopUp:
+			if ev.EnergyJ < 0 {
+				return fmt.Errorf("%s: negative energyJ %v", where, ev.EnergyJ)
+			}
+			if ev.Type == EventTopUp && ev.EnergyJ == 0 {
+				return fmt.Errorf("%s: topup needs a positive energyJ", where)
+			}
+		case EventSetRate:
+			if ev.RatePerSecond == nil || *ev.RatePerSecond < 0 {
+				return fmt.Errorf("%s: needs a non-negative ratePerSecond", where)
+			}
+		case EventScaleRate:
+			if ev.Scale <= 0 {
+				return fmt.Errorf("%s: needs a positive scale", where)
+			}
+		case EventRampRate:
+			if ev.RatePerSecond == nil || *ev.RatePerSecond < 0 {
+				return fmt.Errorf("%s: needs a non-negative target ratePerSecond", where)
+			}
+			if ev.FromRatePerSecond != nil && *ev.FromRatePerSecond < 0 {
+				return fmt.Errorf("%s: negative fromRatePerSecond %v", where, *ev.FromRatePerSecond)
+			}
+			if ev.DurationSeconds <= 0 {
+				return fmt.Errorf("%s: needs a positive durationSeconds", where)
+			}
+			if ev.Steps < 0 {
+				return fmt.Errorf("%s: negative steps %d", where, ev.Steps)
+			}
+		case EventBurst:
+			if ev.Scale <= 0 {
+				return fmt.Errorf("%s: needs a positive scale", where)
+			}
+			if ev.DurationSeconds <= 0 {
+				return fmt.Errorf("%s: needs a positive durationSeconds", where)
+			}
+		case EventChannel:
+			if ev.Channel == nil || ev.Channel.empty() {
+				return fmt.Errorf("%s: needs a channel shift with at least one field", where)
+			}
+		}
+	}
+	return nil
+}
+
+// EventCount returns the number of declared timeline events (before ramp
+// and burst expansion).
+func (s Spec) EventCount() int { return len(s.Timeline) }

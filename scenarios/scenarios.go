@@ -1,0 +1,35 @@
+// Package scenarios embeds the curated dynamic-world scenario library.
+//
+// Each *.json file in this directory is one declarative scenario spec
+// (internal/scenario.Spec): per-node heterogeneity plus a timeline of
+// world events layered over a base configuration. The files are compiled
+// into every binary, so `caem-sim -scenario <name>` and
+// caem.LibraryScenarios work without a checkout; they also run directly
+// from disk via `caem-sim -scenario path/to/file.json`.
+package scenarios
+
+import (
+	"embed"
+	"io/fs"
+	"sort"
+)
+
+// FS holds the library scenario files.
+//
+//go:embed *.json
+var FS embed.FS
+
+// Files returns the embedded scenario file names, sorted.
+func Files() []string {
+	entries, err := fs.ReadDir(FS, ".")
+	if err != nil {
+		// The embed is compiled in; a read error is unreachable.
+		panic(err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names
+}
