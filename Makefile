@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-smoke figures scenarios examples clean
+.PHONY: all build test race vet lint bench bench-smoke bench-gate determinism figures scenarios examples clean
 
 all: build test vet
 
@@ -16,6 +16,13 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Fast-fail lint pass: formatting, vet, and staticcheck when available
+# (CI installs it; locally it is optional).
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt -l flagged:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; else echo "staticcheck not installed; skipped"; fi
+
 # Full benchmark sweep (one iteration each; the experiment benchmarks are
 # whole-figure regenerations, so more iterations take minutes).
 bench:
@@ -26,6 +33,28 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkSimulatedSecond -benchtime 1x .
 	$(GO) test -run '^$$' -bench BenchmarkFigure9_NodesAlive -benchtime 1x .
+
+# Bench regression guard: the hot-path ns-per-simulated-second numbers
+# must stay within BENCH_GATE_FACTOR x the committed BENCH_2.json
+# baseline. The bound is loose by design: the baseline was recorded on
+# one machine and CI runners differ and are noisy, so the gate catches
+# order-of-magnitude regressions (allocation storms, accidental
+# complexity), not jitter. Override the factor without a code change if
+# a runner generation shifts the cross-machine ratio:
+#   make bench-gate BENCH_GATE_FACTOR=4
+BENCH_GATE_FACTOR ?= 2.5
+bench-gate:
+	$(GO) run ./scripts/benchgate -baseline BENCH_2.json -factor $(BENCH_GATE_FACTOR)
+
+# Golden-determinism gate: regenerate a pinned-seed replicated figure
+# serially and with 8 workers and require byte-identical CSVs — the
+# invariant every parallel sweep in this repo promises.
+determinism:
+	rm -rf out/determinism
+	$(GO) run ./cmd/caem-bench -experiment figure11 -scale 0.3 -reps 3 -seed 1 -workers 1 -quiet -out out/determinism/serial
+	$(GO) run ./cmd/caem-bench -experiment figure11 -scale 0.3 -reps 3 -seed 1 -workers 8 -quiet -out out/determinism/parallel
+	cmp out/determinism/serial/figure11.csv out/determinism/parallel/figure11.csv
+	@echo "golden determinism: serial and parallel CSVs are byte-identical"
 
 # Regenerate every paper artifact (tables, figures, ablations) into out/.
 figures:

@@ -14,7 +14,9 @@ import (
 	"repro/internal/sim"
 )
 
-// benchOpts runs experiments small: 20 nodes, ~1/5 horizons, thin sweeps.
+// benchOpts runs experiments small: 20 nodes, ~1/5 horizons, thin
+// sweeps, at the default 5-seed replication grid (so the figure
+// benchmarks price in the statistics engine's aggregation).
 func benchOpts() experiment.Options {
 	return experiment.Options{Seed: 1, Scale: 0.2}
 }
@@ -76,8 +78,9 @@ func BenchmarkAblationCSINoise(b *testing.B) { benchReport(b, experiment.Ablatio
 // BenchmarkAblationRician runs the A5 ablation (Rice factor sweep).
 func BenchmarkAblationRician(b *testing.B) { benchReport(b, experiment.AblationRician) }
 
-// BenchmarkSeedVariance runs the A6 realization-variance study.
-func BenchmarkSeedVariance(b *testing.B) { benchReport(b, experiment.SeedVariance) }
+// BenchmarkSeedSweep runs the A6 seed-replication sweep (matched-seed
+// significance study).
+func BenchmarkSeedSweep(b *testing.B) { benchReport(b, experiment.SeedSweep) }
 
 // BenchmarkScenarioSecond measures one simulated second at full scale
 // under a busy dynamic-world timeline — a churn/burst/weather/service

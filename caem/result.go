@@ -69,6 +69,7 @@ type Result struct {
 	DeliveryRate   float64
 	ThroughputKbps float64
 	MeanDelayMs    float64
+	P95DelayMs     float64
 	MaxDelayMs     float64
 
 	// Fairness: time-averaged standard deviation of per-node queue
@@ -110,6 +111,7 @@ func publicResult(c Config, r core.Result) Result {
 		DeliveryRate:          r.DeliveryRate,
 		ThroughputKbps:        r.AggregateKbps,
 		MeanDelayMs:           r.MeanDelayMs,
+		P95DelayMs:            r.P95DelayMs,
 		MaxDelayMs:            r.MaxDelayMs,
 		QueueStdDev:           r.QueueStdDev,
 		Collisions:            r.MAC.Collisions,
@@ -186,8 +188,8 @@ func (r Result) Summary() string {
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "traffic           generated %d, delivered %d (%.1f%%), drops: buffer %d retry %d\n",
 		r.Generated, r.Delivered, 100*r.DeliveryRate, r.DroppedBuffer, r.DroppedRetry)
-	fmt.Fprintf(&b, "performance       %.1f kbps, mean delay %.2f ms, queue stddev %.2f\n",
-		r.ThroughputKbps, r.MeanDelayMs, r.QueueStdDev)
+	fmt.Fprintf(&b, "performance       %.1f kbps, mean delay %.2f ms (p95 %.2f ms), queue stddev %.2f\n",
+		r.ThroughputKbps, r.MeanDelayMs, r.P95DelayMs, r.QueueStdDev)
 	fmt.Fprintf(&b, "per-packet energy %.3f mJ\n", r.EnergyPerPacketMilliJ)
 	fmt.Fprintf(&b, "mac               collisions %d, channel fails %d, deferrals csi/busy %d/%d\n",
 		r.Collisions, r.ChannelFails, r.DeferralsCSI, r.DeferralsBusy)

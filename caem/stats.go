@@ -1,0 +1,136 @@
+package caem
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Aggregate summarizes one metric across seed replicates: the sample
+// mean with its dispersion and a 95% Student-t confidence interval.
+// SD and CI95 are NaN for fewer than two replicates (a single run
+// carries no dispersion information); String renders such aggregates
+// as the bare mean.
+type Aggregate struct {
+	// N is the number of replicates aggregated.
+	N int
+	// Mean is the sample mean.
+	Mean float64
+	// SD is the unbiased sample standard deviation (NaN for N < 2).
+	SD float64
+	// CI95 is the half width of the two-sided 95% confidence interval
+	// for the mean (NaN for N < 2); the interval is Mean ± CI95.
+	CI95 float64
+	// Min and Max bound the observed replicates.
+	Min, Max float64
+}
+
+// AggregateOf summarizes a sample of metric values, typically one
+// metric across seed replicates.
+func AggregateOf(values ...float64) Aggregate {
+	var s stats.Stream
+	for _, v := range values {
+		s.Add(v)
+	}
+	return newAggregate(&s)
+}
+
+func newAggregate(s *stats.Stream) Aggregate {
+	return Aggregate{
+		N:    int(s.Count()),
+		Mean: s.Mean(),
+		SD:   s.SampleStdDev(),
+		CI95: s.CI95(),
+		Min:  s.Min(),
+		Max:  s.Max(),
+	}
+}
+
+// String renders "mean±ci95" (or the bare mean when no interval is
+// defined) with three decimals; use Format for other precisions.
+func (a Aggregate) String() string { return a.Format(3) }
+
+// Format renders "mean±ci95" at the given decimal precision, falling
+// back to the bare mean when the interval is undefined (N < 2).
+func (a Aggregate) Format(prec int) string {
+	if a.N < 2 || math.IsNaN(a.CI95) {
+		return fmt.Sprintf("%.*f", prec, a.Mean)
+	}
+	return fmt.Sprintf("%.*f±%.*f", prec, a.Mean, prec, a.CI95)
+}
+
+// Scaled returns the aggregate with every statistic multiplied by f —
+// unit conversions for display (fractions to percent, J to mJ).
+func (a Aggregate) Scaled(f float64) Aggregate {
+	a.Mean *= f
+	a.SD *= f
+	a.CI95 *= f
+	a.Min *= f
+	a.Max *= f
+	return a
+}
+
+// CampaignAggregate is the statistical summary of one campaign
+// (scenario, protocol) cell group across its seed replicates.
+type CampaignAggregate struct {
+	Scenario string
+	Protocol Protocol
+	// Seeds is the number of replicates behind every Aggregate.
+	Seeds int
+
+	ConsumedJ             Aggregate
+	DeliveryRate          Aggregate
+	MeanDelayMs           Aggregate
+	P95DelayMs            Aggregate
+	EnergyPerPacketMilliJ Aggregate
+	AliveAtEnd            Aggregate
+}
+
+// AggregateCampaign collapses RunCampaign's per-seed cells into one
+// statistical summary per (scenario, protocol) group, in first-
+// appearance order — the submission order of the campaign grid. This
+// is the report campaigns should publish: mean ± 95% CI per cell group
+// rather than raw per-seed rows.
+func AggregateCampaign(cells []CampaignCell) []CampaignAggregate {
+	type key struct {
+		scenario string
+		protocol Protocol
+	}
+	type acc struct {
+		consumed, delivery, delay, p95, epp, alive stats.Stream
+	}
+	order := make([]key, 0, 8)
+	groups := make(map[key]*acc, 8)
+	for _, c := range cells {
+		k := key{c.Scenario, c.Protocol}
+		g, ok := groups[k]
+		if !ok {
+			g = &acc{}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.consumed.Add(c.Result.TotalConsumedJ)
+		g.delivery.Add(c.Result.DeliveryRate)
+		g.delay.Add(c.Result.MeanDelayMs)
+		g.p95.Add(c.Result.P95DelayMs)
+		g.epp.Add(c.Result.EnergyPerPacketMilliJ)
+		g.alive.Add(float64(c.Result.AliveAtEnd))
+	}
+	out := make([]CampaignAggregate, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		out = append(out, CampaignAggregate{
+			Scenario:              k.scenario,
+			Protocol:              k.protocol,
+			Seeds:                 int(g.consumed.Count()),
+			ConsumedJ:             newAggregate(&g.consumed),
+			DeliveryRate:          newAggregate(&g.delivery),
+			MeanDelayMs:           newAggregate(&g.delay),
+			P95DelayMs:            newAggregate(&g.p95),
+			EnergyPerPacketMilliJ: newAggregate(&g.epp),
+			AliveAtEnd:            newAggregate(&g.alive),
+		})
+	}
+	return out
+}

@@ -1,0 +1,84 @@
+package caem
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAggregateOf(t *testing.T) {
+	a := AggregateOf(2, 4, 4, 4, 5, 5, 7, 9)
+	if a.N != 8 || math.Abs(a.Mean-5) > 1e-12 {
+		t.Fatalf("n/mean = %d/%v", a.N, a.Mean)
+	}
+	if a.Min != 2 || a.Max != 9 {
+		t.Fatalf("min/max = %v/%v", a.Min, a.Max)
+	}
+	if math.IsNaN(a.CI95) || a.CI95 <= 0 {
+		t.Fatalf("CI95 = %v", a.CI95)
+	}
+	if !strings.Contains(a.String(), "±") {
+		t.Fatalf("String() = %q, want mean±ci", a.String())
+	}
+}
+
+func TestAggregateSingleValue(t *testing.T) {
+	a := AggregateOf(3.5)
+	if !math.IsNaN(a.CI95) || !math.IsNaN(a.SD) {
+		t.Fatalf("single-value CI/SD = %v/%v, want NaN", a.CI95, a.SD)
+	}
+	if got := a.Format(2); got != "3.50" {
+		t.Fatalf("single-value Format = %q, want bare mean", got)
+	}
+}
+
+func TestAggregateScaled(t *testing.T) {
+	a := AggregateOf(0.5, 0.7).Scaled(100)
+	if math.Abs(a.Mean-60) > 1e-9 || math.Abs(a.Min-50) > 1e-9 || math.Abs(a.Max-70) > 1e-9 {
+		t.Fatalf("scaled aggregate = %+v", a)
+	}
+}
+
+// AggregateCampaign must group by (scenario, protocol) in first-
+// appearance order and summarize across seeds.
+func TestAggregateCampaign(t *testing.T) {
+	lib, err := LibraryScenarios()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := lib[0]
+	cfg, err := ScenarioConfig(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DurationSeconds = 30
+	cfg.Workers = 1
+	cells, err := RunCampaign(cfg, []Scenario{sc}, []Protocol{PureLEACH, Scheme1}, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs := AggregateCampaign(cells)
+	if len(aggs) != 2 {
+		t.Fatalf("aggregates = %d, want one per (scenario, protocol)", len(aggs))
+	}
+	if aggs[0].Protocol != PureLEACH || aggs[1].Protocol != Scheme1 {
+		t.Fatalf("aggregate order = %v, %v", aggs[0].Protocol, aggs[1].Protocol)
+	}
+	for _, a := range aggs {
+		if a.Scenario != sc.Name {
+			t.Errorf("scenario = %q", a.Scenario)
+		}
+		if a.Seeds != 3 || a.ConsumedJ.N != 3 {
+			t.Errorf("seeds = %d / %d, want 3", a.Seeds, a.ConsumedJ.N)
+		}
+		if a.ConsumedJ.Mean <= 0 {
+			t.Errorf("consumed mean = %v", a.ConsumedJ.Mean)
+		}
+		if math.IsNaN(a.ConsumedJ.CI95) {
+			t.Errorf("consumed CI is NaN with 3 seeds")
+		}
+		if a.ConsumedJ.Min > a.ConsumedJ.Mean || a.ConsumedJ.Max < a.ConsumedJ.Mean {
+			t.Errorf("min/mean/max inconsistent: %+v", a.ConsumedJ)
+		}
+	}
+}

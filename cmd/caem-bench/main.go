@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	caem-bench                       # everything, full scale
+//	caem-bench                       # everything, full scale, 5 seed reps
 //	caem-bench -experiment figure9   # one artifact
 //	caem-bench -scale 0.3 -quiet     # quick pass
+//	caem-bench -reps 10              # wider replication grid
+//	caem-bench -seeds 7,11,13        # explicit seed list
 //	caem-bench -out results/         # also write CSV files
+//
+// Every experiment cell runs across the replication seed grid and
+// tables report mean ± 95% confidence intervals (Student-t).
 package main
 
 import (
@@ -15,24 +20,49 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"repro/internal/experiment"
 )
 
+// parseSeeds decodes the -seeds flag: a comma-separated uint64 list.
+func parseSeeds(csv string) ([]uint64, error) {
+	parts := strings.Split(csv, ",")
+	seeds := make([]uint64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid -seeds entry %q: %w", p, err)
+		}
+		seeds = append(seeds, v)
+	}
+	return seeds, nil
+}
+
 func main() {
 	var (
 		which = flag.String("experiment", "all",
-			"which artifact to regenerate: all | table1 | table2 | figure8 | figure9 | figure10 | figure11 | figure12 | netperf | ablation-threshold | ablation-doppler | ablation-burst | ablation-csinoise | ablation-rician | seedvar | dynamicworld")
+			"which artifact to regenerate: all | table1 | table2 | figure8 | figure9 | figure10 | figure11 | figure12 | netperf | ablation-threshold | ablation-doppler | ablation-burst | ablation-csinoise | ablation-rician | seedsweep | dynamicworld")
 		scale   = flag.Float64("scale", 1.0, "experiment scale in (0, 1]: nodes, horizons, sweep sizes")
-		seed    = flag.Uint64("seed", 1, "master random seed")
+		seed    = flag.Uint64("seed", 1, "master random seed (replicate k runs at seed+k)")
+		reps    = flag.Int("reps", 5, "seed replications per experiment cell; tables report mean ± 95% CI (1 = legacy single-seed point estimates)")
+		seedCSV = flag.String("seeds", "", "comma-separated explicit replication seed list (overrides -reps and -seed)")
 		out     = flag.String("out", "", "directory to write per-experiment CSV files (empty = don't)")
 		quiet   = flag.Bool("quiet", false, "suppress per-run progress")
 		workers = flag.Int("workers", 0, "concurrent simulations per sweep (0 = one per CPU, 1 = serial); results are identical for any value")
 	)
 	flag.Parse()
 
-	opts := experiment.Options{Seed: *seed, Scale: *scale, Workers: *workers}
+	opts := experiment.Options{Seed: *seed, Scale: *scale, Replications: *reps, Workers: *workers}
+	if *seedCSV != "" {
+		seeds, err := parseSeeds(*seedCSV)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caem-bench: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Seeds = seeds
+	}
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -53,7 +83,7 @@ func main() {
 		"ablation-burst":     experiment.AblationBurst,
 		"ablation-csinoise":  experiment.AblationCSINoise,
 		"ablation-rician":    experiment.AblationRician,
-		"seedvar":            experiment.SeedVariance,
+		"seedsweep":          experiment.SeedSweep,
 		"dynamicworld":       experiment.DynamicWorld,
 	}
 

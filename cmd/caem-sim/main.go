@@ -26,7 +26,6 @@ import (
 	"strings"
 
 	"repro/caem"
-	"repro/internal/metrics"
 )
 
 func main() {
@@ -235,26 +234,26 @@ func runCampaign(sc caem.Scenario, cfg caem.Config, allProtocols bool, firstSeed
 	}
 
 	fmt.Printf("campaign: scenario %s, %d protocol(s) x %d seed(s)\n\n", sc.Name, len(protocols), len(seedList))
+	if len(seedList) > 1 {
+		// Replicated campaigns publish the statistical summary — one row
+		// per (scenario, protocol) cell group, mean ± 95% CI — not the
+		// raw per-seed rows.
+		fmt.Println("protocol      seeds  consumed(J)      delivery(%)    delay(ms)      energy/pkt(mJ)")
+		for _, a := range caem.AggregateCampaign(cells) {
+			fmt.Printf("%-12s  %5d  %-15s  %-13s  %-13s  %s\n",
+				a.Protocol, a.Seeds,
+				a.ConsumedJ.Format(2),
+				a.DeliveryRate.Scaled(100).Format(1),
+				a.MeanDelayMs.Format(1),
+				a.EnergyPerPacketMilliJ.Format(3))
+		}
+		return
+	}
 	fmt.Println("protocol      seed  consumed(J)  delivered  delivery  delay(ms)  alive")
 	for _, c := range cells {
 		fmt.Printf("%-12s  %4d  %11.2f  %9d  %7.1f%%  %9.1f  %5d\n",
 			c.Protocol, c.Seed, c.Result.TotalConsumedJ, c.Result.Delivered,
 			100*c.Result.DeliveryRate, c.Result.MeanDelayMs, c.Result.AliveAtEnd)
-	}
-
-	if len(seedList) > 1 {
-		fmt.Println()
-		for _, p := range protocols {
-			var consumed, delivery metrics.Welford
-			for _, c := range cells {
-				if c.Protocol == p {
-					consumed.Add(c.Result.TotalConsumedJ)
-					delivery.Add(c.Result.DeliveryRate)
-				}
-			}
-			fmt.Printf("%-12s  consumed %.2f J (sd %.2f), delivery %.1f%% (sd %.1f)\n",
-				p, consumed.Mean(), consumed.StdDev(), 100*delivery.Mean(), 100*delivery.StdDev())
-		}
 	}
 }
 
@@ -285,13 +284,6 @@ func runReplicates(cfg caem.Config, firstSeed uint64, n, workers int) {
 			r.EnergyPerPacketMilliJ, r.MeanDelayMs, lifetime)
 	}
 
-	meanSD := func(pick func(caem.Result) float64) (mean, sd float64) {
-		var w metrics.Welford
-		for _, r := range results {
-			w.Add(pick(r))
-		}
-		return w.Mean(), w.StdDev()
-	}
 	fmt.Println()
 	for _, m := range []struct {
 		name string
@@ -301,8 +293,13 @@ func runReplicates(cfg caem.Config, firstSeed uint64, n, workers int) {
 		{"delivery rate", func(r caem.Result) float64 { return r.DeliveryRate }},
 		{"energy per packet (mJ)", func(r caem.Result) float64 { return r.EnergyPerPacketMilliJ }},
 		{"mean delay (ms)", func(r caem.Result) float64 { return r.MeanDelayMs }},
+		{"p95 delay (ms)", func(r caem.Result) float64 { return r.P95DelayMs }},
 	} {
-		mean, sd := meanSD(m.pick)
-		fmt.Printf("%-24s mean %10.3f  sd %8.3f\n", m.name, mean, sd)
+		vals := make([]float64, len(results))
+		for i, r := range results {
+			vals[i] = m.pick(r)
+		}
+		a := caem.AggregateOf(vals...)
+		fmt.Printf("%-24s mean %10.3f  ±%.3f (95%% CI, n=%d)  sd %8.3f\n", m.name, a.Mean, a.CI95, a.N, a.SD)
 	}
 }

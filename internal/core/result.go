@@ -73,6 +73,7 @@ type Result struct {
 	DeliveryRate  float64
 	AggregateKbps float64
 	MeanDelayMs   float64
+	P95DelayMs    float64
 	MaxDelayMs    float64
 
 	// Fairness (Fig. 12).
@@ -108,6 +109,7 @@ func (net *Network) buildResult(end sim.Time) Result {
 		DeliveryRate:    net.thr.DeliveryRate(),
 		AggregateKbps:   net.thr.AggregateKbps(end),
 		MeanDelayMs:     net.delays.MeanMs(),
+		P95DelayMs:      net.delays.P95Ms(),
 		MaxDelayMs:      net.delays.MaxMs(),
 		QueueStdDev:     net.fairness.MeanStdDev(),
 		CollisionEvents: net.collisionEvents,
@@ -181,8 +183,8 @@ func (r Result) Summary() string {
 	b.WriteByte('\n')
 	fmt.Fprintf(&b, "traffic            generated %d, delivered %d (%.1f%%), buffer drops %d, retry drops %d\n",
 		r.Generated, r.Delivered, 100*r.DeliveryRate, r.DroppedBuffer, r.DroppedRetry)
-	fmt.Fprintf(&b, "performance        throughput %.1f kbps, mean delay %.2f ms, queue stddev %.2f\n",
-		r.AggregateKbps, r.MeanDelayMs, r.QueueStdDev)
+	fmt.Fprintf(&b, "performance        throughput %.1f kbps, mean delay %.2f ms (p95 %.2f ms), queue stddev %.2f\n",
+		r.AggregateKbps, r.MeanDelayMs, r.P95DelayMs, r.QueueStdDev)
 	fmt.Fprintf(&b, "per-packet energy  %.3f mJ over the air (comm energy %.2f J)\n",
 		1000*r.EnergyPerPktJ, r.CommEnergyJ)
 	fmt.Fprintf(&b, "mac                attempts %d, bursts %d, collisions %d (events %d), channel fails %d\n",

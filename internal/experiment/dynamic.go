@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/plot"
 	"repro/internal/runner"
 	"repro/internal/scenario"
@@ -50,47 +51,61 @@ func dynamicWorldSpec(nodes int, horizon sim.Time) scenario.Spec {
 // storm. The static paper setup orders the protocols by energy frugality
 // (Scheme 2 < Scheme 1 < LEACH consumption); this experiment shows
 // whether that ordering survives when the world moves underneath them.
+// Every cell aggregates the seed replicates as mean ± 95% CI, so the
+// ordering verdict is a statistical statement rather than one
+// realization's anecdote.
 func DynamicWorld(opts Options) Report {
 	horizon := opts.horizon(600 * sim.Second)
 	spec := dynamicWorldSpec(opts.nodes(), horizon)
 
-	jobs := make([]runner.Job, 0, 3)
+	cells := make([]runner.Job, 0, 3)
 	for _, pc := range protocolCases() {
 		cfg := opts.baseConfig()
 		cfg.Policy = pc.policy
 		cfg.Horizon = horizon
-		// Compile per job: each job needs its own World slice (the
+		// Compile per cell: each cell needs its own World slice (the
 		// closures are stateless and shareable, but appending to a shared
-		// cfg.World across jobs would double-apply events).
+		// cfg.World across cells would double-apply events).
 		if err := scenario.Compile(spec, &cfg); err != nil {
 			panic(fmt.Sprintf("experiment: dynamic-world spec failed to compile: %v", err))
 		}
-		jobs = append(jobs, runner.Job{Label: "dynamicworld/" + pc.name, Config: cfg})
+		cells = append(cells, runner.Job{Label: "dynamicworld/" + pc.name, Config: cfg})
 	}
-	results := opts.run(jobs)
+	reps := opts.runReplicated(cells)
 
+	consumed := func(r core.Result) float64 { return r.TotalConsumedJ }
 	tab := Table{Headers: []string{"protocol", "consumed(J)", "delivered", "delivery", "delay(ms)", "alive-at-end", "deferrals-csi", "collisions"}}
 	for i, pc := range protocolCases() {
-		r := results[i]
-		tab.AddRow(pc.name, f2(r.TotalConsumedJ), fmt.Sprintf("%d", r.Delivered),
-			pct(r.DeliveryRate), f1(r.MeanDelayMs), fmt.Sprintf("%d", r.AliveAtEnd),
-			fmt.Sprintf("%d", r.MAC.DeferralsCSI), fmt.Sprintf("%d", r.CollisionEvents))
+		rep := reps[i]
+		tab.AddRow(pc.name,
+			rep.cell(f2, consumed),
+			rep.cell(f0, func(r core.Result) float64 { return float64(r.Delivered) }),
+			rep.cell(pct, func(r core.Result) float64 { return r.DeliveryRate }),
+			rep.cell(f1, func(r core.Result) float64 { return r.MeanDelayMs }),
+			rep.cell(f0, func(r core.Result) float64 { return float64(r.AliveAtEnd) }),
+			rep.cell(f0, func(r core.Result) float64 { return float64(r.MAC.DeferralsCSI) }),
+			rep.cell(f0, func(r core.Result) float64 { return float64(r.CollisionEvents) }),
+		)
 	}
 
 	notes := []string{
-		fmt.Sprintf("world: %s over %.0f s (%d declared events)", spec.Description, horizon.Seconds(), len(spec.Timeline)),
+		fmt.Sprintf("world: %s over %.0f s (%d declared events); %s",
+			spec.Description, horizon.Seconds(), len(spec.Timeline), repNote(opts)),
 	}
-	leach, s1, s2 := results[0], results[1], results[2]
-	if s1.TotalConsumedJ < leach.TotalConsumedJ && s2.TotalConsumedJ < leach.TotalConsumedJ {
+	leach, s1, s2 := reps[0], reps[1], reps[2]
+	if s1.mean(consumed) < leach.mean(consumed) && s2.mean(consumed) < leach.mean(consumed) {
 		notes = append(notes, fmt.Sprintf(
-			"the paper's static-world energy ordering survives the dynamic world: Scheme1 %.1f J and Scheme2 %.1f J vs pure LEACH %.1f J",
-			s1.TotalConsumedJ, s2.TotalConsumedJ, leach.TotalConsumedJ))
+			"the paper's static-world energy ordering survives the dynamic world: Scheme1 %.1f J and Scheme2 %.1f J vs pure LEACH %.1f J (replicate means)",
+			s1.mean(consumed), s2.mean(consumed), leach.mean(consumed)))
 	} else {
 		notes = append(notes, "the static-world energy ordering did NOT survive the dynamic world — investigate")
 	}
+	deliveryOf := func(rep replicates) string {
+		return ciString(rep.stream(func(r core.Result) float64 { return r.DeliveryRate }), pct)
+	}
 	notes = append(notes, fmt.Sprintf(
 		"delivery under stress: pure-LEACH %s, Scheme1 %s, Scheme2 %s (CSI gating defers transmissions during the fading storm)",
-		pct(leach.DeliveryRate), pct(s1.DeliveryRate), pct(s2.DeliveryRate)))
+		deliveryOf(leach), deliveryOf(s1), deliveryOf(s2)))
 
 	return Report{
 		ID:    "dynamicworld",
@@ -99,23 +114,23 @@ func DynamicWorld(opts Options) Report {
 		Notes: notes,
 		Charts: []plot.Chart{
 			{
-				Title:  "Dynamic world — nodes alive vs time",
+				Title:  "Dynamic world — nodes alive vs time (replicate mean)",
 				XLabel: "elapsed time (s)",
 				YLabel: "nodes alive",
 				Series: []plot.Series{
-					chartSeries("pure-LEACH", results[0].AliveSeries),
-					chartSeries("Scheme1", results[1].AliveSeries),
-					chartSeries("Scheme2", results[2].AliveSeries),
+					meanSeries("pure-LEACH", reps[0].runs, aliveSeries, horizon, 240),
+					meanSeries("Scheme1", reps[1].runs, aliveSeries, horizon, 240),
+					meanSeries("Scheme2", reps[2].runs, aliveSeries, horizon, 240),
 				},
 			},
 			{
-				Title:  "Dynamic world — average remaining energy vs time",
+				Title:  "Dynamic world — average remaining energy vs time (replicate mean)",
 				XLabel: "elapsed time (s)",
 				YLabel: "average remaining energy (J)",
 				Series: []plot.Series{
-					chartSeries("pure-LEACH", results[0].EnergySeries),
-					chartSeries("Scheme1", results[1].EnergySeries),
-					chartSeries("Scheme2", results[2].EnergySeries),
+					meanSeries("pure-LEACH", reps[0].runs, energySeries, horizon, 240),
+					meanSeries("Scheme1", reps[1].runs, energySeries, horizon, 240),
+					meanSeries("Scheme2", reps[2].runs, energySeries, horizon, 240),
 				},
 			},
 		},

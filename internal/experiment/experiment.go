@@ -19,24 +19,57 @@ import (
 	"repro/internal/sim"
 )
 
-// Options controls experiment scale, reproducibility, and parallelism.
+// Options controls experiment scale, reproducibility, replication, and
+// parallelism.
 type Options struct {
-	// Seed roots all runs.
+	// Seed roots all runs: replicate k of every grid cell runs at seed
+	// Seed+k unless Seeds pins an explicit list.
 	Seed uint64
 	// Scale in (0, 1] shrinks the experiment: node count, horizon, and
 	// sweep sizes. 1.0 reproduces the paper's setup.
 	Scale float64
+	// Replications is the number of seed replicates behind every
+	// reported cell: each grid configuration runs at Replications
+	// consecutive seeds and tables carry mean ± 95% CI entries. 0 means
+	// the default of 5; 1 disables aggregation (bare single-seed means,
+	// the pre-replication table shape).
+	Replications int
+	// Seeds, when non-empty, pins the exact replication seed list and
+	// overrides Replications.
+	Seeds []uint64
 	// Workers is the number of simulations run concurrently: 0 means one
 	// per CPU, 1 restores the legacy serial execution. Every run owns its
-	// own random streams, so the reports are bit-identical for any value.
+	// own random streams and the replicated grid is aggregated in
+	// submission order, so the reports are bit-identical for any value.
 	Workers int
 	// Progress, when non-nil, receives one line per completed run.
 	Progress func(format string, args ...any)
 }
 
-// DefaultOptions runs at full paper scale with seed 1.
+// defaultReplications is the seed-grid size behind every table cell
+// when Options.Replications is unset.
+const defaultReplications = 5
+
+// DefaultOptions runs at full paper scale, seed 1, five replications.
 func DefaultOptions() Options {
 	return Options{Seed: 1, Scale: 1.0}
+}
+
+// seedList resolves the replication seeds: the pinned Seeds list, or
+// Replications (default 5) consecutive seeds from Seed.
+func (o Options) seedList() []uint64 {
+	if len(o.Seeds) > 0 {
+		return o.Seeds
+	}
+	n := o.Replications
+	if n <= 0 {
+		n = defaultReplications
+	}
+	seeds := make([]uint64, n)
+	for i := range seeds {
+		seeds[i] = o.Seed + uint64(i)
+	}
+	return seeds
 }
 
 func (o Options) scale() float64 {
@@ -231,6 +264,10 @@ func (r Report) Render() string {
 	return b.String()
 }
 
+// f0 renders count-valued metrics (packets, nodes, events): replicate
+// means round to whole units, and a single replicate reproduces the
+// legacy integer cells exactly.
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
 func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
 func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }

@@ -6,9 +6,23 @@ import (
 )
 
 // quickOpts runs experiments at a small scale that still exercises every
-// code path.
+// code path: two seed replicates keep the CI machinery live (mean ± CI
+// cells, paired deltas) at test speed.
 func quickOpts() Options {
-	return Options{Seed: 1, Scale: 0.2}
+	return Options{Seed: 1, Scale: 0.2, Replications: 2}
+}
+
+func TestSeedListDefaults(t *testing.T) {
+	if got := (Options{Seed: 3}).seedList(); len(got) != defaultReplications || got[0] != 3 || got[4] != 7 {
+		t.Fatalf("default seed list = %v, want 5 consecutive from 3", got)
+	}
+	if got := (Options{Seed: 1, Replications: 2}).seedList(); len(got) != 2 || got[1] != 2 {
+		t.Fatalf("2-rep seed list = %v", got)
+	}
+	pinned := []uint64{7, 11, 13}
+	if got := (Options{Seed: 1, Replications: 9, Seeds: pinned}).seedList(); len(got) != 3 || got[0] != 7 {
+		t.Fatalf("pinned seed list = %v, want %v", got, pinned)
+	}
 }
 
 func TestTableHelpers(t *testing.T) {
@@ -90,11 +104,12 @@ func TestFigure8(t *testing.T) {
 	if len(r.Table.Headers) != 4 {
 		t.Fatalf("Figure 8 headers: %v", r.Table.Headers)
 	}
-	// First row is t=0 with full batteries.
+	// First row is t=0 with full batteries in every replicate: the mean
+	// is exactly 10 and the CI is exactly ±0 (constant series).
 	first := r.Table.Rows[0]
 	for _, cell := range first[1:] {
-		if cell != "10.000" {
-			t.Errorf("t=0 energy cell = %q, want 10.000", cell)
+		if cell != "10.000±0.000" {
+			t.Errorf("t=0 energy cell = %q, want 10.000±0.000", cell)
 		}
 	}
 }
@@ -164,10 +179,66 @@ func TestAblations(t *testing.T) {
 	}
 }
 
-func TestSeedVariance(t *testing.T) {
-	r := SeedVariance(quickOpts())
-	if len(r.Table.Rows) != 3 {
-		t.Fatalf("seed variance rows = %d, want one per protocol", len(r.Table.Rows))
+func TestSeedSweep(t *testing.T) {
+	r := SeedSweep(quickOpts())
+	// One row per protocol plus one paired-delta row per CAEM variant.
+	if len(r.Table.Rows) != 5 {
+		t.Fatalf("seed sweep rows = %d, want 3 protocols + 2 delta rows", len(r.Table.Rows))
+	}
+	if got := r.Table.Rows[3][0]; !strings.Contains(got, "Scheme1") || !strings.Contains(got, "Δ") {
+		t.Fatalf("delta row label = %q", got)
+	}
+	// The energy/pkt delta column must carry a paired CI (2 replicates).
+	if got := r.Table.Rows[3][3]; !strings.Contains(got, "±") {
+		t.Fatalf("paired delta cell = %q, want mean±CI", got)
+	}
+	var sawVerdict bool
+	for _, n := range r.Notes {
+		if strings.Contains(n, "significant") {
+			sawVerdict = true
+		}
+	}
+	if !sawVerdict {
+		t.Fatalf("no significance verdict in notes: %v", r.Notes)
+	}
+}
+
+// Every simulation-backed report must carry mean ± 95% CI cells when
+// replications are on — the acceptance criterion that converts each
+// downstream figure from anecdote to estimate.
+func TestReportsCarryConfidenceIntervals(t *testing.T) {
+	opts := quickOpts()
+	for _, rep := range []Report{Figure11(opts), Figure12(opts), NetworkPerformance(opts), DynamicWorld(opts)} {
+		found := false
+		for _, row := range rep.Table.Rows {
+			for _, cell := range row {
+				if strings.Contains(cell, "±") {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: no ± cell in any row", rep.ID)
+		}
+		csv := rep.Table.CSV()
+		if !strings.Contains(csv, "±") {
+			t.Errorf("%s: CSV lost the CI columns", rep.ID)
+		}
+	}
+}
+
+// A single replication must reproduce the legacy single-seed table
+// shape: bare means, no interval glyphs.
+func TestSingleReplicationHasNoIntervals(t *testing.T) {
+	opts := quickOpts()
+	opts.Replications, opts.Seeds = 1, nil
+	r := Figure12(opts)
+	for _, row := range r.Table.Rows {
+		for _, cell := range row {
+			if strings.Contains(cell, "±") {
+				t.Fatalf("1-rep cell %q carries a CI", cell)
+			}
+		}
 	}
 }
 
@@ -202,12 +273,40 @@ func TestParallelReportsBitIdentical(t *testing.T) {
 		{"DynamicWorld", DynamicWorld},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			serial := Options{Seed: 1, Scale: 0.1, Workers: 1}
-			parallel := Options{Seed: 1, Scale: 0.1, Workers: 4}
+			serial := Options{Seed: 1, Scale: 0.1, Replications: 2, Workers: 1}
+			parallel := Options{Seed: 1, Scale: 0.1, Replications: 2, Workers: 4}
 			want := tc.run(serial).Render()
 			got := tc.run(parallel).Render()
 			if want != got {
 				t.Fatalf("parallel report diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+			}
+		})
+	}
+}
+
+// TestReplicationDeterminism is the acceptance gate for the replicated
+// statistics engine: the full cell × seed grid must aggregate
+// bit-identically whether the runs execute serially or fan out across
+// workers — rendered report AND raw CSV payload — because the runner
+// returns results in submission order and every aggregation consumes
+// them in that order.
+func TestReplicationDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		run  func(Options) Report
+	}{
+		{"Figure11", Figure11},
+		{"SeedSweep", SeedSweep},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial := Options{Seed: 1, Scale: 0.1, Replications: 3, Workers: 1}
+			parallel := Options{Seed: 1, Scale: 0.1, Replications: 3, Workers: 8}
+			wantRep, gotRep := tc.run(serial), tc.run(parallel)
+			if want, got := wantRep.Render(), gotRep.Render(); want != got {
+				t.Fatalf("parallel replicated report diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
+			}
+			if want, got := wantRep.Table.CSV(), gotRep.Table.CSV(); want != got {
+				t.Fatalf("parallel replicated CSV diverged from serial:\n--- serial ---\n%s\n--- parallel ---\n%s", want, got)
 			}
 		})
 	}

@@ -4,14 +4,15 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/metrics"
 	"repro/internal/plot"
 	"repro/internal/runner"
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
-// protocolJobs builds one job per protocol variant from a shared
-// configuration template, labelled "<prefix>/<protocol>".
+// protocolJobs builds one grid cell per protocol variant from a shared
+// configuration template, labelled "<prefix>/<protocol>". Each cell is
+// replicated across the options' seed list by runReplicated.
 func protocolJobs(opts Options, prefix string, mutate func(*core.Config)) []runner.Job {
 	jobs := make([]runner.Job, 0, 3)
 	for _, pc := range protocolCases() {
@@ -25,33 +26,13 @@ func protocolJobs(opts Options, prefix string, mutate func(*core.Config)) []runn
 	return jobs
 }
 
-// chartSeries converts a metrics time series into a plot series,
-// downsampled for rendering.
-func chartSeries(name string, ts *metrics.TimeSeries) plot.Series {
-	pts := ts.Downsample(240)
-	out := plot.Series{Name: name, X: make([]float64, 0, len(pts)), Y: make([]float64, 0, len(pts))}
-	for _, p := range pts {
-		out.X = append(out.X, p.T.Seconds())
-		out.Y = append(out.Y, p.V)
-	}
-	return out
-}
-
-// seriesColumn extracts a time series value at time t as a cell.
-func seriesCell(ts *metrics.TimeSeries, t sim.Time) string {
-	v, ok := ts.At(t)
-	if !ok {
-		return "-"
-	}
-	return f3(v)
-}
-
 // Figure8 reproduces "Average remaining power versus time": the mean
 // per-node battery level of the three protocols at the reference load of
-// 5 pkt/s with 10 J batteries, over the paper's 0-600 s window.
+// 5 pkt/s with 10 J batteries, over the paper's 0-600 s window. Every
+// cell aggregates the seed replicates as mean ± 95% CI.
 func Figure8(opts Options) Report {
 	horizon := opts.horizon(600 * sim.Second)
-	results := opts.run(protocolJobs(opts, "figure8", func(cfg *core.Config) {
+	reps := opts.runReplicated(protocolJobs(opts, "figure8", func(cfg *core.Config) {
 		cfg.Horizon = horizon
 	}))
 
@@ -61,30 +42,36 @@ func Figure8(opts Options) Report {
 		t := sim.Time(int64(horizon) * int64(i) / int64(points-1))
 		tab.AddRow(
 			f1(t.Seconds()),
-			seriesCell(results[0].EnergySeries, t),
-			seriesCell(results[1].EnergySeries, t),
-			seriesCell(results[2].EnergySeries, t),
+			seriesCell(reps[0].runs, energySeries, t, f3),
+			seriesCell(reps[1].runs, energySeries, t, f3),
+			seriesCell(reps[2].runs, energySeries, t, f3),
 		)
 	}
-	endL, _ := results[0].EnergySeries.At(horizon)
-	endS1, _ := results[1].EnergySeries.At(horizon)
-	endS2, _ := results[2].EnergySeries.At(horizon)
+	end := func(rep replicates) float64 {
+		s, ok := seriesStream(rep.runs, energySeries, horizon)
+		if !ok {
+			return 0
+		}
+		return s.Mean()
+	}
 	return Report{
 		ID:    "figure8",
 		Title: "Average remaining energy vs elapsed time (load 5 pkt/s, 10 J initial)",
 		Table: tab,
 		Notes: []string{
-			fmt.Sprintf("at %.0f s: pure-LEACH %.2f J, Scheme1 %.2f J, Scheme2 %.2f J remaining", horizon.Seconds(), endL, endS1, endS2),
+			repNote(opts),
+			fmt.Sprintf("at %.0f s: pure-LEACH %.2f J, Scheme1 %.2f J, Scheme2 %.2f J remaining (replicate means)",
+				horizon.Seconds(), end(reps[0]), end(reps[1]), end(reps[2])),
 			"both CAEM variants retain more energy than pure LEACH throughout; Scheme 2 (fixed highest threshold) is the most frugal, matching the paper's Fig. 8 ordering",
 		},
 		Charts: []plot.Chart{{
-			Title:  "Fig. 8 — average remaining energy vs time",
+			Title:  "Fig. 8 — average remaining energy vs time (replicate mean)",
 			XLabel: "elapsed time (s)",
 			YLabel: "average remaining energy (J)",
 			Series: []plot.Series{
-				chartSeries("pure-LEACH", results[0].EnergySeries),
-				chartSeries("Scheme1", results[1].EnergySeries),
-				chartSeries("Scheme2", results[2].EnergySeries),
+				meanSeries("pure-LEACH", reps[0].runs, energySeries, horizon, 240),
+				meanSeries("Scheme1", reps[1].runs, energySeries, horizon, 240),
+				meanSeries("Scheme2", reps[2].runs, energySeries, horizon, 240),
 			},
 		}},
 	}
@@ -92,10 +79,10 @@ func Figure8(opts Options) Report {
 
 // Figure9 reproduces "Number of nodes alive versus time" and the derived
 // lifetime gains (paper: ~+40% for Scheme 1, ~+130% for Scheme 2 over
-// pure LEACH at load 5).
+// pure LEACH at load 5), with every cell replicated across seeds.
 func Figure9(opts Options) Report {
 	horizon := opts.horizon(2500 * sim.Second)
-	results := opts.run(protocolJobs(opts, "figure9", func(cfg *core.Config) {
+	reps := opts.runReplicated(protocolJobs(opts, "figure9", func(cfg *core.Config) {
 		cfg.Horizon = horizon
 	}))
 
@@ -104,33 +91,37 @@ func Figure9(opts Options) Report {
 	for i := 0; i <= points-1; i++ {
 		t := sim.Time(int64(horizon) * int64(i) / int64(points-1))
 		row := []string{f1(t.Seconds())}
-		for _, r := range results {
-			v, ok := r.AliveSeries.At(t)
-			if !ok {
-				row = append(row, "-")
-			} else {
-				row = append(row, fmt.Sprintf("%.0f", v))
-			}
+		for _, rep := range reps {
+			row = append(row, seriesCell(rep.runs, aliveSeries, t, f0))
 		}
 		tab.AddRow(row...)
 	}
 
-	notes := []string{}
-	lifetime := func(r core.Result) (float64, bool) {
-		if r.NetworkDead {
-			return r.NetworkLifetime.Seconds(), true
-		}
-		return 0, false
+	n := uint64(len(opts.seedList()))
+	notes := []string{
+		repNote(opts),
 	}
-	l, okL := lifetime(results[0])
-	s1, okS1 := lifetime(results[1])
-	s2, okS2 := lifetime(results[2])
-	if okL && okS1 && okS2 {
+	l, s1, s2 := reps[0].lifetimeStream(), reps[1].lifetimeStream(), reps[2].lifetimeStream()
+	switch {
+	case l.Count() == n && s1.Count() == n && s2.Count() == n:
+		// Gains are only quoted when every replicate of every protocol
+		// reached network death — otherwise the means cover different
+		// seed subsets and the comparison is survivor-biased.
 		notes = append(notes,
-			fmt.Sprintf("network lifetime (80%% exhausted): pure-LEACH %.0f s, Scheme1 %.0f s (%+.0f%%), Scheme2 %.0f s (%+.0f%%)",
-				l, s1, 100*(s1/l-1), s2, 100*(s2/l-1)),
+			fmt.Sprintf("network lifetime (80%% exhausted): pure-LEACH %s s, Scheme1 %s s (%+.0f%%), Scheme2 %s s (%+.0f%%)",
+				ciString(l, f1), ciString(s1, f1), 100*(s1.Mean()/l.Mean()-1), ciString(s2, f1), 100*(s2.Mean()/l.Mean()-1)),
 			"paper reports ~+40% (Scheme 1) and ~+130% (Scheme 2); the ordering and the Scheme-2 magnitude reproduce, Scheme 1's gain lands above the paper's (see EXPERIMENTS.md)")
-	} else {
+	case l.Count() > 0 || s1.Count() > 0 || s2.Count() > 0:
+		part := func(s stats.Stream) string {
+			if s.Count() == 0 {
+				return "-"
+			}
+			return fmt.Sprintf("%s s [%d/%d]", ciString(s, f1), s.Count(), n)
+		}
+		notes = append(notes, fmt.Sprintf(
+			"network death was only observed in some replicates (pure-LEACH %s, Scheme1 %s, Scheme2 %s); gains are not quoted over mismatched seed subsets — rerun at Scale=1",
+			part(l), part(s1), part(s2)))
+	default:
 		notes = append(notes, "not all protocols reached network death within the scaled horizon; rerun at Scale=1 for lifetime gains")
 	}
 	notes = append(notes, "curves drop steeply once deaths begin: LEACH rotation spreads the cluster-head burden, so exhaustion clusters in time (paper §IV.B)")
@@ -140,50 +131,68 @@ func Figure9(opts Options) Report {
 		Table: tab,
 		Notes: notes,
 		Charts: []plot.Chart{{
-			Title:  "Fig. 9 — nodes alive vs time",
+			Title:  "Fig. 9 — nodes alive vs time (replicate mean)",
 			XLabel: "elapsed time (s)",
 			YLabel: "nodes alive",
 			Series: []plot.Series{
-				chartSeries("pure-LEACH", results[0].AliveSeries),
-				chartSeries("Scheme1", results[1].AliveSeries),
-				chartSeries("Scheme2", results[2].AliveSeries),
+				meanSeries("pure-LEACH", reps[0].runs, aliveSeries, horizon, 240),
+				meanSeries("Scheme1", reps[1].runs, aliveSeries, horizon, 240),
+				meanSeries("Scheme2", reps[2].runs, aliveSeries, horizon, 240),
 			},
 		}},
 	}
 }
 
 // Figure10 reproduces "Network lifetime versus traffic load": the 80%-dead
-// time of each protocol as the per-node load sweeps 5..30 pkt/s.
+// time of each protocol as the per-node load sweeps 5..30 pkt/s. Each
+// (load, protocol) cell is the mean ± 95% CI over the seed replicates
+// that reached network death; a "[k/n]" suffix flags cells where only k
+// of n replicates died within the horizon.
 func Figure10(opts Options) Report {
 	tab := Table{Headers: []string{"load(pkt/s)", "pure-LEACH(s)", "Scheme1(s)", "Scheme2(s)", "S1-gain", "S2-gain"}}
 	var firstGapS1, lastGapS1 float64
+	var gapsSet bool
 	sweep := make([]plot.Series, 3)
 	for i, pc := range protocolCases() {
 		sweep[i].Name = pc.name
 	}
-	var jobs []runner.Job
+	var cells []runner.Job
 	for _, load := range opts.loads() {
-		jobs = append(jobs, protocolJobs(opts, fmt.Sprintf("figure10/load%.0f", load), func(cfg *core.Config) {
+		cells = append(cells, protocolJobs(opts, fmt.Sprintf("figure10/load%.0f", load), func(cfg *core.Config) {
 			cfg.ArrivalRatePerSecond = load
 			cfg.Horizon = opts.horizon(4000 * sim.Second)
 			cfg.StopWhenNetworkDead = true
 			cfg.SampleInterval = 20 * sim.Second
 		})...)
 	}
-	results := opts.run(jobs)
+	reps := opts.runReplicated(cells)
+	n := len(opts.seedList())
 	for i, load := range opts.loads() {
 		row := []string{f1(load)}
+		// Gains are only computed between cells whose lifetime every
+		// replicate observed: a partially-dead cell's mean covers a
+		// different (survivor-biased) seed subset, so comparing it to the
+		// baseline would overstate or understate the gain. Such cells keep
+		// their [k/n]-marked mean but contribute "-" to the gain columns.
 		var lifetimes []float64
 		for j := range protocolCases() {
-			res := results[i*len(protocolCases())+j]
-			if res.NetworkDead {
-				lifetimes = append(lifetimes, res.NetworkLifetime.Seconds())
-				row = append(row, f1(res.NetworkLifetime.Seconds()))
-				sweep[len(lifetimes)-1].X = append(sweep[len(lifetimes)-1].X, load)
-				sweep[len(lifetimes)-1].Y = append(sweep[len(lifetimes)-1].Y, res.NetworkLifetime.Seconds())
+			rep := reps[i*len(protocolCases())+j]
+			life := rep.lifetimeStream()
+			if life.Count() > 0 {
+				row = append(row, partialCell(life, n, f1))
+				if int(life.Count()) < n {
+					lifetimes = append(lifetimes, -1)
+				} else {
+					lifetimes = append(lifetimes, life.Mean())
+					// Only fully-observed cells are charted: a partial
+					// cell's mean covers the fastest-dying seeds only and
+					// would plot a deflated point.
+					sweep[j].X = append(sweep[j].X, load)
+					sweep[j].Y = append(sweep[j].Y, life.Mean())
+				}
 			} else {
 				lifetimes = append(lifetimes, -1)
-				row = append(row, fmt.Sprintf(">%.0f", res.Elapsed.Seconds()))
+				row = append(row, fmt.Sprintf(">%.0f", rep.mean(func(r core.Result) float64 { return r.Elapsed.Seconds() })))
 			}
 		}
 		gain := func(x float64) string {
@@ -196,10 +205,11 @@ func Figure10(opts Options) Report {
 		tab.AddRow(row...)
 		if lifetimes[0] > 0 && lifetimes[1] > 0 {
 			g := lifetimes[1]/lifetimes[0] - 1
-			if i == 0 {
+			if !gapsSet {
 				firstGapS1 = g
 			}
 			lastGapS1 = g
+			gapsSet = true
 		}
 	}
 	return Report{
@@ -207,24 +217,38 @@ func Figure10(opts Options) Report {
 		Title: "Network lifetime vs traffic load (5..30 pkt/s)",
 		Table: tab,
 		Charts: []plot.Chart{{
-			Title:  "Fig. 10 — network lifetime vs traffic load",
+			Title:  "Fig. 10 — network lifetime vs traffic load (replicate mean)",
 			XLabel: "added traffic load (pkt/s per node)",
 			YLabel: "network lifetime (s)",
 			Series: sweep,
 		}},
-		Notes: []string{
-			"all lifetimes fall as load rises: more transmissions drain batteries faster (paper Fig. 10)",
-			fmt.Sprintf("Scheme 1's advantage over pure LEACH shrinks with load (%+.0f%% at the lowest load vs %+.0f%% at the highest): under saturation its threshold sits at the lowest class most of the time, degenerating toward non-adaptive behaviour (paper §IV.B)",
-				100*firstGapS1, 100*lastGapS1),
-			"Scheme 2 keeps the longest lifetime across the sweep",
-		},
+		Notes: figure10Notes(opts, gapsSet, firstGapS1, lastGapS1),
 	}
+}
+
+// figure10Notes assembles Figure10's observations; the load-trend gain
+// claim is only made when at least one load actually yielded a
+// fully-observed LEACH-vs-Scheme1 lifetime pair — otherwise a
+// fabricated "+0%" would be quoted.
+func figure10Notes(opts Options, gapsSet bool, firstGap, lastGap float64) []string {
+	notes := []string{
+		repNote(opts) + "; [k/n] marks cells where only k replicates reached network death — such survivor-biased cells are excluded from the gain columns and the chart",
+		"all lifetimes fall as load rises: more transmissions drain batteries faster (paper Fig. 10)",
+	}
+	if gapsSet {
+		notes = append(notes, fmt.Sprintf("Scheme 1's advantage over pure LEACH shrinks with load (%+.0f%% at the lowest computed load vs %+.0f%% at the highest): under saturation its threshold sits at the lowest class most of the time, degenerating toward non-adaptive behaviour (paper §IV.B)",
+			100*firstGap, 100*lastGap))
+	} else {
+		notes = append(notes, "no load yielded a fully-observed lifetime for both pure-LEACH and Scheme1, so the load-trend gain is not quoted; rerun at Scale=1")
+	}
+	notes = append(notes, "Scheme 2 keeps the longest lifetime across the sweep")
+	return notes
 }
 
 // Figure11 reproduces "Average amount of energy consumed versus traffic
 // load": communication energy per successfully delivered packet, for pure
 // LEACH vs Scheme 1 (the paper's comparison; Scheme 2 included as the
-// floor reference).
+// floor reference), replicated across seeds.
 func Figure11(opts Options) Report {
 	tab := Table{Headers: []string{"load(pkt/s)", "pure-LEACH(mJ)", "Scheme1(mJ)", "Scheme2(mJ)", "S1-saving"}}
 	var minSave, maxSave float64 = 1, 0
@@ -233,23 +257,25 @@ func Figure11(opts Options) Report {
 	for i, pc := range protocolCases() {
 		sweep[i].Name = pc.name
 	}
-	var jobs []runner.Job
+	eppMilli := func(r core.Result) float64 { return 1000 * r.EnergyPerPktJ }
+	var cells []runner.Job
 	for _, load := range opts.loads() {
-		jobs = append(jobs, protocolJobs(opts, fmt.Sprintf("figure11/load%.0f", load), func(cfg *core.Config) {
+		cells = append(cells, protocolJobs(opts, fmt.Sprintf("figure11/load%.0f", load), func(cfg *core.Config) {
 			cfg.ArrivalRatePerSecond = load
 			cfg.Horizon = opts.horizon(300 * sim.Second)
 		})...)
 	}
-	results := opts.run(jobs)
+	reps := opts.runReplicated(cells)
 	for i, load := range opts.loads() {
 		row := []string{f1(load)}
 		var perPkt []float64
 		for j := range protocolCases() {
-			res := results[i*len(protocolCases())+j]
-			perPkt = append(perPkt, 1000*res.EnergyPerPktJ)
-			row = append(row, f3(1000*res.EnergyPerPktJ))
+			rep := reps[i*len(protocolCases())+j]
+			s := rep.stream(eppMilli)
+			perPkt = append(perPkt, s.Mean())
+			row = append(row, ciString(s, f3))
 			sweep[len(perPkt)-1].X = append(sweep[len(perPkt)-1].X, load)
-			sweep[len(perPkt)-1].Y = append(sweep[len(perPkt)-1].Y, 1000*res.EnergyPerPktJ)
+			sweep[len(perPkt)-1].Y = append(sweep[len(perPkt)-1].Y, s.Mean())
 		}
 		saving := 1 - perPkt[1]/perPkt[0]
 		row = append(row, pct(saving))
@@ -270,12 +296,13 @@ func Figure11(opts Options) Report {
 		Title: "Average communication energy per delivered packet vs traffic load",
 		Table: tab,
 		Charts: []plot.Chart{{
-			Title:  "Fig. 11 — energy per delivered packet vs traffic load",
+			Title:  "Fig. 11 — energy per delivered packet vs traffic load (replicate mean)",
 			XLabel: "added traffic load (pkt/s per node)",
 			YLabel: "communication energy per packet (mJ)",
 			Series: sweep,
 		}},
 		Notes: []string{
+			repNote(opts) + "; savings compare replicate means",
 			fmt.Sprintf("Scheme 1 saves %.0f%%-%.0f%% per packet over pure LEACH across the sweep (paper: 30-40%%)", 100*minSave, 100*maxSave),
 			fmt.Sprintf("the saving narrows with load (%.0f%% -> %.0f%%): Scheme 1 lowers its threshold more often as queues build (paper §IV.C)", 100*firstSave, 100*lastSave),
 			"pure LEACH's per-packet energy falls with load: larger bursts amortize the radio startup cost (paper §IV.C)",
@@ -294,31 +321,35 @@ func Figure12(opts Options) Report {
 	for i, pc := range protocolCases() {
 		sweep[i].Name = pc.name
 	}
-	var jobs []runner.Job
+	queueDev := func(r core.Result) float64 { return r.QueueStdDev }
+	var cells []runner.Job
 	for _, load := range loads {
-		jobs = append(jobs, protocolJobs(opts, fmt.Sprintf("figure12/load%.0f", load), func(cfg *core.Config) {
+		cells = append(cells, protocolJobs(opts, fmt.Sprintf("figure12/load%.0f", load), func(cfg *core.Config) {
 			cfg.ArrivalRatePerSecond = load
 			cfg.BufferCapacity = 0 // "substantially large enough" (§IV.C)
 			cfg.Horizon = opts.horizon(300 * sim.Second)
 		})...)
 	}
-	results := opts.run(jobs)
+	reps := opts.runReplicated(cells)
 	for i, load := range loads {
 		row := []string{f1(load)}
 		var devs []float64
 		for j := range protocolCases() {
-			res := results[i*len(protocolCases())+j]
-			devs = append(devs, res.QueueStdDev)
-			row = append(row, f2(res.QueueStdDev))
+			rep := reps[i*len(protocolCases())+j]
+			s := rep.stream(queueDev)
+			devs = append(devs, s.Mean())
+			row = append(row, ciString(s, f2))
 			sweep[len(devs)-1].X = append(sweep[len(devs)-1].X, load)
-			sweep[len(devs)-1].Y = append(sweep[len(devs)-1].Y, res.QueueStdDev)
+			sweep[len(devs)-1].Y = append(sweep[len(devs)-1].Y, s.Mean())
 		}
 		tab.AddRow(row...)
 		if devs[1] >= devs[2] && crossover < 0 {
 			crossover = load
 		}
 	}
-	var notes []string
+	notes := []string{
+		repNote(opts),
+	}
 	switch {
 	case crossover < 0:
 		notes = append(notes, "Scheme 1's adaptive threshold yields a lower queue-length standard deviation than Scheme 2 at every load: relaxing the threshold under queue growth returns bandwidth to nodes with poor channels (paper Fig. 12)")
@@ -334,7 +365,7 @@ func Figure12(opts Options) Report {
 		Title: "Standard deviation of queue length vs traffic load (short-term fairness)",
 		Table: tab,
 		Charts: []plot.Chart{{
-			Title:  "Fig. 12 — queue-length standard deviation vs traffic load",
+			Title:  "Fig. 12 — queue-length standard deviation vs traffic load (replicate mean)",
 			XLabel: "added traffic load (pkt/s per node)",
 			YLabel: "std dev of queue length",
 			Series: sweep,
@@ -344,24 +375,30 @@ func Figure12(opts Options) Report {
 }
 
 // NetworkPerformance is the X1 extension: the §IV.A network-performance
-// metrics (average packet delay, aggregate throughput, successful delivery
-// rate) that the paper defines but defers to its long version.
+// metrics (average and tail packet delay, aggregate throughput,
+// successful delivery rate) that the paper defines but defers to its
+// long version.
 func NetworkPerformance(opts Options) Report {
 	tab := Table{Headers: []string{
-		"load(pkt/s)", "protocol", "delay(ms)", "throughput(kbps)", "delivery",
+		"load(pkt/s)", "protocol", "delay(ms)", "p95-delay(ms)", "throughput(kbps)", "delivery",
 	}}
-	var jobs []runner.Job
+	var cells []runner.Job
 	for _, load := range opts.loads() {
-		jobs = append(jobs, protocolJobs(opts, fmt.Sprintf("netperf/load%.0f", load), func(cfg *core.Config) {
+		cells = append(cells, protocolJobs(opts, fmt.Sprintf("netperf/load%.0f", load), func(cfg *core.Config) {
 			cfg.ArrivalRatePerSecond = load
 			cfg.Horizon = opts.horizon(300 * sim.Second)
 		})...)
 	}
-	results := opts.run(jobs)
+	reps := opts.runReplicated(cells)
 	for i, load := range opts.loads() {
 		for j, pc := range protocolCases() {
-			res := results[i*len(protocolCases())+j]
-			tab.AddRow(f1(load), pc.name, f1(res.MeanDelayMs), f1(res.AggregateKbps), pct(res.DeliveryRate))
+			rep := reps[i*len(protocolCases())+j]
+			tab.AddRow(f1(load), pc.name,
+				rep.cell(f1, func(r core.Result) float64 { return r.MeanDelayMs }),
+				rep.cell(f1, func(r core.Result) float64 { return r.P95DelayMs }),
+				rep.cell(f1, func(r core.Result) float64 { return r.AggregateKbps }),
+				rep.cell(pct, func(r core.Result) float64 { return r.DeliveryRate }),
+			)
 		}
 	}
 	return Report{
@@ -369,6 +406,7 @@ func NetworkPerformance(opts Options) Report {
 		Title: "Network performance vs traffic load (delay / throughput / delivery; paper §IV.A metrics, long-version results)",
 		Table: tab,
 		Notes: []string{
+			repNote(opts) + "; p95 delay is the streaming P² estimate per run",
 			"channel-adaptive buffering trades delay for energy: Scheme 2 has the largest delay and the lowest delivery rate at every load, Scheme 1 sits between it and pure LEACH",
 		},
 	}

@@ -11,78 +11,14 @@ import (
 	"sort"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
 )
 
-// Welford is a numerically stable online accumulator for mean/variance,
-// with min/max tracking.
-type Welford struct {
-	n        uint64
-	mean, m2 float64
-	min, max float64
-}
-
-// Add accumulates one observation.
-func (w *Welford) Add(x float64) {
-	w.n++
-	if w.n == 1 {
-		w.min, w.max = x, x
-	} else {
-		if x < w.min {
-			w.min = x
-		}
-		if x > w.max {
-			w.max = x
-		}
-	}
-	d := x - w.mean
-	w.mean += d / float64(w.n)
-	w.m2 += d * (x - w.mean)
-}
-
-// Count returns the number of observations.
-func (w *Welford) Count() uint64 { return w.n }
-
-// Mean returns the sample mean (0 for an empty accumulator).
-func (w *Welford) Mean() float64 { return w.mean }
-
-// Variance returns the population variance (0 for fewer than 2 samples).
-func (w *Welford) Variance() float64 {
-	if w.n < 2 {
-		return 0
-	}
-	return w.m2 / float64(w.n)
-}
-
-// StdDev returns the population standard deviation.
-func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
-
-// Min returns the smallest observation (0 when empty).
-func (w *Welford) Min() float64 { return w.min }
-
-// Max returns the largest observation (0 when empty).
-func (w *Welford) Max() float64 { return w.max }
-
-// Merge folds other into w (parallel Welford combination).
-func (w *Welford) Merge(other Welford) {
-	if other.n == 0 {
-		return
-	}
-	if w.n == 0 {
-		*w = other
-		return
-	}
-	n := w.n + other.n
-	d := other.mean - w.mean
-	mean := w.mean + d*float64(other.n)/float64(n)
-	m2 := w.m2 + other.m2 + d*d*float64(w.n)*float64(other.n)/float64(n)
-	if other.min < w.min {
-		w.min = other.min
-	}
-	if other.max > w.max {
-		w.max = other.max
-	}
-	w.n, w.mean, w.m2 = n, mean, m2
-}
+// Welford is the numerically stable online mean/variance accumulator
+// with min/max tracking, now provided by the shared statistics engine
+// (population-variance semantics; see internal/stats for the
+// sample-statistics Stream the replicated experiments use).
+type Welford = stats.Welford
 
 // Point is one (time, value) sample of a time series.
 type Point struct {
@@ -152,13 +88,22 @@ func (ts *TimeSeries) Downsample(n int) []Point {
 	return out
 }
 
-// DelayStats accumulates packet delays (creation → delivery at the CH).
+// DelayStats accumulates packet delays (creation → delivery at the CH),
+// tracking mean/max/stddev plus a constant-memory P² estimate of the
+// 95th percentile (the tail the mean hides under bursty service).
 type DelayStats struct {
-	w Welford
+	w   Welford
+	p95 stats.Quantile
 }
 
 // Observe records one delivered packet's delay.
-func (d *DelayStats) Observe(delay sim.Time) { d.w.Add(delay.Millis()) }
+func (d *DelayStats) Observe(delay sim.Time) {
+	if d.w.Count() == 0 {
+		d.p95 = stats.NewQuantile(0.95)
+	}
+	d.w.Add(delay.Millis())
+	d.p95.Add(delay.Millis())
+}
 
 // Count returns delivered-packet count.
 func (d *DelayStats) Count() uint64 { return d.w.Count() }
@@ -172,6 +117,16 @@ func (d *DelayStats) MaxMs() float64 { return d.w.Max() }
 
 // StdDevMs returns the delay standard deviation in milliseconds.
 func (d *DelayStats) StdDevMs() float64 { return d.w.StdDev() }
+
+// P95Ms returns the streaming 95th-percentile delay estimate in
+// milliseconds (0 when no packet has been delivered, matching the
+// other accessors' empty behaviour).
+func (d *DelayStats) P95Ms() float64 {
+	if d.w.Count() == 0 {
+		return 0
+	}
+	return d.p95.Value()
+}
 
 // FairnessProbe computes the paper's short-term fairness index: the
 // standard deviation of per-node queue lengths, snapshotted periodically

@@ -1,0 +1,148 @@
+// Package stats is the streaming statistics engine behind every
+// replicated experiment: numerically stable mean/variance accumulation
+// (Welford's algorithm), two-sided Student-t confidence intervals, and
+// constant-memory P² quantile estimation.
+//
+// Everything is allocation-free in the steady state: the accumulators
+// are plain value types whose Add methods touch no heap, so they can
+// sit inside simulation hot paths (per-packet delay tracking) as well
+// as aggregate replicated run metrics at the experiment layer.
+//
+// NaN policy: statistics that are undefined for the observed sample
+// count return NaN rather than a misleading zero — SampleVariance and
+// every confidence-interval accessor need at least two observations
+// (one replicate carries no dispersion information), and quantiles of
+// an empty stream have no value. Callers render NaN as a bare mean or
+// "-". Welford's population Variance keeps its legacy 0-for-small-n
+// behaviour because the simulation metrics built on it (delay spread,
+// fairness index) treat "no spread observed" as 0.
+package stats
+
+import "math"
+
+// Welford is a numerically stable online accumulator for mean and
+// population variance, with min/max tracking. It is the shared base of
+// the simulation metrics (which describe a complete population of
+// packets or snapshots) and of Stream (which adds the sample-statistics
+// view for replicated experiments).
+type Welford struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add accumulates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the population variance (0 for fewer than 2
+// samples). A constant series has variance exactly 0: every update's
+// delta is 0, so no rounding residue accumulates in m2.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 when empty).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 when empty).
+func (w *Welford) Max() float64 { return w.max }
+
+// Merge folds other into w (parallel Welford combination).
+func (w *Welford) Merge(other Welford) {
+	if other.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = other
+		return
+	}
+	n := w.n + other.n
+	d := other.mean - w.mean
+	mean := w.mean + d*float64(other.n)/float64(n)
+	m2 := w.m2 + other.m2 + d*d*float64(w.n)*float64(other.n)/float64(n)
+	if other.min < w.min {
+		w.min = other.min
+	}
+	if other.max > w.max {
+		w.max = other.max
+	}
+	w.n, w.mean, w.m2 = n, mean, m2
+}
+
+// Stream extends Welford with the inferential view a replicated
+// experiment needs: unbiased (n−1) sample variance, the standard error
+// of the mean, and Student-t confidence intervals. The zero value is
+// ready to use; Add is inherited from Welford and allocation-free.
+type Stream struct {
+	Welford
+}
+
+// SampleVariance returns the unbiased sample variance m2/(n−1), or NaN
+// for fewer than two observations (undefined, per the package policy).
+func (s *Stream) SampleVariance() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// SampleStdDev returns the square root of SampleVariance (NaN for
+// fewer than two observations).
+func (s *Stream) SampleStdDev() float64 { return math.Sqrt(s.SampleVariance()) }
+
+// StdErr returns the standard error of the mean, s/√n (NaN for fewer
+// than two observations).
+func (s *Stream) StdErr() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.SampleStdDev() / math.Sqrt(float64(s.n))
+}
+
+// CIHalfWidth returns the half width of the two-sided confidence
+// interval for the mean at the given confidence level (e.g. 0.95):
+// t*(conf, n−1) · s/√n. NaN for fewer than two observations; exactly 0
+// for a constant series.
+func (s *Stream) CIHalfWidth(conf float64) float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return TCritical(conf, int(s.n)-1) * s.StdErr()
+}
+
+// CI95 returns CIHalfWidth(0.95) — the experiment tables' "±" column.
+func (s *Stream) CI95() float64 { return s.CIHalfWidth(0.95) }
+
+// CI returns the two-sided confidence interval bounds at the given
+// level; both bounds are NaN for fewer than two observations.
+func (s *Stream) CI(conf float64) (lo, hi float64) {
+	h := s.CIHalfWidth(conf)
+	return s.mean - h, s.mean + h
+}

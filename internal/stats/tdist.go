@@ -1,0 +1,121 @@
+package stats
+
+import "math"
+
+// TCritical returns the two-sided Student-t critical value t*(conf, df):
+// the point with CDF mass conf centered on 0, i.e. the one-sided
+// quantile at 1−(1−conf)/2. NaN for df < 1 or conf outside (0, 1).
+//
+// The inverse is computed by exponential search plus bisection on the
+// exact CDF (via the regularized incomplete beta function), so it is
+// accurate across the whole df range rather than relying on small-df
+// tables with an asymptotic splice. It is not a hot path: experiments
+// call it once per table cell.
+func TCritical(conf float64, df int) float64 {
+	if df < 1 || conf <= 0 || conf >= 1 {
+		return math.NaN()
+	}
+	p := 1 - (1-conf)/2 // one-sided target, in (0.5, 1)
+
+	// Exponential search for an upper bracket, then bisect. The CDF is
+	// strictly increasing, so this converges unconditionally; 128
+	// bisection steps put the error far below float64 formatting noise.
+	hi := 1.0
+	for tCDF(hi, float64(df)) < p {
+		hi *= 2
+		if hi > 1e12 { // p astronomically close to 1; clamp
+			break
+		}
+	}
+	lo := 0.0
+	for i := 0; i < 128; i++ {
+		mid := 0.5 * (lo + hi)
+		if tCDF(mid, float64(df)) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi)
+}
+
+// tCDF returns P(T ≤ t) for Student's t with df degrees of freedom,
+// t ≥ 0, via the incomplete-beta identity
+// P(T ≤ t) = 1 − I_x(df/2, 1/2)/2 with x = df/(df+t²).
+func tCDF(t, df float64) float64 {
+	if t == 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	return 1 - 0.5*regIncBeta(df/2, 0.5, x)
+}
+
+// regIncBeta returns the regularized incomplete beta function
+// I_x(a, b), evaluated with the continued-fraction expansion
+// (Numerical Recipes §6.4), using the symmetry transformation for fast
+// convergence on either side of the mean.
+func regIncBeta(a, b, x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	lga, _ := math.Lgamma(a)
+	lgb, _ := math.Lgamma(b)
+	lgab, _ := math.Lgamma(a + b)
+	front := math.Exp(lgab - lga - lgb + a*math.Log(x) + b*math.Log(1-x))
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x) / a
+	}
+	return 1 - front*betaCF(b, a, 1-x)/b
+}
+
+// betaCF evaluates the incomplete-beta continued fraction with the
+// modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-16
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		fm := float64(m)
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}

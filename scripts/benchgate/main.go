@@ -1,0 +1,165 @@
+// Command benchgate is the CI bench-regression guard: it runs the
+// hot-path benchmarks (ns per simulated second for the static and
+// scenario engines) and fails when any result regresses beyond a
+// slack factor of the committed baseline. The factor is deliberately
+// loose — CI runners are noisy shared machines — so only order-of-
+// magnitude regressions (an accidentally quadratic hot path, a
+// reintroduced per-event allocation storm) trip it, not scheduler
+// jitter.
+//
+// Usage (from the repository root, as `make bench-gate` does):
+//
+//	go run ./scripts/benchgate -baseline BENCH_2.json -factor 2.5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseline mirrors the slice of the BENCH_*.json schema the gate
+// consumes: per-protocol ns/op for the static hot path and the single
+// scenario-engine figure.
+type baseline struct {
+	Benchmarks struct {
+		SimulatedSecond struct {
+			After map[string]struct {
+				NsOp float64 `json:"ns_op"`
+			} `json:"after"`
+		} `json:"BenchmarkSimulatedSecond"`
+		ScenarioSecond struct {
+			Result struct {
+				NsOp float64 `json:"ns_op"`
+			} `json:"result"`
+		} `json:"BenchmarkScenarioSecond"`
+	} `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "BENCH_2.json", "committed baseline JSON with the reference ns/op values")
+		factor       = flag.Float64("factor", 2.5, "fail when measured ns/op exceeds factor x baseline")
+		benchtime    = flag.String("benchtime", "1000x", "benchtime passed to go test (iterations = simulated seconds); MUST match the baseline's benchtime — the per-second cost is horizon-dependent (the network dies partway through a long run and dead seconds are nearly free), so comparing across benchtimes skews the ratio")
+	)
+	flag.Parse()
+
+	refs, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fatal("loading baseline: %v", err)
+	}
+	if len(refs) == 0 {
+		fatal("baseline %s holds no recognizable ns/op entries", *baselinePath)
+	}
+
+	got, raw, err := runBenchmarks(*benchtime)
+	if err != nil {
+		fatal("running benchmarks: %v\n%s", err, raw)
+	}
+
+	fmt.Printf("%-40s %14s %14s %8s\n", "benchmark", "baseline ns/op", "measured ns/op", "ratio")
+	failed := false
+	for _, name := range sortedKeys(refs) {
+		ref := refs[name]
+		measured, ok := got[name]
+		if !ok {
+			fmt.Printf("%-40s %14.0f %14s %8s\n", name, ref, "MISSING", "-")
+			failed = true
+			continue
+		}
+		ratio := measured / ref
+		verdict := ""
+		if ratio > *factor {
+			verdict = "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %7.2fx%s\n", name, ref, measured, ratio, verdict)
+	}
+	if failed {
+		fatal("bench gate FAILED: a hot-path benchmark regressed beyond %.1fx its %s baseline (or went missing)", *factor, *baselinePath)
+	}
+	fmt.Printf("bench gate passed: every hot path within %.1fx of %s\n", *factor, *baselinePath)
+}
+
+func loadBaseline(path string) (map[string]float64, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(blob, &b); err != nil {
+		return nil, err
+	}
+	refs := make(map[string]float64)
+	for proto, v := range b.Benchmarks.SimulatedSecond.After {
+		if v.NsOp > 0 {
+			refs["BenchmarkSimulatedSecond/"+proto] = v.NsOp
+		}
+	}
+	if v := b.Benchmarks.ScenarioSecond.Result.NsOp; v > 0 {
+		refs["BenchmarkScenarioSecond"] = v
+	}
+	return refs, nil
+}
+
+// runBenchmarks executes the two gated benchmarks and returns measured
+// ns/op keyed by benchmark name (GOMAXPROCS suffix stripped).
+func runBenchmarks(benchtime string) (map[string]float64, string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", "^(BenchmarkSimulatedSecond|BenchmarkScenarioSecond)$",
+		"-benchtime", benchtime, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, string(out), err
+	}
+	got := make(map[string]float64)
+	for _, line := range strings.Split(string(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := stripProcSuffix(fields[0])
+		for i := 2; i+1 < len(fields); i++ {
+			if fields[i+1] == "ns/op" {
+				v, perr := strconv.ParseFloat(fields[i], 64)
+				if perr == nil {
+					got[name] = v
+				}
+				break
+			}
+		}
+	}
+	return got, string(out), nil
+}
+
+// stripProcSuffix removes the trailing "-<GOMAXPROCS>" from a
+// benchmark name ("BenchmarkScenarioSecond-8" → "BenchmarkScenarioSecond").
+func stripProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+func sortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}
