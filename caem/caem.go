@@ -287,16 +287,24 @@ func (c Config) Validate() error {
 
 // Run executes one simulation and returns its results.
 func Run(c Config) (Result, error) {
+	return runPooled(nil, c)
+}
+
+// runPooled resolves and executes one configuration, on the given
+// resident context pool when non-nil (the multi-run entry points hand
+// each worker its own) or on a fresh context otherwise.
+func runPooled(p *runner.Pool, c Config) (Result, error) {
 	sc, err := c.simConfig()
 	if err != nil {
 		return Result{}, err
 	}
-	return runSim(c, sc)
+	return runSim(p, c, sc)
 }
 
 // runSim validates and executes one resolved core configuration, wiring
-// the optional trace stream. Shared by Run and RunScenario.
-func runSim(c Config, sc core.Config) (Result, error) {
+// the optional trace stream. Shared by Run, RunScenario, and the pooled
+// grid entry points (pool may be nil for a one-shot context).
+func runSim(p *runner.Pool, c Config, sc core.Config) (Result, error) {
 	if err := sc.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -304,14 +312,19 @@ func runSim(c Config, sc core.Config) (Result, error) {
 	if c.TraceCSV != nil {
 		sc.Trace, traceErr = trace.StreamCSV(c.TraceCSV)
 	}
-	net := core.New(sc)
-	res := publicResult(c, net.Run())
+	var res core.Result
+	if p != nil {
+		res = p.Run(sc)
+	} else {
+		res = core.New(sc).Run()
+	}
+	pub := publicResult(c, res)
 	if traceErr != nil {
 		if err := traceErr(); err != nil {
-			return res, fmt.Errorf("caem: trace stream failed: %w", err)
+			return pub, fmt.Errorf("caem: trace stream failed: %w", err)
 		}
 	}
-	return res, nil
+	return pub, nil
 }
 
 // RunComparison runs the same configuration under each protocol (same
@@ -332,23 +345,27 @@ func RunComparison(c Config, protocols ...Protocol) ([]Result, error) {
 	}
 	return runVariants(workers, len(protocols),
 		func(i int) string { return protocols[i].String() },
-		func(i int) (Result, error) {
+		func(p *runner.Pool, i int) (Result, error) {
 			cc := c
 			cc.Protocol = protocols[i]
-			return Run(cc)
+			return runPooled(p, cc)
 		})
 }
 
-// runVariants executes n independent variants through the worker pool.
-// When workers == 1 (requested, or forced by tracing) the variants run
-// serially and the first failure short-circuits the rest; in parallel
-// mode every variant completes and the lowest-indexed error wins. A
-// panicking variant re-raises on the caller with its description.
-func runVariants(workers, n int, describe func(int) string, run func(int) (Result, error)) ([]Result, error) {
-	if workers == 1 {
+// runVariants executes n independent variants through the worker pool,
+// handing every worker a resident context pool so grid cells reuse
+// simulation state instead of rebuilding the world per cell. When the
+// effective worker count is 1 (requested, or forced by tracing) the
+// variants run serially on one pool and the first failure
+// short-circuits the rest; in parallel mode every variant completes and
+// the lowest-indexed error wins. A panicking variant re-raises on the
+// caller with its description.
+func runVariants(workers, n int, describe func(int) string, run func(p *runner.Pool, i int) (Result, error)) ([]Result, error) {
+	if runner.EffectiveWorkers(workers, n) == 1 {
+		pool := runner.NewPool()
 		out := make([]Result, 0, n)
 		for i := 0; i < n; i++ {
-			r, err := run(i)
+			r, err := run(pool, i)
 			if err != nil {
 				return nil, fmt.Errorf("caem: %s run failed: %w", describe(i), err)
 			}
@@ -358,8 +375,8 @@ func runVariants(workers, n int, describe func(int) string, run func(int) (Resul
 	}
 	out := make([]Result, n)
 	errs := make([]error, n)
-	if i, v := runner.Do(workers, n, func(i int) {
-		out[i], errs[i] = run(i)
+	if i, v := runner.DoPooled(workers, n, func(p *runner.Pool, i int) {
+		out[i], errs[i] = run(p, i)
 	}); i >= 0 {
 		panic(fmt.Sprintf("caem: %s run panicked: %v", describe(i), v))
 	}
@@ -382,9 +399,9 @@ func RunSeeds(c Config, seeds []uint64) ([]Result, error) {
 	}
 	return runVariants(c.Workers, len(seeds),
 		func(i int) string { return fmt.Sprintf("seed %d", seeds[i]) },
-		func(i int) (Result, error) {
+		func(p *runner.Pool, i int) (Result, error) {
 			cc := c
 			cc.Seed = seeds[i]
-			return Run(cc)
+			return runPooled(p, cc)
 		})
 }

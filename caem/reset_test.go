@@ -1,0 +1,59 @@
+package caem
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// TestPooledScenarioEquivalence is the public-surface half of the
+// run-reuse differential test: running library scenarios through one
+// resident context pool (the RunCampaign path) must produce Results and
+// trace CSVs bit-identical to fresh one-shot runs, across protocols and
+// scenarios sharing the pool in sequence.
+func TestPooledScenarioEquivalence(t *testing.T) {
+	names := []string{"node-churn", "diurnal-load"}
+	pool := runner.NewPool()
+	for _, name := range names {
+		sc, err := FindScenario(name)
+		if err != nil {
+			t.Fatalf("library scenario %s: %v", name, err)
+		}
+		cfg, err := ScenarioConfig(sc)
+		if err != nil {
+			t.Fatalf("scenario config %s: %v", name, err)
+		}
+		// Keep the scenario's own topology (its timeline addresses
+		// specific node indices); just shorten the run.
+		cfg.DurationSeconds = 60
+		for _, p := range Protocols() {
+			cfg.Protocol = p
+
+			freshCfg := cfg
+			var freshTrace bytes.Buffer
+			freshCfg.TraceCSV = &freshTrace
+			fresh, err := RunScenario(sc, freshCfg)
+			if err != nil {
+				t.Fatalf("%s/%s fresh: %v", name, p, err)
+			}
+
+			pooledCfg := cfg
+			var pooledTrace bytes.Buffer
+			pooledCfg.TraceCSV = &pooledTrace
+			pooled, err := runScenarioPooled(pool, sc, pooledCfg)
+			if err != nil {
+				t.Fatalf("%s/%s pooled: %v", name, p, err)
+			}
+
+			if !reflect.DeepEqual(fresh, pooled) {
+				t.Fatalf("%s/%s: fresh and pooled results differ", name, p)
+			}
+			if !bytes.Equal(freshTrace.Bytes(), pooledTrace.Bytes()) {
+				t.Fatalf("%s/%s: fresh and pooled trace CSVs differ (%d vs %d bytes)",
+					name, p, freshTrace.Len(), pooledTrace.Len())
+			}
+		}
+	}
+}

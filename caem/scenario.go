@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/runner"
 	"repro/internal/scenario"
 	"repro/scenarios"
 )
@@ -128,6 +129,12 @@ func ScenarioConfig(sc Scenario) (Config, error) {
 // applied here — resolve them explicitly with ScenarioConfig so the
 // caller controls the override order.
 func RunScenario(sc Scenario, cfg Config) (Result, error) {
+	return runScenarioPooled(nil, sc, cfg)
+}
+
+// runScenarioPooled is RunScenario on a resident context pool (nil for a
+// one-shot context); RunCampaign routes every grid cell through here.
+func runScenarioPooled(p *runner.Pool, sc Scenario, cfg Config) (Result, error) {
 	simCfg, err := cfg.simConfig()
 	if err != nil {
 		return Result{}, err
@@ -135,7 +142,7 @@ func RunScenario(sc Scenario, cfg Config) (Result, error) {
 	if err := scenario.Compile(sc, &simCfg); err != nil {
 		return Result{}, fmt.Errorf("caem: %w", err)
 	}
-	return runSim(cfg, simCfg)
+	return runSim(p, cfg, simCfg)
 }
 
 // CampaignCell is one grid point of a campaign: which scenario, protocol,
@@ -182,12 +189,12 @@ func RunCampaign(base Config, scs []Scenario, protocols []Protocol, seeds []uint
 		func(i int) string {
 			return fmt.Sprintf("%s/%s/seed %d", cells[i].Scenario, cells[i].Protocol, cells[i].Seed)
 		},
-		func(i int) (Result, error) {
+		func(p *runner.Pool, i int) (Result, error) {
 			cc := base
 			cc.Protocol = cells[i].Protocol
 			cc.Seed = cells[i].Seed
 			cc.Workers = 1 // the grid is the parallel unit
-			return RunScenario(scFor[i], cc)
+			return runScenarioPooled(p, scFor[i], cc)
 		})
 	if err != nil {
 		return nil, err

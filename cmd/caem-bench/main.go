@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -51,8 +53,40 @@ func main() {
 		out     = flag.String("out", "", "directory to write per-experiment CSV files (empty = don't)")
 		quiet   = flag.Bool("quiet", false, "suppress per-run progress")
 		workers = flag.Int("workers", 0, "concurrent simulations per sweep (0 = one per CPU, 1 = serial); results are identical for any value")
+		cpuprof = flag.String("cpuprofile", "", "write a pprof CPU profile of the experiment runs to this file")
+		memprof = flag.String("memprofile", "", "write a pprof allocation profile (taken after the runs) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caem-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "caem-bench: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		path := *memprof
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "caem-bench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle accounting so the profile reflects live + cumulative allocations
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "caem-bench: -memprofile: %v\n", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	opts := experiment.Options{Seed: *seed, Scale: *scale, Replications: *reps, Workers: *workers}
 	if *seedCSV != "" {

@@ -66,6 +66,17 @@ type burst struct {
 	colliderJoin []sim.Time
 	collisionEv  sim.EventID
 	collisionSet bool
+
+	// Packet-error-probability memo. The probability is a pure function
+	// of (CSI, mode, size) and consecutive packets of a burst share one
+	// fading block, so the erfc/exp tower behind PacketErrorProb runs
+	// once per block instead of once per packet. Never invalidated: a
+	// key match from any earlier burst (or run) is still the right value.
+	perrCSI  float64
+	perrSize int
+	perrMode int
+	perrVal  float64
+	perrOK   bool
 }
 
 // acquireBurst takes a burst from the free list (or grows the pool) and
@@ -113,7 +124,10 @@ func (net *Network) releaseBurst(tx *burst) {
 	net.burstFree = append(net.burstFree, tx)
 }
 
-// Network is one simulation run.
+// Network is one simulation run's world — and, through Reset, a reusable
+// simulation context: every piece of run state can be rewound in place,
+// so a worker that executes a replication grid pays world construction
+// once and resets thereafter (see internal/runner's context pool).
 type Network struct {
 	cfg Config
 	eng *sim.Engine
@@ -123,12 +137,26 @@ type Network struct {
 	nodes     []*node
 	aliveMask []bool
 
-	links map[uint64]*channel.Link
+	// links is the dense flat link matrix: the channel between nodes a<b
+	// lives at index a*linkN+b, materialized lazily (linkInit) from the
+	// pair's deterministic stream. Replaces the old pairKey-hashed map:
+	// the lookup on the CSI hot path is one multiply-add instead of a
+	// hash probe, and the Link values (with their oscillator tables) are
+	// reusable storage that Reset simply marks uninitialized.
+	links    []channel.Link
+	linkInit []bool
+	linkN    int
 
-	election *leach.Election
-	clusters []*cluster
-	roundGen uint64
-	rounds   int
+	election       *leach.Election
+	electionStream rng.Stream
+	scratchStream  rng.Stream // transient stream state (placement, link init)
+	clusters       []*cluster
+	clusterPool    []*cluster // reusable cluster slots with their tone closures
+	assign         leach.Assignment
+	headsBuf       []int
+	queueScratch   []int
+	roundGen       uint64
+	rounds         int
 
 	// Reusable handlers and the burst free list: the steady-state event
 	// loop schedules only preallocated closures.
@@ -156,24 +184,92 @@ type Network struct {
 // configuration (use Config.Validate to check first when the values come
 // from user input).
 func New(cfg Config) *Network {
+	net := &Network{}
+	net.init(cfg)
+	return net
+}
+
+// Reset rewinds the Network in place to the state New(cfg) would build,
+// reusing node structs, stream allocations, arenas, free lists, the link
+// matrix, and metric storage. A Reset-then-Run is bit-identical to a
+// fresh New-then-Run for the same configuration: every random stream is
+// rewound to its deterministic origin and event ordering depends only on
+// (time, sequence), never on recycled slot identities.
+//
+// The previous run's Result stays valid: anything a Result references is
+// either copied at build time or (the two time series) handed over —
+// Reset allocates fresh series rather than truncating the old ones.
+func (net *Network) Reset(cfg Config) {
+	net.init(cfg)
+}
+
+// init is the shared construction/reset path. Every field of the
+// Network is either rewound in place (keeping its backing storage) or
+// rebuilt when the configuration shape (node count, mode table) changed.
+func (net *Network) init(cfg Config) {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	net := &Network{
-		cfg:          cfg,
-		eng:          sim.NewEngine(),
-		src:          rng.NewSource(cfg.Seed),
-		links:        make(map[uint64]*channel.Link),
-		life:         metrics.NewLifetime(cfg.Nodes),
-		energySeries: metrics.NewTimeSeries("avg-remaining-energy-J"),
-		aliveSeries:  metrics.NewTimeSeries("nodes-alive"),
-		modeCounts:   make([]uint64, cfg.Modes.Len()),
+	net.cfg = cfg
+	if net.eng == nil {
+		net.eng = sim.NewEngine()
+	} else {
+		net.eng.Reset()
 	}
+	if net.src == nil {
+		net.src = rng.NewSource(cfg.Seed)
+	} else {
+		net.src.Reseed(cfg.Seed)
+	}
+
+	// Metrics. The finished run's series were handed to its Result, so
+	// they get fresh objects; everything else rewinds in place.
+	if net.life == nil {
+		net.life = metrics.NewLifetime(cfg.Nodes)
+	} else {
+		net.life.Reset(cfg.Nodes)
+	}
+	net.energySeries = metrics.NewTimeSeries("avg-remaining-energy-J")
+	net.aliveSeries = metrics.NewTimeSeries("nodes-alive")
+	net.thr = metrics.Throughput{}
+	net.delays = metrics.DelayStats{}
+	net.fairness = metrics.FairnessProbe{}
+	if cap(net.modeCounts) >= cfg.Modes.Len() {
+		net.modeCounts = net.modeCounts[:cfg.Modes.Len()]
+		clear(net.modeCounts)
+	} else {
+		net.modeCounts = make([]uint64, cfg.Modes.Len())
+	}
+	net.collisionEvents = 0
+	net.forwardedBits = 0
+	net.roundStats = net.roundStats[:0]
+	net.roundGen = 0
+	net.rounds = 0
+	net.nextPacketID = 0
+	net.clusters = net.clusters[:0]
+
+	// Geometry and per-node state.
 	field := geom.Field{Width: cfg.FieldWidth, Height: cfg.FieldHeight}
-	net.positions = geom.PlaceUniform(field, cfg.Nodes, net.src.Stream("placement", 0))
-	net.aliveMask = make([]bool, cfg.Nodes)
-	net.nodes = make([]*node, cfg.Nodes)
-	for i := range net.nodes {
+	net.src.InitStream(&net.scratchStream, "placement", 0)
+	net.positions = geom.PlaceUniformInto(net.positions, field, cfg.Nodes, &net.scratchStream)
+	if cap(net.aliveMask) >= cfg.Nodes {
+		net.aliveMask = net.aliveMask[:cfg.Nodes]
+	} else {
+		net.aliveMask = make([]bool, cfg.Nodes)
+	}
+	if len(net.nodes) != cfg.Nodes {
+		net.nodes = make([]*node, cfg.Nodes)
+		for i := range net.nodes {
+			net.nodes[i] = &node{
+				idx:           i,
+				backoffStream: &rng.Stream{},
+				perStream:     &rng.Stream{},
+				csiStream:     &rng.Stream{},
+				arrivalStream: &rng.Stream{},
+			}
+		}
+	}
+	for i, n := range net.nodes {
 		initialJ := cfg.InitialEnergyJ
 		if len(cfg.NodeEnergyJ) == cfg.Nodes {
 			initialJ = cfg.NodeEnergyJ[i]
@@ -182,36 +278,70 @@ func New(cfg Config) *Network {
 		if len(cfg.NodeArrivalRate) == cfg.Nodes {
 			rate = cfg.NodeArrivalRate[i]
 		}
-		n := &node{
-			idx:           i,
-			pos:           net.positions[i],
-			battery:       energy.NewBattery(initialJ),
-			buf:           queueing.NewBuffer(cfg.BufferCapacity),
-			adjust:        queueing.NewThresholdAdjuster(cfg.Adjust),
-			state:         mac.SensorSleep,
-			clusterIdx:    -1,
-			backoffStream: net.src.Stream("backoff", uint64(i)),
-			perStream:     net.src.Stream("per", uint64(i)),
-			csiStream:     net.src.Stream("csinoise", uint64(i)),
-			alive:         true,
+		net.src.InitStream(n.backoffStream, "backoff", uint64(i))
+		net.src.InitStream(n.perStream, "per", uint64(i))
+		net.src.InitStream(n.csiStream, "csinoise", uint64(i))
+		net.src.InitStream(n.arrivalStream, "arrival", uint64(i))
+		if n.battery == nil {
+			n.battery = energy.NewBattery(initialJ)
+			n.buf = queueing.NewBuffer(cfg.BufferCapacity)
+			n.adjust = queueing.NewThresholdAdjuster(cfg.Adjust)
+			n.source = queueing.NewPoissonSource(rate, cfg.PacketSizeBits, i, n.arrivalStream, &net.nextPacketID)
+			n.arrivalFn = func() { net.onArrival(n) }
+			n.backoffFn = func() { net.onBackoffExpire(n, n.backoffCl, n.backoffGen) }
+		} else {
+			n.battery.Reset(initialJ)
+			n.buf.Reset(cfg.BufferCapacity)
+			n.adjust.Reset(cfg.Adjust)
+			n.source.Reset(rate, cfg.PacketSizeBits)
 		}
-		n.source = queueing.NewPoissonSource(rate, cfg.PacketSizeBits, i, net.src.Stream("arrival", uint64(i)), &net.nextPacketID)
-		n.arrivalFn = func() { net.onArrival(n) }
-		n.backoffFn = func() { net.onBackoffExpire(n, n.backoffCl, n.backoffGen) }
-		net.nodes[i] = n
+		n.pos = net.positions[i]
+		n.counters = mac.Counters{}
+		n.state = mac.SensorSleep
+		n.isHead = false
+		n.clusterIdx = -1
+		n.sensingSince = 0
+		n.lastAccrual = 0
+		n.diedAt = 0
+		n.arrivalEv, n.backoffEv = sim.EventID{}, sim.EventID{}
+		n.backoffCl, n.backoffGen = nil, 0
+		n.alive = true
+		n.serviceShare = 0
 		net.aliveMask[i] = true
 	}
-	net.bookkeepingFn = net.bookkeeping
-	net.sampleTickFn = net.sampleTick
-	net.startRoundFn = net.startRound
-	net.election = leach.NewElection(
-		leach.Config{HeadFraction: cfg.HeadFraction, Nodes: cfg.Nodes},
-		net.src.Stream("election", 0),
-	)
-	return net
+
+	if net.bookkeepingFn == nil {
+		net.bookkeepingFn = net.bookkeeping
+		net.sampleTickFn = net.sampleTick
+		net.startRoundFn = net.startRound
+	}
+
+	net.src.InitStream(&net.electionStream, "election", 0)
+	ecfg := leach.Config{HeadFraction: cfg.HeadFraction, Nodes: cfg.Nodes}
+	if net.election == nil {
+		net.election = leach.NewElection(ecfg, &net.electionStream)
+	} else {
+		net.election.Reset(ecfg, &net.electionStream)
+	}
+
+	net.linkN = cfg.Nodes
+	if len(net.links) != cfg.Nodes*cfg.Nodes {
+		net.links = make([]channel.Link, cfg.Nodes*cfg.Nodes)
+		net.linkInit = make([]bool, cfg.Nodes*cfg.Nodes)
+	} else {
+		clear(net.linkInit)
+	}
+
+	// The pooled burst free list survives the reset, but its
+	// packet-error memos are keyed by mode *index* — a different Modes
+	// table in the next run could alias an index to different physics.
+	for _, tx := range net.burstFree {
+		tx.perrOK = false
+	}
 }
 
-// pairKey identifies the unordered node pair for the link cache.
+// pairKey identifies the unordered node pair; it names the pair's RNG
+// stream, so link realizations are a pure function of (seed, pair).
 func pairKey(a, b int) uint64 {
 	if a > b {
 		a, b = b, a
@@ -219,18 +349,30 @@ func pairKey(a, b int) uint64 {
 	return uint64(a)<<32 | uint64(b)
 }
 
-// linkFor returns (creating on first use) the channel between two nodes.
-// The link realization is a deterministic function of the pair and the
-// master seed, so re-clustering reproduces the same channel.
+// linkFor returns (materializing on first use) the channel between two
+// nodes, a direct index into the flat link matrix. The link realization
+// is a deterministic function of the pair and the master seed, so
+// re-clustering — or a context reset — reproduces the same channel.
 func (net *Network) linkFor(a, b int) *channel.Link {
-	k := pairKey(a, b)
-	if l, ok := net.links[k]; ok {
-		return l
+	if a > b {
+		a, b = b, a
 	}
-	d := net.positions[a].Distance(net.positions[b])
-	l := channel.NewLink(net.cfg.Channel, d, net.src.Stream("link", k))
-	net.links[k] = l
+	idx := a*net.linkN + b
+	l := &net.links[idx]
+	if !net.linkInit[idx] {
+		net.linkInit[idx] = true
+		d := net.positions[a].Distance(net.positions[b])
+		net.src.InitStream(&net.scratchStream, "link", pairKey(a, b))
+		l.Reseed(net.cfg.Channel, d, &net.scratchStream)
+	}
 	return l
+}
+
+// resetLinks discards every cached link realization; links re-materialize
+// lazily from their per-pair streams (used when a world event mutates the
+// propagation parameters).
+func (net *Network) resetLinks() {
+	clear(net.linkInit)
 }
 
 // Run executes the simulation and returns the collected results.
@@ -295,19 +437,32 @@ func (net *Network) startRound() {
 		return
 	}
 
-	heads := net.election.Elect(net.aliveMask)
-	assign := leach.Assign(heads, net.positions, net.aliveMask)
+	heads := net.election.ElectInto(net.headsBuf[:0], net.aliveMask)
+	net.headsBuf = heads
+	leach.AssignInto(&net.assign, heads, net.positions, net.aliveMask)
+	assign := &net.assign
 
-	net.clusters = make([]*cluster, len(heads))
-	for c, h := range heads {
-		cl := &cluster{
-			index: c,
-			head:  net.nodes[h],
-			state: mac.HeadIdle,
-			gen:   net.roundGen,
-		}
+	// Clusters are pooled: each slot carries its tone closure for life,
+	// and every per-round field is re-initialized on reuse, so round
+	// turnover costs no allocations once the pool covers the head count.
+	for len(net.clusterPool) < len(heads) {
+		cl := &cluster{}
 		cl.toneFn = func() { net.onTonePulse(cl, cl.toneGen, cl.toneState) }
-		net.clusters[c] = cl
+		net.clusterPool = append(net.clusterPool, cl)
+	}
+	net.clusters = net.clusters[:0]
+	for c, h := range heads {
+		cl := net.clusterPool[c]
+		cl.index = c
+		cl.head = net.nodes[h]
+		cl.members = cl.members[:0]
+		cl.state = mac.HeadIdle
+		cl.gen = net.roundGen
+		cl.toneEv = sim.EventID{}
+		cl.activeTx = nil
+		cl.collapsed = false
+		cl.aggBits = 0
+		net.clusters = append(net.clusters, cl)
 	}
 	net.roundStats = append(net.roundStats, RoundStat{
 		Index:          net.rounds - 1,
@@ -775,7 +930,12 @@ func (net *Network) finishPacket(cl *cluster, tx *burst, gen uint64) {
 		return
 	}
 
-	perr := tx.pktMode.PacketErrorProb(tx.pktCSI, pkt.SizeBits)
+	if !tx.perrOK || tx.perrCSI != tx.pktCSI || tx.perrMode != tx.pktMode.Index || tx.perrSize != pkt.SizeBits {
+		tx.perrCSI, tx.perrMode, tx.perrSize = tx.pktCSI, tx.pktMode.Index, pkt.SizeBits
+		tx.perrVal = tx.pktMode.PacketErrorProb(tx.pktCSI, pkt.SizeBits)
+		tx.perrOK = true
+	}
+	perr := tx.perrVal
 	if n.perStream.Float64() < perr {
 		// Corrupted at the head: it answers with a collision tone
 		// (§III.A rule 3 — corruption and collision are indistinguishable
@@ -1052,13 +1212,14 @@ func (net *Network) sampleTick() {
 func (net *Network) sample() {
 	now := net.eng.Now()
 	var sum float64
-	queues := make([]int, 0, len(net.nodes))
+	queues := net.queueScratch[:0]
 	for _, n := range net.nodes {
 		sum += n.battery.Remaining()
 		if n.alive && !n.isHead {
 			queues = append(queues, n.buf.Len())
 		}
 	}
+	net.queueScratch = queues
 	net.energySeries.Record(now, sum/float64(len(net.nodes)))
 	net.aliveSeries.Record(now, float64(net.life.Alive()))
 	net.fairness.Snapshot(queues)

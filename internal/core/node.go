@@ -44,6 +44,7 @@ type node struct {
 	backoffStream *rng.Stream
 	perStream     *rng.Stream
 	csiStream     *rng.Stream
+	arrivalStream *rng.Stream // owned by source; kept for in-place reseeding
 
 	alive bool
 

@@ -157,5 +157,5 @@ func (w *World) UpdateChannel(mutate func(p *channel.Params)) {
 		panic(fmt.Sprintf("core: world event produced invalid channel parameters: %v", err))
 	}
 	net.cfg.Channel = params
-	net.links = make(map[uint64]*channel.Link)
+	net.resetLinks()
 }

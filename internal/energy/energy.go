@@ -160,6 +160,16 @@ func NewBattery(initialJoules float64) *Battery {
 	return &Battery{initial: initialJoules, remaining: initialJoules}
 }
 
+// Reset rewinds the battery to a fresh NewBattery(initialJoules) state
+// in place: full charge, empty per-cause ledger, not dead. The reuse
+// path for pooled simulation contexts.
+func (b *Battery) Reset(initialJoules float64) {
+	if initialJoules <= 0 {
+		panic(fmt.Sprintf("energy: non-positive initial battery %v", initialJoules))
+	}
+	*b = Battery{initial: initialJoules, remaining: initialJoules}
+}
+
 // Initial returns the starting level in Joules.
 func (b *Battery) Initial() float64 { return b.initial }
 

@@ -44,11 +44,18 @@ func (f Field) Diagonal() float64 { return math.Hypot(f.Width, f.Height) }
 // field, the deployment model used in the paper ("sensors are deployed in
 // a forest or battlefield").
 func PlaceUniform(f Field, n int, r *rng.Stream) []Point {
-	pts := make([]Point, n)
-	for i := range pts {
-		pts[i] = Point{X: r.Float64() * f.Width, Y: r.Float64() * f.Height}
+	return PlaceUniformInto(make([]Point, 0, n), f, n, r)
+}
+
+// PlaceUniformInto is PlaceUniform writing into dst (appended from
+// length zero), so a reused simulation context re-places its geometry
+// without reallocating. The draws are identical to PlaceUniform's.
+func PlaceUniformInto(dst []Point, f Field, n int, r *rng.Stream) []Point {
+	dst = dst[:0]
+	for i := 0; i < n; i++ {
+		dst = append(dst, Point{X: r.Float64() * f.Width, Y: r.Float64() * f.Height})
 	}
-	return pts
+	return dst
 }
 
 // PlaceGrid lays n points on the most-square grid that fits them, with

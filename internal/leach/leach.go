@@ -75,6 +75,24 @@ func (e *Election) resetEpoch() {
 	}
 }
 
+// Reset rewinds the election to a fresh NewElection(cfg, stream) state,
+// reusing the eligibility storage when the node count allows. The stream
+// must already be rewound by the caller (it owns the stream's seeding).
+func (e *Election) Reset(cfg Config, stream *rng.Stream) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	e.cfg = cfg
+	e.stream = stream
+	if cap(e.eligible) >= cfg.Nodes {
+		e.eligible = e.eligible[:cfg.Nodes]
+	} else {
+		e.eligible = make([]bool, cfg.Nodes)
+	}
+	e.round = 0
+	e.resetEpoch()
+}
+
 // Round returns the next round number to be elected.
 func (e *Election) Round() int { return e.round }
 
@@ -96,6 +114,12 @@ func (e *Election) Threshold(round int) float64 {
 // (a deterministic stand-in for the re-election a real deployment would
 // perform), so every round has at least one CH while any node lives.
 func (e *Election) Elect(alive []bool) []int {
+	return e.ElectInto(nil, alive)
+}
+
+// ElectInto is Elect appending into dst (from length zero), so a
+// round-driving caller can reuse one heads slice across rounds.
+func (e *Election) ElectInto(dst []int, alive []bool) []int {
 	if len(alive) != e.cfg.Nodes {
 		panic(fmt.Sprintf("leach: alive mask has %d entries, want %d", len(alive), e.cfg.Nodes))
 	}
@@ -106,7 +130,7 @@ func (e *Election) Elect(alive []bool) []int {
 	}
 	th := e.Threshold(round)
 
-	var heads []int
+	heads := dst[:0]
 	bestIdx := -1
 	bestDraw := math.Inf(1)
 	anyAlive := false
@@ -154,19 +178,40 @@ type Assignment struct {
 	ClusterOf []int
 	// Members[c] lists the non-CH member node indices of cluster c.
 	Members [][]int
+
+	// headPts is the per-call scratch of CH positions, retained so a
+	// reused Assignment forms clusters without allocating.
+	headPts []geom.Point
 }
 
 // Assign forms clusters by nearest-CH (the LEACH join rule: strongest
 // received advertisement ≈ nearest head for a common transmit power).
 func Assign(heads []int, positions []geom.Point, alive []bool) Assignment {
-	a := Assignment{
-		Heads:     append([]int(nil), heads...),
-		ClusterOf: make([]int, len(positions)),
-		Members:   make([][]int, len(heads)),
+	var a Assignment
+	AssignInto(&a, heads, positions, alive)
+	return a
+}
+
+// AssignInto is Assign writing into an existing Assignment, reusing its
+// slices (including the per-cluster member lists) so the per-round
+// clustering of a long run stops allocating once the working set peaks.
+func AssignInto(a *Assignment, heads []int, positions []geom.Point, alive []bool) {
+	a.Heads = append(a.Heads[:0], heads...)
+	if cap(a.ClusterOf) >= len(positions) {
+		a.ClusterOf = a.ClusterOf[:len(positions)]
+	} else {
+		a.ClusterOf = make([]int, len(positions))
 	}
-	headPts := make([]geom.Point, len(heads))
-	for c, h := range heads {
-		headPts[c] = positions[h]
+	for cap(a.Members) < len(heads) {
+		a.Members = append(a.Members[:cap(a.Members)], nil)
+	}
+	a.Members = a.Members[:len(heads)]
+	for c := range a.Members {
+		a.Members[c] = a.Members[c][:0]
+	}
+	a.headPts = a.headPts[:0]
+	for _, h := range heads {
+		a.headPts = append(a.headPts, positions[h])
 	}
 	for i := range positions {
 		if !alive[i] {
@@ -184,11 +229,10 @@ func Assign(heads []int, positions []geom.Point, alive []bool) Assignment {
 		if isHead {
 			continue
 		}
-		c, _ := geom.Nearest(positions[i], headPts)
+		c, _ := geom.Nearest(positions[i], a.headPts)
 		a.ClusterOf[i] = c
 		a.Members[c] = append(a.Members[c], i)
 	}
-	return a
 }
 
 // HeadOf returns the CH node index serving node i, or -1 for dead nodes.

@@ -33,7 +33,10 @@ type TimeSeries struct {
 	points []Point
 }
 
-// NewTimeSeries returns an empty named series.
+// NewTimeSeries returns an empty named series. There is deliberately no
+// in-place reset: a finished run's series belong to its Result, so the
+// reusable simulation context allocates fresh series instead of
+// truncating ones a caller may still hold.
 func NewTimeSeries(name string) *TimeSeries { return &TimeSeries{Name: name} }
 
 // Record appends a sample. Samples must be appended in non-decreasing time
@@ -182,6 +185,16 @@ type lifeDelta struct {
 // NewLifetime tracks a population of total nodes.
 func NewLifetime(total int) *Lifetime {
 	return &Lifetime{total: total}
+}
+
+// Reset rewinds the tracker to a fresh NewLifetime(total) state while
+// keeping the event storage. The reuse path for pooled simulation
+// contexts (death times handed to a Result are copied, never aliased).
+func (l *Lifetime) Reset(total int) {
+	l.total = total
+	l.deadTimes = l.deadTimes[:0]
+	l.deltas = l.deltas[:0]
+	l.deadsSoFar = 0
 }
 
 // NodeDied records one death.

@@ -30,9 +30,17 @@ type Packet struct {
 // Buffer is the node's finite FIFO packet queue (50 packets in Table II).
 // A capacity of 0 means unbounded, which §IV.C uses for the fairness
 // experiment ("buffer size substantially large enough").
+//
+// The storage is a power-of-two ring: head chases tail around a fixed
+// array that only grows (doubling) while the occupancy demands it, so
+// the steady-state enqueue/dequeue cycle — the single hottest allocation
+// site in the simulation before this layout — touches the allocator
+// exactly zero times once the ring has reached the working-set size.
 type Buffer struct {
 	capacity int
-	q        []Packet
+	ring     []Packet // power-of-two length; empty until first enqueue
+	head     int      // index of the head packet
+	count    int      // occupied slots
 
 	enqueued  uint64
 	dropped   uint64
@@ -49,57 +57,83 @@ func NewBuffer(capacity int) *Buffer {
 	return &Buffer{capacity: capacity}
 }
 
+// Reset rewinds the buffer to a fresh NewBuffer(capacity) state while
+// keeping the ring storage, so a reused node re-enters service with a
+// warmed queue. The reuse path for pooled simulation contexts.
+func (b *Buffer) Reset(capacity int) {
+	if capacity < 0 {
+		panic(fmt.Sprintf("queueing: negative buffer capacity %d", capacity))
+	}
+	b.capacity = capacity
+	b.head = 0
+	b.count = 0
+	b.enqueued, b.dropped, b.dequeued, b.maxLength = 0, 0, 0, 0
+}
+
 // Len returns the current queue length.
-func (b *Buffer) Len() int { return len(b.q) }
+func (b *Buffer) Len() int { return b.count }
 
 // Capacity returns the configured capacity (0 = unbounded).
 func (b *Buffer) Capacity() int { return b.capacity }
 
+// grow doubles the ring (minimum 8 slots), unrolling the wrapped
+// contents into the front of the new array.
+func (b *Buffer) grow() {
+	n := 2 * len(b.ring)
+	if n < 8 {
+		n = 8
+	}
+	fresh := make([]Packet, n)
+	copied := copy(fresh, b.ring[b.head:])
+	copy(fresh[copied:], b.ring[:b.head])
+	b.ring = fresh
+	b.head = 0
+}
+
 // Enqueue appends p; on overflow the packet is dropped and Enqueue
 // returns false (tail drop, the behaviour of a full sensor buffer).
 func (b *Buffer) Enqueue(p Packet) bool {
-	if b.capacity > 0 && len(b.q) >= b.capacity {
+	if b.capacity > 0 && b.count >= b.capacity {
 		b.dropped++
 		return false
 	}
-	b.q = append(b.q, p)
+	if b.count == len(b.ring) {
+		b.grow()
+	}
+	b.ring[(b.head+b.count)&(len(b.ring)-1)] = p
+	b.count++
 	b.enqueued++
-	if len(b.q) > b.maxLength {
-		b.maxLength = len(b.q)
+	if b.count > b.maxLength {
+		b.maxLength = b.count
 	}
 	return true
 }
 
 // Peek returns the head packet without removing it; ok=false when empty.
 func (b *Buffer) Peek() (Packet, bool) {
-	if len(b.q) == 0 {
+	if b.count == 0 {
 		return Packet{}, false
 	}
-	return b.q[0], true
+	return b.ring[b.head], true
 }
 
 // PeekAt returns the i-th queued packet (0 = head) without removal, for
 // assembling a burst.
 func (b *Buffer) PeekAt(i int) (Packet, bool) {
-	if i < 0 || i >= len(b.q) {
+	if i < 0 || i >= b.count {
 		return Packet{}, false
 	}
-	return b.q[i], true
+	return b.ring[(b.head+i)&(len(b.ring)-1)], true
 }
 
 // Dequeue removes and returns the head packet; ok=false when empty.
 func (b *Buffer) Dequeue() (Packet, bool) {
-	if len(b.q) == 0 {
+	if b.count == 0 {
 		return Packet{}, false
 	}
-	p := b.q[0]
-	// Shift-free pop: reslice, compacting occasionally to bound memory.
-	b.q = b.q[1:]
-	if cap(b.q) > 4*len(b.q) && cap(b.q) > 64 {
-		compacted := make([]Packet, len(b.q))
-		copy(compacted, b.q)
-		b.q = compacted
-	}
+	p := b.ring[b.head]
+	b.head = (b.head + 1) & (len(b.ring) - 1)
+	b.count--
 	b.dequeued++
 	return p, true
 }
@@ -107,19 +141,20 @@ func (b *Buffer) Dequeue() (Packet, bool) {
 // Head returns a pointer to the head packet so the MAC can bump its retry
 // counter in place; nil when empty.
 func (b *Buffer) Head() *Packet {
-	if len(b.q) == 0 {
+	if b.count == 0 {
 		return nil
 	}
-	return &b.q[0]
+	return &b.ring[b.head]
 }
 
 // DropHead removes the head packet without counting it as dequeued
 // service (used when the retry cap is exceeded). Returns false when empty.
 func (b *Buffer) DropHead() bool {
-	if len(b.q) == 0 {
+	if b.count == 0 {
 		return false
 	}
-	b.q = b.q[1:]
+	b.head = (b.head + 1) & (len(b.ring) - 1)
+	b.count--
 	b.dropped++
 	return true
 }
@@ -152,6 +187,20 @@ func NewPoissonSource(rate float64, sizeBits, sourceIndex int, stream *rng.Strea
 		panic(fmt.Sprintf("queueing: non-positive packet size %d", sizeBits))
 	}
 	return &PoissonSource{RatePerSecond: rate, SizeBits: sizeBits, SourceIndex: sourceIndex, stream: stream, nextID: nextID}
+}
+
+// Reset rewinds the source for a fresh run at a possibly different rate
+// and packet size. The RNG stream and shared ID counter are kept — the
+// owning context reseeds the stream and zeroes the counter itself.
+func (s *PoissonSource) Reset(rate float64, sizeBits int) {
+	if rate < 0 {
+		panic(fmt.Sprintf("queueing: negative arrival rate %v", rate))
+	}
+	if sizeBits <= 0 {
+		panic(fmt.Sprintf("queueing: non-positive packet size %d", sizeBits))
+	}
+	s.RatePerSecond = rate
+	s.SizeBits = sizeBits
 }
 
 // NextInterarrival draws the next exponential gap. A zero-rate source
@@ -269,6 +318,15 @@ func NewThresholdAdjuster(cfg AdjusterConfig) *ThresholdAdjuster {
 		panic(err)
 	}
 	return &ThresholdAdjuster{cfg: cfg, class: cfg.Classes - 1}
+}
+
+// Reset rewinds the adjuster to a fresh NewThresholdAdjuster(cfg) state
+// in place. The reuse path for pooled simulation contexts.
+func (a *ThresholdAdjuster) Reset(cfg AdjusterConfig) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	*a = ThresholdAdjuster{cfg: cfg, class: cfg.Classes - 1}
 }
 
 // Class returns the current threshold class index (0 = lowest/most

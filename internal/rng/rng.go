@@ -44,19 +44,33 @@ func NewSource(seed uint64) *Source {
 // Seed returns the master seed the Source was created with.
 func (s *Source) Seed() uint64 { return s.seed }
 
+// Reseed re-roots the Source at a new master seed. Streams already
+// derived keep their old state; reseed them individually with InitStream.
+func (s *Source) Reseed(seed uint64) { s.seed = seed }
+
 // Stream returns the stream named by the (kind, id) pair. The same pair
 // always yields a stream with the same initial state.
 //
 // kind partitions the stream space by purpose (e.g. "arrival", "fading")
 // and id distinguishes entities of that purpose (e.g. the node index).
 func (s *Source) Stream(kind string, id uint64) *Stream {
+	st := &Stream{}
+	s.InitStream(st, kind, id)
+	return st
+}
+
+// InitStream (re)initializes an existing Stream in place to the exact
+// state Stream(kind, id) would return, without allocating. It is the
+// reset path for long-lived simulation contexts: a reused entity keeps
+// its Stream allocation across runs and is rewound to the deterministic
+// per-(seed, kind, id) origin.
+func (s *Source) InitStream(st *Stream, kind string, id uint64) {
 	// Hash the kind string into the seeding state, then mix in the id.
 	h := s.seed
 	for i := 0; i < len(kind); i++ {
 		h = splitmix64(&h) ^ uint64(kind[i])
 	}
 	h ^= id * 0x9e3779b97f4a7c15
-	st := &Stream{}
 	for i := range st.s {
 		st.s[i] = splitmix64(&h)
 	}
@@ -64,7 +78,8 @@ func (s *Source) Stream(kind string, id uint64) *Stream {
 	if st.s[0]|st.s[1]|st.s[2]|st.s[3] == 0 {
 		st.s[0] = 0x9e3779b97f4a7c15
 	}
-	return st
+	st.normCached = false
+	st.normValue = 0
 }
 
 // Stream is a single xoshiro256** generator. It is not safe for concurrent

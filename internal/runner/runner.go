@@ -56,10 +56,43 @@ func (o Options) workers(n int) int {
 	return w
 }
 
+// Pool is a cache of resident simulation contexts keyed by configuration
+// shape (node count). Instead of building a fresh world per run — the
+// dominant fixed cost of a replication grid, whose cells differ only by
+// seed — a Pool keeps one *core.Network per shape and resets it in place
+// for each run: arenas, free lists, stream allocations, the link matrix,
+// and metric storage all survive between runs.
+//
+// A Pool is NOT safe for concurrent use; give each worker goroutine its
+// own (as Run and DoPooled do). Determinism is unaffected: a pooled
+// Reset-then-Run is bit-identical to a fresh New-then-Run, so results do
+// not depend on which jobs a worker's context previously executed.
+type Pool struct {
+	byShape map[int]*core.Network
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{byShape: make(map[int]*core.Network)} }
+
+// Run executes one simulation on the pool's resident context for the
+// configuration's shape, creating it on first use.
+func (p *Pool) Run(cfg core.Config) core.Result {
+	if net, ok := p.byShape[cfg.Nodes]; ok {
+		net.Reset(cfg)
+		return net.Run()
+	}
+	net := core.New(cfg)
+	p.byShape[cfg.Nodes] = net
+	return net.Run()
+}
+
 // Run executes every job and returns the results in submission order.
 // With the same seeds, the output is bit-identical for every worker
 // count: each run is single-threaded over its own state, and the workers
-// share nothing but the job list.
+// share nothing but the job list. Each worker runs its jobs on a
+// resident pooled context (reset in place per job) rather than building
+// a fresh world every time, which is what makes an N-seed replication
+// grid cost less than N times a cold run.
 //
 // A panic inside any run (e.g. an invalid Config) is re-raised on the
 // calling goroutine — deterministically the panic of the lowest-indexed
@@ -70,8 +103,8 @@ func Run(opts Options, jobs []Job) []core.Result {
 		return results
 	}
 	var mu sync.Mutex // serializes Progress
-	failed, failVal := Do(opts.Workers, len(jobs), func(i int) {
-		res := core.New(jobs[i].Config).Run()
+	failed, failVal := DoPooled(opts.Workers, len(jobs), func(p *Pool, i int) {
+		res := p.Run(jobs[i].Config)
 		results[i] = res
 		if opts.Progress != nil {
 			mu.Lock()
@@ -96,13 +129,47 @@ func Run(opts Options, jobs []Job) []core.Result {
 // has drained; (-1, nil) means all tasks completed. Callers that cannot
 // continue should re-raise it with context, as Run does.
 func Do(workers, n int, fn func(int)) (failedIndex int, panicValue any) {
-	opts := Options{Workers: workers}
+	return DoWorkers(workers, n, func(_, i int) { fn(i) })
+}
+
+// DoPooled is Do with a worker-local context Pool handed to fn: each
+// worker goroutine owns one Pool for the batch, so consecutive jobs on
+// the same worker reuse a resident simulation context. fn must treat the
+// Pool as worker-private (it is never shared across goroutines).
+func DoPooled(workers, n int, fn func(p *Pool, i int)) (failedIndex int, panicValue any) {
+	if n <= 0 {
+		return -1, nil
+	}
+	pools := make([]*Pool, EffectiveWorkers(workers, n))
+	for j := range pools {
+		pools[j] = NewPool()
+	}
+	return DoWorkers(workers, n, func(w, i int) { fn(pools[w], i) })
+}
+
+// EffectiveWorkers resolves the worker policy for a batch of n tasks:
+// 0 means NumCPU, negative means serial, and the count never exceeds n.
+func EffectiveWorkers(workers, n int) int {
+	return Options{Workers: workers}.workers(n)
+}
+
+// DoWorkers is the scheduling primitive beneath Do and DoPooled: it
+// invokes fn(worker, i) for i in 0..n-1, where worker identifies the
+// executing goroutine densely in [0, EffectiveWorkers(workers, n)).
+// Worker-local state (resident contexts, scratch arenas) keys off the
+// worker index; task results must key off i — which tasks land on which
+// worker depends on runtime scheduling, only the per-i results are
+// deterministic.
+//
+// Panic policy is Do's: lowest failing index wins, returned after every
+// task has drained.
+func DoWorkers(workers, n int, fn func(worker, i int)) (failedIndex int, panicValue any) {
 	var (
 		mu       sync.Mutex
 		panicked = -1
 		panicVal any
 	)
-	task := func(i int) {
+	task := func(w, i int) {
 		defer func() {
 			if r := recover(); r != nil {
 				mu.Lock()
@@ -112,26 +179,26 @@ func Do(workers, n int, fn func(int)) (failedIndex int, panicValue any) {
 				mu.Unlock()
 			}
 		}()
-		fn(i)
+		fn(w, i)
 	}
 	if n <= 0 {
 		return -1, nil
 	}
-	if w := opts.workers(n); w == 1 {
+	if w := EffectiveWorkers(workers, n); w == 1 {
 		for i := 0; i < n; i++ {
-			task(i)
+			task(0, i)
 		}
 	} else {
 		idx := make(chan int)
 		var wg sync.WaitGroup
-		for ; w > 0; w-- {
+		for wi := 0; wi < w; wi++ {
 			wg.Add(1)
-			go func() {
+			go func(worker int) {
 				defer wg.Done()
 				for i := range idx {
-					task(i)
+					task(worker, i)
 				}
-			}()
+			}(wi)
 		}
 		for i := 0; i < n; i++ {
 			idx <- i

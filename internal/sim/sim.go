@@ -93,14 +93,24 @@ func (id EventID) Valid() bool {
 	return ev.gen == id.gen && ev.state == evPending
 }
 
+// heapEntry is one future-event-list entry. The ordering key (at, seq)
+// is carried in the heap itself rather than looked up through the slot,
+// so sift comparisons touch only the contiguous heap array — the arena
+// is consulted exactly once per executed event, not once per compare.
+type heapEntry struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
+
 // Engine is a single-threaded discrete-event simulation kernel.
 type Engine struct {
 	now      Time
 	seq      uint64
 	arena    []event
 	free     []int32
-	heap     []int32 // 4-ary min-heap of arena slots, ordered by (at, seq)
-	live     int     // pending, non-cancelled events
+	heap     []heapEntry // 4-ary min-heap ordered by (at, seq)
+	live     int         // pending, non-cancelled events
 	executed uint64
 	stopped  bool
 }
@@ -112,6 +122,33 @@ func NewEngine() *Engine {
 
 // Now returns the current simulation time.
 func (e *Engine) Now() Time { return e.now }
+
+// Reset rewinds the engine to the zero state of a fresh NewEngine while
+// keeping the arena, free list, and heap backing arrays, so a reused
+// engine schedules its first events without growing anything. Every
+// pending or cancelled slot is drained with its generation bumped, so
+// EventIDs issued before the reset can neither cancel nor validate
+// events of the next run. Behaviour after Reset is indistinguishable
+// from a fresh engine: event ordering depends only on (time, sequence),
+// never on slot indices or absolute generation numbers.
+func (e *Engine) Reset() {
+	for slot := range e.arena {
+		ev := &e.arena[slot]
+		if ev.state != evFree {
+			ev.fn = nil
+			ev.label = ""
+			ev.gen++
+			ev.state = evFree
+			e.free = append(e.free, int32(slot))
+		}
+	}
+	e.heap = e.heap[:0]
+	e.now = 0
+	e.seq = 0
+	e.live = 0
+	e.executed = 0
+	e.stopped = false
+}
 
 // Executed returns the number of events executed so far (for tests and
 // performance accounting).
@@ -201,22 +238,22 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) Run(horizon Time) {
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
-		slot := e.heap[0]
-		ev := &e.arena[slot]
+		top := e.heap[0]
+		ev := &e.arena[top.slot]
 		if ev.state == evCancelled {
 			e.popMin()
-			e.release(slot)
+			e.release(top.slot)
 			continue
 		}
-		if ev.at > horizon {
+		if top.at > horizon {
 			break
 		}
 		e.popMin()
 		fn := ev.fn
-		e.now = ev.at
+		e.now = top.at
 		e.live--
 		e.executed++
-		e.release(slot)
+		e.release(top.slot)
 		fn()
 	}
 	if !e.stopped && e.now < horizon {
@@ -229,37 +266,37 @@ func (e *Engine) Run(horizon Time) {
 func (e *Engine) RunAll() {
 	e.stopped = false
 	for len(e.heap) > 0 && !e.stopped {
-		slot := e.popMin()
-		ev := &e.arena[slot]
+		top := e.popMin()
+		ev := &e.arena[top.slot]
 		if ev.state == evCancelled {
-			e.release(slot)
+			e.release(top.slot)
 			continue
 		}
 		fn := ev.fn
-		e.now = ev.at
+		e.now = top.at
 		e.live--
 		e.executed++
-		e.release(slot)
+		e.release(top.slot)
 		fn()
 	}
 }
 
 // less orders heap entries by (timestamp, scheduling sequence).
-func (e *Engine) less(a, b int32) bool {
-	ea, eb := &e.arena[a], &e.arena[b]
-	if ea.at != eb.at {
-		return ea.at < eb.at
+func less(a, b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return ea.seq < eb.seq
+	return a.seq < b.seq
 }
 
-// push appends a slot and sifts it up the 4-ary heap.
+// push appends a slot's entry and sifts it up the 4-ary heap.
 func (e *Engine) push(slot int32) {
-	h := append(e.heap, slot)
+	ev := &e.arena[slot]
+	h := append(e.heap, heapEntry{at: ev.at, seq: ev.seq, slot: slot})
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !e.less(h[i], h[p]) {
+		if !less(h[i], h[p]) {
 			break
 		}
 		h[i], h[p] = h[p], h[i]
@@ -268,34 +305,39 @@ func (e *Engine) push(slot int32) {
 	e.heap = h
 }
 
-// popMin removes and returns the root of the 4-ary heap.
-func (e *Engine) popMin() int32 {
+// popMin removes and returns the root of the 4-ary heap, sifting the
+// displaced last element down through a hole (one write per level
+// instead of a swap).
+func (e *Engine) popMin() heapEntry {
 	h := e.heap
 	top := h[0]
 	n := len(h) - 1
-	h[0] = h[n]
+	last := h[n]
 	h = h[:n]
-	i := 0
-	for {
-		c := i<<2 + 1
-		if c >= n {
-			break
-		}
-		best := c
-		end := c + 4
-		if end > n {
-			end = n
-		}
-		for j := c + 1; j < end; j++ {
-			if e.less(h[j], h[best]) {
-				best = j
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
 			}
+			best := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if less(h[j], h[best]) {
+					best = j
+				}
+			}
+			if !less(h[best], last) {
+				break
+			}
+			h[i] = h[best]
+			i = best
 		}
-		if !e.less(h[best], h[i]) {
-			break
-		}
-		h[i], h[best] = h[best], h[i]
-		i = best
+		h[i] = last
 	}
 	e.heap = h
 	return top

@@ -1,15 +1,21 @@
-// Command benchgate is the CI bench-regression guard: it runs the
-// hot-path benchmarks (ns per simulated second for the static and
-// scenario engines) and fails when any result regresses beyond a
-// slack factor of the committed baseline. The factor is deliberately
-// loose — CI runners are noisy shared machines — so only order-of-
-// magnitude regressions (an accidentally quadratic hot path, a
-// reintroduced per-event allocation storm) trip it, not scheduler
-// jitter.
+// Command benchgate is the CI bench-regression guard and comparator: it
+// runs the gated benchmarks (ns per simulated second for the static and
+// scenario engines, plus the Figure 9 replication grid) and checks both
+// time (ns/op) and allocation (allocs/op) results against the committed
+// baseline. The time factor is deliberately loose — CI runners are noisy
+// shared machines — so only order-of-magnitude regressions (an
+// accidentally quadratic hot path, a reintroduced per-event allocation
+// storm) trip it, not scheduler jitter. Allocation counts are nearly
+// deterministic, so their factor is tighter.
 //
-// Usage (from the repository root, as `make bench-gate` does):
+// Usage (from the repository root):
 //
-//	go run ./scripts/benchgate -baseline BENCH_2.json -factor 2.5
+//	go run ./scripts/benchgate -baseline BENCH_4.json -factor 2.5 -allocfactor 2.0
+//	go run ./scripts/benchgate -baseline BENCH_4.json -gate=false -report out/bench-compare.txt
+//
+// The second form is `make bench-compare`: it never fails the build; it
+// prints (and optionally writes) a benchstat-style delta table of the
+// PR's numbers against the committed baseline.
 package main
 
 import (
@@ -23,29 +29,51 @@ import (
 	"strings"
 )
 
+// metric is one benchmark's baseline or measured numbers.
+type metric struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
 // baseline mirrors the slice of the BENCH_*.json schema the gate
-// consumes: per-protocol ns/op for the static hot path and the single
-// scenario-engine figure.
+// consumes: per-protocol numbers for the static hot path, and single
+// results for the scenario engine and the Figure 9 replication grid.
 type baseline struct {
 	Benchmarks struct {
 		SimulatedSecond struct {
-			After map[string]struct {
-				NsOp float64 `json:"ns_op"`
-			} `json:"after"`
+			After map[string]metric `json:"after"`
 		} `json:"BenchmarkSimulatedSecond"`
 		ScenarioSecond struct {
-			Result struct {
-				NsOp float64 `json:"ns_op"`
-			} `json:"result"`
+			Result metric `json:"result"`
 		} `json:"BenchmarkScenarioSecond"`
+		Figure9 struct {
+			Result metric `json:"result"`
+		} `json:"BenchmarkFigure9_NodesAlive"`
 	} `json:"benchmarks"`
+}
+
+// series is one gated benchmark run configuration: which benchmarks and
+// at what benchtime. The benchtime MUST match the one the baseline was
+// recorded at — the per-second cost is horizon-dependent (the network
+// dies partway through a long run and dead seconds are nearly free), so
+// comparing across benchtimes skews the ratio.
+type series struct {
+	pattern   string
+	benchtime string
+}
+
+var gatedSeries = []series{
+	{pattern: "^(BenchmarkSimulatedSecond|BenchmarkScenarioSecond)$", benchtime: "1000x"},
+	{pattern: "^BenchmarkFigure9_NodesAlive$", benchtime: "3x"},
 }
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_2.json", "committed baseline JSON with the reference ns/op values")
+		baselinePath = flag.String("baseline", "BENCH_4.json", "committed baseline JSON with the reference values")
 		factor       = flag.Float64("factor", 2.5, "fail when measured ns/op exceeds factor x baseline")
-		benchtime    = flag.String("benchtime", "1000x", "benchtime passed to go test (iterations = simulated seconds); MUST match the baseline's benchtime — the per-second cost is horizon-dependent (the network dies partway through a long run and dead seconds are nearly free), so comparing across benchtimes skews the ratio")
+		allocFactor  = flag.Float64("allocfactor", 2.0, "fail when measured allocs/op exceeds allocfactor x baseline (allocation counts are nearly deterministic, so this is tighter than the time factor)")
+		gate         = flag.Bool("gate", true, "fail on regressions; false = compare-only (always exit 0)")
+		report       = flag.String("report", "", "also write the delta table to this file (for CI artifacts)")
 	)
 	flag.Parse()
 
@@ -54,39 +82,76 @@ func main() {
 		fatal("loading baseline: %v", err)
 	}
 	if len(refs) == 0 {
-		fatal("baseline %s holds no recognizable ns/op entries", *baselinePath)
+		fatal("baseline %s holds no recognizable entries", *baselinePath)
 	}
 
-	got, raw, err := runBenchmarks(*benchtime)
-	if err != nil {
-		fatal("running benchmarks: %v\n%s", err, raw)
+	got := make(map[string]metric)
+	for _, s := range gatedSeries {
+		m, raw, err := runBenchmarks(s.pattern, s.benchtime)
+		if err != nil {
+			fatal("running benchmarks %s: %v\n%s", s.pattern, err, raw)
+		}
+		for k, v := range m {
+			got[k] = v
+		}
 	}
 
-	fmt.Printf("%-40s %14s %14s %8s\n", "benchmark", "baseline ns/op", "measured ns/op", "ratio")
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-42s %14s %14s %8s   %12s %12s %8s\n",
+		"benchmark", "base ns/op", "new ns/op", "delta", "base allocs", "new allocs", "delta")
 	failed := false
 	for _, name := range sortedKeys(refs) {
 		ref := refs[name]
-		measured, ok := got[name]
+		m, ok := got[name]
 		if !ok {
-			fmt.Printf("%-40s %14.0f %14s %8s\n", name, ref, "MISSING", "-")
+			fmt.Fprintf(&b, "%-42s %14.0f %14s %8s   %12.0f %12s %8s\n",
+				name, ref.NsOp, "MISSING", "-", ref.AllocsOp, "MISSING", "-")
 			failed = true
 			continue
 		}
-		ratio := measured / ref
-		verdict := ""
-		if ratio > *factor {
-			verdict = "  REGRESSION"
+		nsVerdict := ""
+		if ref.NsOp > 0 && m.NsOp/ref.NsOp > *factor {
+			nsVerdict = " REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-40s %14.0f %14.0f %7.2fx%s\n", name, ref, measured, ratio, verdict)
+		allocVerdict := ""
+		if ref.AllocsOp > 0 && m.AllocsOp/ref.AllocsOp > *allocFactor {
+			allocVerdict = " ALLOC-REGRESSION"
+			failed = true
+		}
+		fmt.Fprintf(&b, "%-42s %14.0f %14.0f %+7.1f%%   %12.0f %12.0f %+7.1f%%%s%s\n",
+			name, ref.NsOp, m.NsOp, delta(ref.NsOp, m.NsOp),
+			ref.AllocsOp, m.AllocsOp, delta(ref.AllocsOp, m.AllocsOp),
+			nsVerdict, allocVerdict)
+	}
+	fmt.Print(b.String())
+	if *report != "" {
+		if err := os.WriteFile(*report, []byte(b.String()), 0o644); err != nil {
+			fatal("writing -report: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *report)
+	}
+	if !*gate {
+		fmt.Printf("bench compare done (gating disabled) against %s\n", *baselinePath)
+		return
 	}
 	if failed {
-		fatal("bench gate FAILED: a hot-path benchmark regressed beyond %.1fx its %s baseline (or went missing)", *factor, *baselinePath)
+		fatal("bench gate FAILED: a benchmark regressed beyond %.1fx ns/op or %.1fx allocs/op of its %s baseline (or went missing)",
+			*factor, *allocFactor, *baselinePath)
 	}
-	fmt.Printf("bench gate passed: every hot path within %.1fx of %s\n", *factor, *baselinePath)
+	fmt.Printf("bench gate passed: every series within %.1fx ns/op and %.1fx allocs/op of %s\n",
+		*factor, *allocFactor, *baselinePath)
 }
 
-func loadBaseline(path string) (map[string]float64, error) {
+// delta returns the percentage change from ref to measured.
+func delta(ref, measured float64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return 100 * (measured - ref) / ref
+}
+
+func loadBaseline(path string) (map[string]metric, error) {
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -95,43 +160,52 @@ func loadBaseline(path string) (map[string]float64, error) {
 	if err := json.Unmarshal(blob, &b); err != nil {
 		return nil, err
 	}
-	refs := make(map[string]float64)
+	refs := make(map[string]metric)
 	for proto, v := range b.Benchmarks.SimulatedSecond.After {
 		if v.NsOp > 0 {
-			refs["BenchmarkSimulatedSecond/"+proto] = v.NsOp
+			refs["BenchmarkSimulatedSecond/"+proto] = v
 		}
 	}
-	if v := b.Benchmarks.ScenarioSecond.Result.NsOp; v > 0 {
+	if v := b.Benchmarks.ScenarioSecond.Result; v.NsOp > 0 {
 		refs["BenchmarkScenarioSecond"] = v
+	}
+	if v := b.Benchmarks.Figure9.Result; v.NsOp > 0 {
+		refs["BenchmarkFigure9_NodesAlive"] = v
 	}
 	return refs, nil
 }
 
-// runBenchmarks executes the two gated benchmarks and returns measured
-// ns/op keyed by benchmark name (GOMAXPROCS suffix stripped).
-func runBenchmarks(benchtime string) (map[string]float64, string, error) {
+// runBenchmarks executes one gated series and returns measured metrics
+// keyed by benchmark name (GOMAXPROCS suffix stripped).
+func runBenchmarks(pattern, benchtime string) (map[string]metric, string, error) {
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", "^(BenchmarkSimulatedSecond|BenchmarkScenarioSecond)$",
-		"-benchtime", benchtime, ".")
+		"-bench", pattern, "-benchtime", benchtime, ".")
 	out, err := cmd.CombinedOutput()
 	if err != nil {
 		return nil, string(out), err
 	}
-	got := make(map[string]float64)
+	got := make(map[string]metric)
 	for _, line := range strings.Split(string(out), "\n") {
 		fields := strings.Fields(line)
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
 		name := stripProcSuffix(fields[0])
+		var m metric
 		for i := 2; i+1 < len(fields); i++ {
-			if fields[i+1] == "ns/op" {
-				v, perr := strconv.ParseFloat(fields[i], 64)
-				if perr == nil {
-					got[name] = v
-				}
-				break
+			v, perr := strconv.ParseFloat(fields[i], 64)
+			if perr != nil {
+				continue
 			}
+			switch fields[i+1] {
+			case "ns/op":
+				m.NsOp = v
+			case "allocs/op":
+				m.AllocsOp = v
+			}
+		}
+		if m.NsOp > 0 {
+			got[name] = m
 		}
 	}
 	return got, string(out), nil
@@ -150,7 +224,7 @@ func stripProcSuffix(name string) string {
 	return name[:i]
 }
 
-func sortedKeys(m map[string]float64) []string {
+func sortedKeys(m map[string]metric) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
