@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-smoke bench-gate bench-compare profile determinism figures scenarios examples clean
+.PHONY: all build test race vet lint bench bench-smoke bench-gate bench-compare profile determinism resume-check docs-check figures scenarios examples clean
 
 all: build test vet
 
@@ -11,7 +11,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/ ./internal/experiment/ ./caem/
+	$(GO) test -race ./internal/runner/ ./internal/experiment/ ./caem/ ./cmd/caem-serve/
 
 vet:
 	$(GO) vet ./...
@@ -80,6 +80,30 @@ determinism:
 	$(GO) run ./cmd/caem-bench -experiment figure11 -scale 0.3 -reps 3 -seed 1 -workers 8 -quiet -out out/determinism/parallel
 	cmp out/determinism/serial/figure11.csv out/determinism/parallel/figure11.csv
 	@echo "golden determinism: serial and parallel CSVs are byte-identical"
+
+# Resume-determinism gate: a campaign checkpointed mid-flight
+# (-halt-after, the deterministic stand-in for a kill) and resumed from
+# its results store must print byte-identical output to the same
+# campaign run uninterrupted. This is the store's core promise: stored
+# cells round-trip exactly and are only reused for bit-identical reruns.
+RESUME_ARGS = -scenario node-churn -protocol all -seeds 2 -duration 60 -nodes 50 -workers 4
+resume-check:
+	rm -rf out/resume
+	@mkdir -p out/resume
+	$(GO) run ./cmd/caem-sim $(RESUME_ARGS) -store out/resume/full > out/resume/full.txt
+	$(GO) run ./cmd/caem-sim $(RESUME_ARGS) -store out/resume/ckpt -halt-after 2
+	$(GO) run ./cmd/caem-sim $(RESUME_ARGS) -store out/resume/ckpt -resume > out/resume/resumed.txt
+	cmp out/resume/full.txt out/resume/resumed.txt
+	@echo "resume determinism: checkpointed+resumed output is byte-identical to the uninterrupted run"
+
+# Documentation gate: run every Example doc test, then docscheck —
+# every package needs a package comment, every ```go block in
+# README/ARCHITECTURE/SPEC must build against the real module, and
+# every ```json block in scenarios/SPEC.md must validate through the
+# real scenario loader.
+docs-check:
+	$(GO) test -run '^Example' ./...
+	$(GO) run ./scripts/docscheck -docs README.md,ARCHITECTURE.md,scenarios/SPEC.md -scenario-docs scenarios/SPEC.md
 
 # Regenerate every paper artifact (tables, figures, ablations) into out/.
 figures:

@@ -1,27 +1,3 @@
-// Package caem is the public API of the CAEM reproduction: channel
-// adaptive energy management for wireless sensor networks (Lin & Kwok,
-// ICPP Workshops 2005).
-//
-// The package runs whole-network discrete-event simulations of a
-// cluster-based (LEACH) sensor network under one of three protocols:
-//
-//   - PureLEACH — the baseline without channel-adaptive scheduling: a
-//     node transmits whenever it holds a minimum burst and the channel is
-//     idle, regardless of link quality.
-//   - Scheme2 — CAEM with the transmission threshold fixed at the highest
-//     ABICM class (2 Mbps): maximal energy saving, worst fairness.
-//   - Scheme1 — CAEM with adaptive threshold adjustment driven by queue
-//     dynamics: a balance between energy and service quality.
-//
-// A minimal run:
-//
-//	cfg := caem.DefaultConfig()
-//	cfg.Protocol = caem.Scheme1
-//	res, err := caem.Run(cfg)
-//	if err != nil { ... }
-//	fmt.Println(res.Summary())
-//
-// Everything is deterministic given Config.Seed.
 package caem
 
 import (

@@ -1,0 +1,177 @@
+package caem_test
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/caem"
+)
+
+// exampleConfig is a reduced-scale configuration that keeps the doc
+// examples fast: the physics are identical to DefaultConfig, only the
+// world is smaller and the horizon shorter.
+func exampleConfig() caem.Config {
+	cfg := caem.DefaultConfig()
+	cfg.Nodes = 20
+	cfg.DurationSeconds = 20
+	return cfg
+}
+
+// Run one simulation and inspect its headline metrics. Results are
+// deterministic given Config.Seed.
+func ExampleRun() {
+	cfg := exampleConfig()
+	cfg.Protocol = caem.Scheme1
+	res, err := caem.Run(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("protocol %v over %.0f simulated seconds\n", res.Protocol, res.DurationSeconds)
+	fmt.Printf("all %d nodes alive: %v, traffic delivered: %v\n",
+		len(res.Nodes), res.AliveAtEnd == len(res.Nodes), res.Delivered > 0)
+	// Output:
+	// protocol CAEM-scheme1 over 20 simulated seconds
+	// all 20 nodes alive: true, traffic delivered: true
+}
+
+// Compare all three protocols under identical topology, traffic, and
+// channel realizations — the paper's core experimental pattern.
+func ExampleRunComparison() {
+	results, err := caem.RunComparison(exampleConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, r := range results {
+		fmt.Printf("%-12v delivered >0: %v\n", r.Protocol, r.Delivered > 0)
+	}
+	// Output:
+	// pure-LEACH   delivered >0: true
+	// CAEM-scheme1 delivered >0: true
+	// CAEM-scheme2 delivered >0: true
+}
+
+// ParseProtocol accepts canonical names and the common CLI aliases.
+func ExampleParseProtocol() {
+	for _, s := range []string{"leach", "s1", "CAEM-scheme2"} {
+		p, err := caem.ParseProtocol(s)
+		fmt.Println(p, err)
+	}
+	// Output:
+	// pure-LEACH <nil>
+	// CAEM-scheme1 <nil>
+	// CAEM-scheme2 <nil>
+}
+
+// AggregateOf summarizes replicate metric values as mean ± 95% CI.
+func ExampleAggregateOf() {
+	a := caem.AggregateOf(10, 11, 12, 13)
+	fmt.Println("n =", a.N)
+	fmt.Println(a.Format(2))
+	// Output:
+	// n = 4
+	// 11.50±2.05
+}
+
+// Load a declarative dynamic-world scenario from JSON and run it. The
+// same schema powers the embedded library (LibraryScenarios) and
+// on-disk spec files; see scenarios/SPEC.md for the full reference.
+func ExampleLoadScenario() {
+	spec := `{
+	  "name": "midrun-outage",
+	  "timeline": [
+	    {"at": 8, "type": "kill", "nodes": {"from": 0, "to": 5}},
+	    {"at": 14, "type": "revive", "nodes": {"from": 0, "to": 5}}
+	  ]
+	}`
+	sc, err := caem.LoadScenario(strings.NewReader(spec))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := caem.RunScenario(sc, exampleConfig())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %d timeline events, all nodes back at end: %v\n",
+		sc.Name, sc.EventCount(), res.AliveAtEnd == 20)
+	// Output:
+	// midrun-outage: 2 timeline events, all nodes back at end: true
+}
+
+// A campaign expands the scenario × protocol × seed grid; the cells
+// come back in submission order and aggregate into mean ± CI groups.
+func ExampleRunCampaign() {
+	sc, err := caem.FindScenario("node-churn")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	base := caem.DefaultConfig()
+	base.DurationSeconds = 12
+	cells, err := caem.RunCampaign(base, []caem.Scenario{sc},
+		[]caem.Protocol{caem.PureLEACH, caem.Scheme1}, []uint64{1, 2, 3})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("cells:", len(cells))
+	for _, g := range caem.AggregateCampaign(cells) {
+		fmt.Printf("%s/%v aggregates %d seeds\n", g.Scenario, g.Protocol, g.Seeds)
+	}
+	// Output:
+	// cells: 6
+	// node-churn/pure-LEACH aggregates 3 seeds
+	// node-churn/CAEM-scheme1 aggregates 3 seeds
+}
+
+// RunCampaignWith persists completed cells into a store and resumes a
+// checkpointed campaign without re-running stored cells — byte-identical
+// to an uninterrupted run.
+func ExampleRunCampaignWith() {
+	dir, err := os.MkdirTemp("", "caem-store-example")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer os.RemoveAll(dir)
+	st, err := caem.OpenStore(dir)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer st.Close()
+
+	sc, _ := caem.FindScenario("node-churn")
+	base := caem.DefaultConfig()
+	base.DurationSeconds = 12
+	protos := []caem.Protocol{caem.Scheme1}
+	seeds := []uint64{1, 2, 3}
+
+	// First invocation halts at a 1-cell checkpoint ("the kill").
+	_, err = caem.RunCampaignWith(base, []caem.Scenario{sc}, protos, seeds,
+		caem.CampaignOptions{Store: st, Resume: true, MaxRuns: 1})
+	fmt.Println("halted:", errors.Is(err, caem.ErrCampaignHalted), "stored:", st.Len())
+
+	// The second invocation restores the stored cell and finishes.
+	cells, err := caem.RunCampaignWith(base, []caem.Scenario{sc}, protos, seeds,
+		caem.CampaignOptions{Store: st, Resume: true})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	restored := 0
+	for _, c := range cells {
+		if c.Restored {
+			restored++
+		}
+	}
+	fmt.Printf("resumed to %d cells (%d restored), stored: %d\n", len(cells), restored, st.Len())
+	// Output:
+	// halted: true stored: 1
+	// resumed to 3 cells (1 restored), stored: 3
+}

@@ -1,0 +1,35 @@
+package caem
+
+import "repro/internal/runner"
+
+// SimPool is a resident simulation-context pool for callers that
+// schedule many runs themselves — long-running services like
+// cmd/caem-serve, custom sweep drivers — instead of going through the
+// multi-run entry points (RunComparison, RunSeeds, RunCampaign), which
+// pool internally. Consecutive runs on one SimPool reuse the simulation
+// world (arenas, RNG streams, the link matrix, metric storage) reset in
+// place, so a stream of grid cells costs far less than building a fresh
+// world per run.
+//
+// Determinism is unaffected: a pooled run is bit-identical to a fresh
+// one, so results never depend on what a pool previously executed.
+//
+// A SimPool is NOT safe for concurrent use — give each worker goroutine
+// its own, exactly as the internal runner does.
+type SimPool struct {
+	p *runner.Pool
+}
+
+// NewSimPool returns an empty pool; contexts materialize on first use,
+// one per configuration shape.
+func NewSimPool() *SimPool { return &SimPool{p: runner.NewPool()} }
+
+// Run executes one simulation on the pool's resident context,
+// equivalent to Run(cfg) but without world reconstruction.
+func (sp *SimPool) Run(cfg Config) (Result, error) { return runPooled(sp.p, cfg) }
+
+// RunScenario executes one scenario run on the pool's resident context,
+// equivalent to RunScenario(sc, cfg) but without world reconstruction.
+func (sp *SimPool) RunScenario(sc Scenario, cfg Config) (Result, error) {
+	return runScenarioPooled(sp.p, sc, cfg)
+}

@@ -1,0 +1,374 @@
+package caem
+
+import (
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/store"
+)
+
+// resumeTestGrid is a small but real campaign: 2 scenarios × 2
+// protocols × 2 seeds = 8 cells at a shortened horizon.
+func resumeTestGrid(t *testing.T) (Config, []Scenario, []Protocol, []uint64) {
+	t.Helper()
+	churn, err := FindScenario("node-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	storm, err := FindScenario("fading-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultConfig()
+	base.DurationSeconds = 12
+	base.Workers = 2
+	return base, []Scenario{churn, storm}, []Protocol{PureLEACH, Scheme1}, []uint64{1, 2}
+}
+
+// summaries projects cells onto the stored metric view — the
+// byte-comparable surface a resumed campaign promises to reproduce.
+func summaries(t *testing.T, cells []CampaignCell) string {
+	t.Helper()
+	type row struct {
+		Scenario string
+		Protocol string
+		Seed     uint64
+		Summary  any
+	}
+	rows := make([]row, 0, len(cells))
+	for _, c := range cells {
+		rows = append(rows, row{c.Scenario, c.Protocol.String(), c.Seed, summaryOf(c.Result)})
+	}
+	blob, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestResumeEquivalence is the checkpoint/resume differential: a
+// campaign killed at a checkpoint and resumed from its store must be
+// byte-identical — summaries, formatted aggregates, and aggregate
+// structures — to the same campaign run uninterrupted.
+func TestResumeEquivalence(t *testing.T) {
+	base, scs, protos, seeds := resumeTestGrid(t)
+
+	fresh, err := RunCampaign(base, scs, protos, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Phase 1: run to a 3-cell checkpoint, then "die".
+	partial, err := RunCampaignWith(base, scs, protos, seeds, CampaignOptions{
+		Store: st, Resume: true, MaxRuns: 3, Campaign: "resume-test",
+	})
+	if !errors.Is(err, ErrCampaignHalted) {
+		t.Fatalf("checkpointed campaign returned %v, want ErrCampaignHalted", err)
+	}
+	if len(partial) != 3 {
+		t.Fatalf("checkpoint completed %d cells, want 3", len(partial))
+	}
+	if st.Len() != 3 {
+		t.Fatalf("store holds %d cells at checkpoint, want 3", st.Len())
+	}
+
+	// Phase 2: restart and resume to completion.
+	resumed, err := RunCampaignWith(base, scs, protos, seeds, CampaignOptions{
+		Store: st, Resume: true, Campaign: "resume-test",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed) != len(fresh) {
+		t.Fatalf("resumed campaign has %d cells, want %d", len(resumed), len(fresh))
+	}
+	restoredCount := 0
+	for i, c := range resumed {
+		if c.Scenario != fresh[i].Scenario || c.Protocol != fresh[i].Protocol || c.Seed != fresh[i].Seed {
+			t.Fatalf("cell %d identity diverged: %+v", i, c)
+		}
+		if c.Restored {
+			restoredCount++
+		}
+	}
+	if restoredCount != 3 {
+		t.Fatalf("resumed campaign restored %d cells, want the 3 checkpointed ones", restoredCount)
+	}
+
+	if got, want := summaries(t, resumed), summaries(t, fresh); got != want {
+		t.Fatalf("resumed summaries diverged from fresh run:\n got %s\nwant %s", got, want)
+	}
+	aggFresh, aggResumed := AggregateCampaign(fresh), AggregateCampaign(resumed)
+	if !reflect.DeepEqual(aggFresh, aggResumed) {
+		t.Fatalf("resumed aggregates diverged:\n got %+v\nwant %+v", aggResumed, aggFresh)
+	}
+	for i := range aggFresh {
+		if aggFresh[i].ConsumedJ.Format(6) != aggResumed[i].ConsumedJ.Format(6) {
+			t.Fatalf("formatted aggregate %d diverged", i)
+		}
+	}
+}
+
+// TestResumeSurvivesStoreReopen: the same differential across a real
+// store close/reopen — what a killed-and-restarted process does.
+func TestResumeSurvivesStoreReopen(t *testing.T) {
+	base, scs, protos, seeds := resumeTestGrid(t)
+	dir := t.TempDir()
+
+	fresh, err := RunCampaign(base, scs, protos, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCampaignWith(base, scs, protos, seeds, CampaignOptions{
+		Store: st, Resume: true, MaxRuns: 5,
+	}); !errors.Is(err, ErrCampaignHalted) {
+		t.Fatalf("got %v, want ErrCampaignHalted", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 5 {
+		t.Fatalf("reopened store holds %d cells, want 5", st2.Len())
+	}
+	resumed, err := RunCampaignWith(base, scs, protos, seeds, CampaignOptions{Store: st2, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := summaries(t, resumed), summaries(t, fresh); got != want {
+		t.Fatal("resume across store reopen diverged from fresh run")
+	}
+}
+
+// TestResumeIgnoresForeignCells: cells stored under a different
+// configuration hash must never satisfy a resume lookup.
+func TestResumeIgnoresForeignCells(t *testing.T) {
+	base, scs, protos, seeds := resumeTestGrid(t)
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Fully populate the store at a DIFFERENT duration.
+	other := base
+	other.DurationSeconds = 20
+	if _, err := RunCampaignWith(other, scs, protos, seeds, CampaignOptions{Store: st}); err != nil {
+		t.Fatal(err)
+	}
+	if st.Len() != 8 {
+		t.Fatalf("store holds %d cells, want 8", st.Len())
+	}
+
+	// Resuming the original campaign must find nothing reusable.
+	resumed, err := RunCampaignWith(base, scs, protos, seeds, CampaignOptions{Store: st, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range resumed {
+		if c.Restored {
+			t.Fatalf("cell %d restored from a foreign configuration", i)
+		}
+	}
+	// Both cell families now coexist in the store.
+	if st.Len() != 16 {
+		t.Fatalf("store holds %d cells, want 16 (two families)", st.Len())
+	}
+}
+
+// TestCellHashNormalization: the per-cell axes and orchestration fields
+// must not affect the hash; anything result-bearing must.
+func TestCellHashNormalization(t *testing.T) {
+	sc, err := FindScenario("node-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := DefaultConfig()
+	h0, err := CellHash(base, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	varied := base
+	varied.Protocol = PureLEACH
+	varied.Seed = 99
+	varied.Workers = 7
+	if h, _ := CellHash(varied, sc); h != h0 {
+		t.Fatal("hash depends on per-cell axes (protocol/seed/workers)")
+	}
+
+	changed := base
+	changed.TrafficLoad = 9
+	if h, _ := CellHash(changed, sc); h == h0 {
+		t.Fatal("hash ignores a result-bearing config change")
+	}
+
+	sc2 := sc
+	sc2.Description = sc.Description + " (edited)"
+	if h, _ := CellHash(base, sc2); h == h0 {
+		t.Fatal("hash ignores a scenario spec change")
+	}
+}
+
+// TestCampaignStoreAggregates: incremental aggregation over stored
+// cells matches aggregating the live campaign results. The campaign
+// runs serially so the store's append order equals submission order:
+// Welford accumulation is order-sensitive in the last float ulps, and
+// parallel completion order is not deterministic.
+func TestCampaignStoreAggregates(t *testing.T) {
+	base, scs, protos, seeds := resumeTestGrid(t)
+	base.Workers = 1
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	cells, err := RunCampaignWith(base, scs, protos, seeds, CampaignOptions{Store: st, Campaign: "agg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromStore, err := st.Aggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := AggregateCampaign(cells)
+	// Store order is completion order, so compare as (scenario, protocol)
+	// keyed sets of formatted values.
+	if len(fromStore) != len(live) {
+		t.Fatalf("store aggregates %d groups, live %d", len(fromStore), len(live))
+	}
+	byKey := make(map[string]CampaignAggregate, len(live))
+	for _, a := range live {
+		byKey[a.Scenario+"/"+a.Protocol.String()] = a
+	}
+	for _, a := range fromStore {
+		want, ok := byKey[a.Scenario+"/"+a.Protocol.String()]
+		if !ok {
+			t.Fatalf("store aggregate for unknown group %s/%s", a.Scenario, a.Protocol)
+		}
+		if !reflect.DeepEqual(a, want) {
+			t.Fatalf("store aggregate diverged for %s/%s:\n got %+v\nwant %+v", a.Scenario, a.Protocol, a, want)
+		}
+	}
+}
+
+// TestSimPoolMatchesOneShot: the public pooled entry points are
+// bit-identical to their one-shot equivalents.
+func TestSimPoolMatchesOneShot(t *testing.T) {
+	sc, err := FindScenario("node-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.DurationSeconds = 12
+
+	pool := NewSimPool()
+	// Interleave shapes and kinds to exercise reset-in-place.
+	for round := 0; round < 2; round++ {
+		for _, seed := range []uint64{1, 5} {
+			cfg.Seed = seed
+			want, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := pool.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("pooled Run diverged (round %d seed %d)", round, seed)
+			}
+			wantSc, err := RunScenario(sc, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSc, err := pool.RunScenario(sc, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotSc, wantSc) {
+				t.Fatalf("pooled RunScenario diverged (round %d seed %d)", round, seed)
+			}
+		}
+	}
+}
+
+// TestSummaryMappingComplete guards the hand-mirrored field lists of
+// summaryOf (Result → store.Summary) and cellOf (store.Summary →
+// Result): every Summary field is set to a distinct sentinel, pushed
+// through cellOf and back through summaryOf, and must survive exactly.
+// A metric added to one mapping but not the other would silently zero
+// out in restored cells — this test turns that drift into a failure.
+func TestSummaryMappingComplete(t *testing.T) {
+	var s store.Summary
+	rv := reflect.ValueOf(&s).Elem()
+	for i := 0; i < rv.NumField(); i++ {
+		f := rv.Field(i)
+		switch f.Kind() {
+		case reflect.Float64:
+			f.SetFloat(float64(100 + i))
+		case reflect.Int:
+			f.SetInt(int64(100 + i))
+		case reflect.Uint64:
+			f.SetUint(uint64(100 + i))
+		case reflect.Bool:
+			f.SetBool(true)
+		default:
+			t.Fatalf("store.Summary field %s has unhandled kind %v — extend this test", rv.Type().Field(i).Name, f.Kind())
+		}
+	}
+	cell, ok, err := cellOf(store.Record{Hash: "h", Scenario: "sc", Protocol: "CAEM-scheme1", Seed: 1, Summary: s})
+	if err != nil || !ok {
+		t.Fatalf("cellOf = ok=%v err=%v", ok, err)
+	}
+	if back := summaryOf(cell.Result); back != s {
+		t.Fatalf("summary did not survive cellOf→summaryOf:\n got %+v\nwant %+v", back, s)
+	}
+}
+
+// TestAggregateJSONRoundTrip: NaN dispersion fields serialize as null
+// and decode back to NaN.
+func TestAggregateJSONRoundTrip(t *testing.T) {
+	single := AggregateOf(3.5)
+	blob, err := json.Marshal(single)
+	if err != nil {
+		t.Fatalf("single-replicate aggregate failed to marshal: %v", err)
+	}
+	var back Aggregate
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.N != 1 || back.Mean != 3.5 || back.SD == back.SD || back.CI95 == back.CI95 { // NaN != NaN
+		t.Fatalf("round-tripped single aggregate = %+v", back)
+	}
+
+	multi := AggregateOf(1, 2, 3)
+	blob, err = json.Marshal(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, multi) {
+		t.Fatalf("multi aggregate round trip = %+v, want %+v", back, multi)
+	}
+}

@@ -152,6 +152,11 @@ type CampaignCell struct {
 	Protocol Protocol
 	Seed     uint64
 	Result   Result
+	// Restored marks a cell whose Result was loaded from a CampaignStore
+	// instead of freshly simulated (see RunCampaignWith): the headline
+	// metrics are exact, but the bulky per-run detail (time series,
+	// per-node outcomes, round reports, energy breakdown) is absent.
+	Restored bool
 }
 
 // RunCampaign expands the scenario × protocol × seed grid over the base
@@ -162,45 +167,9 @@ type CampaignCell struct {
 // experiment artifact. Empty protocols defaults to Protocols(); empty
 // seeds defaults to {base.Seed}. Tracing is incompatible with campaigns
 // (one stream per run); run cells individually to trace them.
+//
+// RunCampaignWith adds a persistent store sink and checkpoint/resume on
+// top of the same grid semantics.
 func RunCampaign(base Config, scs []Scenario, protocols []Protocol, seeds []uint64) ([]CampaignCell, error) {
-	if len(scs) == 0 {
-		return nil, fmt.Errorf("caem: campaign needs at least one scenario")
-	}
-	if base.TraceCSV != nil {
-		return nil, fmt.Errorf("caem: campaigns cannot stream traces from concurrent runs")
-	}
-	if len(protocols) == 0 {
-		protocols = Protocols()
-	}
-	if len(seeds) == 0 {
-		seeds = []uint64{base.Seed}
-	}
-	cells := make([]CampaignCell, 0, len(scs)*len(protocols)*len(seeds))
-	scFor := make([]Scenario, 0, cap(cells))
-	for _, sc := range scs {
-		for _, p := range protocols {
-			for _, seed := range seeds {
-				cells = append(cells, CampaignCell{Scenario: sc.Name, Protocol: p, Seed: seed})
-				scFor = append(scFor, sc)
-			}
-		}
-	}
-	results, err := runVariants(base.Workers, len(cells),
-		func(i int) string {
-			return fmt.Sprintf("%s/%s/seed %d", cells[i].Scenario, cells[i].Protocol, cells[i].Seed)
-		},
-		func(p *runner.Pool, i int) (Result, error) {
-			cc := base
-			cc.Protocol = cells[i].Protocol
-			cc.Seed = cells[i].Seed
-			cc.Workers = 1 // the grid is the parallel unit
-			return runScenarioPooled(p, scFor[i], cc)
-		})
-	if err != nil {
-		return nil, err
-	}
-	for i := range cells {
-		cells[i].Result = results[i]
-	}
-	return cells, nil
+	return RunCampaignWith(base, scs, protocols, seeds, CampaignOptions{})
 }

@@ -1,6 +1,7 @@
 package caem
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -58,6 +59,57 @@ func (a Aggregate) Format(prec int) string {
 		return fmt.Sprintf("%.*f", prec, a.Mean)
 	}
 	return fmt.Sprintf("%.*f±%.*f", prec, a.Mean, prec, a.CI95)
+}
+
+// MarshalJSON encodes the aggregate with undefined statistics (the NaN
+// SD/CI95 of a single-replicate sample) as JSON null instead of failing
+// the whole document, so campaign reports serialize at any replication
+// level. Decoding null back yields NaN via UnmarshalJSON.
+func (a Aggregate) MarshalJSON() ([]byte, error) {
+	return json.Marshal(aggregateJSON{
+		N:    a.N,
+		Mean: a.Mean,
+		SD:   nanToNil(a.SD),
+		CI95: nanToNil(a.CI95),
+		Min:  a.Min,
+		Max:  a.Max,
+	})
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON: null dispersion fields
+// decode to NaN, matching AggregateOf's NaN policy.
+func (a *Aggregate) UnmarshalJSON(data []byte) error {
+	var v aggregateJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*a = Aggregate{N: v.N, Mean: v.Mean, SD: nilToNaN(v.SD), CI95: nilToNaN(v.CI95), Min: v.Min, Max: v.Max}
+	return nil
+}
+
+// aggregateJSON is the wire form of Aggregate: dispersion fields are
+// nullable because they are NaN below two replicates.
+type aggregateJSON struct {
+	N    int      `json:"n"`
+	Mean float64  `json:"mean"`
+	SD   *float64 `json:"sd"`
+	CI95 *float64 `json:"ci95"`
+	Min  float64  `json:"min"`
+	Max  float64  `json:"max"`
+}
+
+func nanToNil(v float64) *float64 {
+	if math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+func nilToNaN(v *float64) float64 {
+	if v == nil {
+		return math.NaN()
+	}
+	return *v
 }
 
 // Scaled returns the aggregate with every statistic multiplied by f —

@@ -1,0 +1,222 @@
+package caem
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/store"
+)
+
+// CampaignStore is the persistent, append-only results store for
+// campaign cells: each completed (scenario, protocol, seed) run is one
+// self-describing JSONL record keyed by a content hash of everything
+// that determines its outcome, so stored cells are only ever reused for
+// bit-identical reruns. It backs checkpoint/resume (RunCampaignWith),
+// incremental aggregation over completed cells (Aggregates), and the
+// caem-serve campaign service, which also persists its campaign specs
+// here (SaveCampaignSpec) to survive restarts.
+//
+// A CampaignStore is safe for concurrent use within one process; keep a
+// single writer per directory across processes.
+type CampaignStore struct {
+	s *store.Store
+}
+
+// OpenStore opens (creating if needed) the results store rooted at dir,
+// recovering from a torn log tail left by a killed campaign.
+func OpenStore(dir string) (*CampaignStore, error) {
+	s, err := store.Open(dir)
+	if err != nil {
+		return nil, fmt.Errorf("caem: %w", err)
+	}
+	return &CampaignStore{s: s}, nil
+}
+
+// Dir returns the store's root directory.
+func (cs *CampaignStore) Dir() string { return cs.s.Dir() }
+
+// Len returns the number of distinct stored cells.
+func (cs *CampaignStore) Len() int { return cs.s.Len() }
+
+// RecoveredBytes reports how many torn-tail bytes OpenStore dropped to
+// restore a consistent log (0 for a clean shutdown).
+func (cs *CampaignStore) RecoveredBytes() int64 { return cs.s.RecoveredBytes() }
+
+// Flush checkpoints the lookup index to disk.
+func (cs *CampaignStore) Flush() error { return cs.s.Flush() }
+
+// Close checkpoints the index and releases the store.
+func (cs *CampaignStore) Close() error { return cs.s.Close() }
+
+// CellHash returns the deterministic content hash identifying a
+// campaign cell family: the base configuration with the per-cell axes
+// (Protocol, Seed) and the run-orchestration fields (Workers, TraceCSV)
+// normalized out, combined with the complete scenario spec. Two cells
+// share a hash exactly when equal (protocol, seed) would make their
+// runs bit-identical — the condition under which a stored result may
+// stand in for a fresh one.
+func CellHash(base Config, sc Scenario) (string, error) {
+	norm := base
+	norm.Protocol, norm.Seed, norm.Workers, norm.TraceCSV = 0, 0, 0, nil
+	cb, err := json.Marshal(norm)
+	if err != nil {
+		return "", fmt.Errorf("caem: hashing config: %w", err)
+	}
+	sb, err := json.Marshal(sc)
+	if err != nil {
+		return "", fmt.Errorf("caem: hashing scenario: %w", err)
+	}
+	h := sha256.New()
+	h.Write(cb)
+	h.Write([]byte{0}) // unambiguous config/scenario boundary
+	h.Write(sb)
+	return hex.EncodeToString(h.Sum(nil))[:16], nil
+}
+
+// PutCell stores one completed campaign cell under the given content
+// hash (from CellHash). campaign is informative provenance — lookups go
+// by content, so any later campaign with the same hash reuses the cell.
+func (cs *CampaignStore) PutCell(campaign, hash string, cell CampaignCell) error {
+	return cs.s.Put(store.Record{
+		Campaign: campaign,
+		Hash:     hash,
+		Scenario: cell.Scenario,
+		Protocol: cell.Protocol.String(),
+		Seed:     cell.Seed,
+		Summary:  summaryOf(cell.Result),
+	})
+}
+
+// HasCell reports whether the cell is stored.
+func (cs *CampaignStore) HasCell(hash, scenario string, p Protocol, seed uint64) bool {
+	return cs.s.Has(store.Key{Hash: hash, Scenario: scenario, Protocol: p.String(), Seed: seed})
+}
+
+// LookupCell returns the stored cell, if present, as a summary-level
+// CampaignCell: the Result carries the headline metrics exactly as
+// measured (floats round-trip bit-for-bit through the store) with
+// Restored set, but not the bulky per-run detail (time series, per-node
+// outcomes, round reports, energy breakdown).
+func (cs *CampaignStore) LookupCell(hash, scenario string, p Protocol, seed uint64) (CampaignCell, bool, error) {
+	rec, ok, err := cs.s.Get(store.Key{Hash: hash, Scenario: scenario, Protocol: p.String(), Seed: seed})
+	if err != nil || !ok {
+		return CampaignCell{}, false, err
+	}
+	return cellOf(rec)
+}
+
+// Cells returns every stored cell in first-stored order, summary-level
+// (see LookupCell).
+func (cs *CampaignStore) Cells() ([]CampaignCell, error) {
+	recs, err := cs.s.Records()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CampaignCell, 0, len(recs))
+	for _, rec := range recs {
+		cell, _, err := cellOf(rec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cell)
+	}
+	return out, nil
+}
+
+// Aggregates collapses every stored cell into per-(scenario, protocol)
+// statistical summaries — incremental aggregation over whatever the
+// store holds, without re-running anything.
+func (cs *CampaignStore) Aggregates() ([]CampaignAggregate, error) {
+	cells, err := cs.Cells()
+	if err != nil {
+		return nil, err
+	}
+	return AggregateCampaign(cells), nil
+}
+
+// SaveCampaignSpec persists an opaque campaign spec blob under id —
+// service metadata that lets caem-serve recover in-flight campaigns
+// after a restart.
+func (cs *CampaignStore) SaveCampaignSpec(id string, blob []byte) error {
+	return cs.s.PutCampaign(id, blob)
+}
+
+// LoadCampaignSpec returns the campaign spec blob stored under id.
+func (cs *CampaignStore) LoadCampaignSpec(id string) ([]byte, error) {
+	return cs.s.GetCampaign(id)
+}
+
+// CampaignIDs returns the ids of every stored campaign spec, sorted.
+func (cs *CampaignStore) CampaignIDs() ([]string, error) {
+	return cs.s.Campaigns()
+}
+
+// summaryOf projects a Result onto the stored metric set.
+func summaryOf(r Result) store.Summary {
+	return store.Summary{
+		DurationSeconds:        r.DurationSeconds,
+		Rounds:                 r.Rounds,
+		TotalConsumedJ:         r.TotalConsumedJ,
+		AvgRemainingJ:          r.AvgRemainingJ,
+		AliveAtEnd:             r.AliveAtEnd,
+		FirstDeathSeconds:      r.FirstDeathSeconds,
+		FirstDeathValid:        r.FirstDeathValid,
+		NetworkLifetimeSeconds: r.NetworkLifetimeSeconds,
+		NetworkDead:            r.NetworkDead,
+		EnergyPerPacketMilliJ:  r.EnergyPerPacketMilliJ,
+		Generated:              r.Generated,
+		Delivered:              r.Delivered,
+		DroppedBuffer:          r.DroppedBuffer,
+		DroppedRetry:           r.DroppedRetry,
+		DeliveryRate:           r.DeliveryRate,
+		ThroughputKbps:         r.ThroughputKbps,
+		MeanDelayMs:            r.MeanDelayMs,
+		P95DelayMs:             r.P95DelayMs,
+		MaxDelayMs:             r.MaxDelayMs,
+		QueueStdDev:            r.QueueStdDev,
+		Collisions:             r.Collisions,
+		ChannelFails:           r.ChannelFails,
+	}
+}
+
+// cellOf rehydrates a stored record into a summary-level CampaignCell.
+func cellOf(rec store.Record) (CampaignCell, bool, error) {
+	p, err := ParseProtocol(rec.Protocol)
+	if err != nil {
+		return CampaignCell{}, false, fmt.Errorf("caem: stored cell: %w", err)
+	}
+	s := rec.Summary
+	return CampaignCell{
+		Scenario: rec.Scenario,
+		Protocol: p,
+		Seed:     rec.Seed,
+		Restored: true,
+		Result: Result{
+			Protocol:               p,
+			DurationSeconds:        s.DurationSeconds,
+			Rounds:                 s.Rounds,
+			TotalConsumedJ:         s.TotalConsumedJ,
+			AvgRemainingJ:          s.AvgRemainingJ,
+			AliveAtEnd:             s.AliveAtEnd,
+			FirstDeathSeconds:      s.FirstDeathSeconds,
+			FirstDeathValid:        s.FirstDeathValid,
+			NetworkLifetimeSeconds: s.NetworkLifetimeSeconds,
+			NetworkDead:            s.NetworkDead,
+			EnergyPerPacketMilliJ:  s.EnergyPerPacketMilliJ,
+			Generated:              s.Generated,
+			Delivered:              s.Delivered,
+			DroppedBuffer:          s.DroppedBuffer,
+			DroppedRetry:           s.DroppedRetry,
+			DeliveryRate:           s.DeliveryRate,
+			ThroughputKbps:         s.ThroughputKbps,
+			MeanDelayMs:            s.MeanDelayMs,
+			P95DelayMs:             s.P95DelayMs,
+			MaxDelayMs:             s.MaxDelayMs,
+			QueueStdDev:            s.QueueStdDev,
+			Collisions:             s.Collisions,
+			ChannelFails:           s.ChannelFails,
+		},
+	}, true, nil
+}

@@ -1,0 +1,101 @@
+// Command caem-serve is the always-on campaign service: an HTTP API
+// over a persistent, append-only results store and a bounded simulation
+// worker budget.
+//
+// Usage:
+//
+//	caem-serve -addr :8080 -store ./caem-store -workers 0
+//
+// API:
+//
+//	POST /campaigns                submit a campaign (idempotent: equal
+//	                               requests map to the same campaign id)
+//	GET  /campaigns                list campaigns
+//	GET  /campaigns/{id}           status: per-cell states + counters
+//	GET  /campaigns/{id}/results   completed cells + mean±CI aggregates,
+//	                               read back from the store (works
+//	                               mid-run and after restarts)
+//	GET  /campaigns/{id}/progress  NDJSON progress stream (curl -N)
+//	GET  /healthz                  liveness + store stats
+//
+// A campaign request names library scenarios (or embeds inline specs),
+// protocols, seeds, and partial config overrides:
+//
+//	curl -s localhost:8080/campaigns -d '{
+//	  "scenarios": ["node-churn"],
+//	  "protocols": ["leach", "scheme1"],
+//	  "seeds": [1, 2, 3],
+//	  "config": {"durationSeconds": 300}
+//	}'
+//
+// Every completed (scenario, protocol, seed) cell is persisted as it
+// finishes, keyed by a content hash of its full configuration. The
+// service survives restarts: campaign specs live in the store, so a
+// restarted caem-serve re-registers every campaign, restores the cells
+// already on disk, and re-runs only what is missing. Results are
+// deterministic — a cell computed before a crash is bit-identical to
+// one computed after — so recovery changes nothing about the answers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"repro/caem"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		storeDir = flag.String("store", "caem-store", "results-store directory (created if absent)")
+		workers  = flag.Int("workers", 0, "simulation worker budget (0 = one per CPU)")
+	)
+	flag.Parse()
+
+	w := *workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	st, err := caem.OpenStore(*storeDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
+		os.Exit(1)
+	}
+	if n := st.RecoveredBytes(); n > 0 {
+		fmt.Fprintf(os.Stderr, "caem-serve: store recovered from a torn tail (%d bytes dropped)\n", n)
+	}
+	srv, err := newServer(st, w)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.ListenAndServe() }()
+	fmt.Printf("caem-serve: listening on %s, store %s, %d workers, %d cells on disk\n",
+		*addr, st.Dir(), w, st.Len())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-done:
+		fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
+		srv.Close()
+		st.Close()
+		os.Exit(1)
+	case <-sig:
+		fmt.Fprintln(os.Stderr, "caem-serve: shutting down (in-flight cells finish, pending cells resume on restart)")
+		httpSrv.Close()
+		srv.Close()
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

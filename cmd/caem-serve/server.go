@@ -1,0 +1,697 @@
+package main
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+
+	"repro/caem"
+)
+
+// campaignRequest is the POST /campaigns body: which scenarios to run
+// (library names and/or inline specs), over which protocols and seeds,
+// with optional partial-Config overrides applied on top of each
+// scenario's embedded config. The canonical (re-marshalled) request is
+// also the campaign's identity: equal requests map to the same campaign
+// id, making submission idempotent.
+type campaignRequest struct {
+	// Scenarios names curated library scenarios.
+	Scenarios []string `json:"scenarios,omitempty"`
+	// Specs carries inline scenario specs (the scenarios/SPEC.md schema).
+	Specs []json.RawMessage `json:"specs,omitempty"`
+	// Protocols lists protocol names (ParseProtocol spellings); empty
+	// means all three.
+	Protocols []string `json:"protocols,omitempty"`
+	// Seeds lists replicate seeds; empty means {1}.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Config is a partial caem.Config JSON object applied over each
+	// scenario's resolved configuration.
+	Config json.RawMessage `json:"config,omitempty"`
+}
+
+// cellRef identifies one campaign cell and its live status.
+type cellRef struct {
+	Scenario string `json:"scenario"`
+	Protocol string `json:"protocol"`
+	Seed     uint64 `json:"seed"`
+	Status   string `json:"status"` // pending | running | done | restored | failed
+	Error    string `json:"error,omitempty"`
+}
+
+// campaign is one scheduled grid. Static fields are set at launch; the
+// mutable state is guarded by mu.
+type campaign struct {
+	id        string
+	req       campaignRequest
+	scenarios []caem.Scenario
+	configs   []caem.Config // resolved base config per scenario
+	hashes    []string      // CellHash per scenario
+	protocols []caem.Protocol
+	seeds     []uint64
+
+	mu        sync.Mutex
+	cells     []cellRef
+	completed int // done + restored
+	failed    int
+	state     string // running | done | failed
+	subs      []chan []byte
+}
+
+// progressEvent is one NDJSON line of GET /campaigns/{id}/progress.
+type progressEvent struct {
+	Campaign  string   `json:"campaign"`
+	State     string   `json:"state"`
+	Total     int      `json:"total"`
+	Completed int      `json:"completed"`
+	Failed    int      `json:"failed,omitempty"`
+	Cell      *cellRef `json:"cell,omitempty"`
+}
+
+// snapshot returns the campaign's current status under its lock.
+func (c *campaign) snapshot() campaignStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cells := make([]cellRef, len(c.cells))
+	copy(cells, c.cells)
+	return campaignStatus{
+		ID: c.id, State: c.state,
+		Total: len(c.cells), Completed: c.completed, Failed: c.failed,
+		Cells: cells,
+	}
+}
+
+type campaignStatus struct {
+	ID        string    `json:"id"`
+	State     string    `json:"state"`
+	Total     int       `json:"total"`
+	Completed int       `json:"completed"`
+	Failed    int       `json:"failed"`
+	Cells     []cellRef `json:"cells,omitempty"`
+}
+
+// job is one cell execution scheduled onto the server's worker budget.
+type job struct {
+	camp *campaign
+	idx  int // cell index within the campaign grid
+	sc   caem.Scenario
+	cfg  caem.Config // fully resolved: protocol and seed set
+	hash string
+}
+
+// server is the campaign service: an HTTP API over a persistent results
+// store and a bounded worker budget. Every worker goroutine owns a
+// resident caem.SimPool, so a stream of grid cells reuses simulation
+// contexts instead of rebuilding worlds; the store makes completed work
+// durable, and restart recovery re-schedules whatever is missing.
+type server struct {
+	store   *caem.CampaignStore
+	workers int
+	mux     *http.ServeMux
+	jobs    chan job
+	quit    chan struct{}
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	campaigns map[string]*campaign
+	order     []string
+	closed    bool
+}
+
+// newServer starts the worker budget (workers ≤ 0 means one) and
+// recovers campaigns persisted in the store: completed ones become
+// queryable, interrupted ones resume from their stored cells.
+func newServer(st *caem.CampaignStore, workers int) (*server, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &server{
+		store:     st,
+		workers:   workers,
+		mux:       http.NewServeMux(),
+		jobs:      make(chan job),
+		quit:      make(chan struct{}),
+		campaigns: make(map[string]*campaign),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /campaigns", s.handleCreate)
+	s.mux.HandleFunc("GET /campaigns", s.handleList)
+	s.mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
+	s.mux.HandleFunc("GET /campaigns/{id}/progress", s.handleProgress)
+
+	for w := 0; w < workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	if err := s.recover(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close stops accepting work, stops the workers, and checkpoints the
+// store index. In-flight cells finish; pending ones stay in the store's
+// debt and are re-scheduled by the next process via recover().
+func (s *server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.quit)
+	s.wg.Wait()
+	s.store.Flush()
+}
+
+// worker executes cells from the shared budget on a resident SimPool.
+func (s *server) worker() {
+	defer s.wg.Done()
+	pool := caem.NewSimPool()
+	for {
+		select {
+		case <-s.quit:
+			return
+		case j := <-s.jobs:
+			s.runJob(pool, j)
+		}
+	}
+}
+
+// runJob executes one cell, persists it, and publishes progress.
+func (s *server) runJob(pool *caem.SimPool, j job) {
+	c := j.camp
+	c.setCellStatus(j.idx, "running", "")
+	res, err := pool.RunScenario(j.sc, j.cfg)
+	if err == nil {
+		cell := caem.CampaignCell{
+			Scenario: j.sc.Name,
+			Protocol: j.cfg.Protocol,
+			Seed:     j.cfg.Seed,
+			Result:   res,
+		}
+		err = s.store.PutCell(c.id, j.hash, cell)
+	}
+
+	c.mu.Lock()
+	if err != nil {
+		c.cells[j.idx].Status, c.cells[j.idx].Error = "failed", err.Error()
+		c.failed++
+	} else {
+		c.cells[j.idx].Status = "done"
+		c.completed++
+	}
+	s.finishLocked(c, j.idx)
+}
+
+// finishLocked updates campaign state after a cell settles and emits
+// the progress event. Caller holds c.mu; it is released here.
+func (s *server) finishLocked(c *campaign, idx int) {
+	cell := c.cells[idx]
+	final := c.completed+c.failed == len(c.cells)
+	if final {
+		if c.failed > 0 {
+			c.state = "failed"
+		} else {
+			c.state = "done"
+		}
+	}
+	ev := progressEvent{
+		Campaign: c.id, State: c.state,
+		Total: len(c.cells), Completed: c.completed, Failed: c.failed,
+		Cell: &cell,
+	}
+	line, _ := json.Marshal(ev)
+	line = append(line, '\n')
+	// Publish under the lock: sends are non-blocking (buffered channel,
+	// select-default), and serializing them against the final close is
+	// what keeps concurrent workers from sending on a closed channel.
+	for _, ch := range c.subs {
+		select {
+		case ch <- line:
+		default: // slow consumer: drop the event, the final close still lands
+		}
+	}
+	if final {
+		for _, ch := range c.subs {
+			close(ch)
+		}
+		c.subs = nil
+	}
+	c.mu.Unlock()
+
+	if final {
+		s.store.Flush()
+	}
+}
+
+func (c *campaign) setCellStatus(idx int, status, msg string) {
+	c.mu.Lock()
+	c.cells[idx].Status, c.cells[idx].Error = status, msg
+	c.mu.Unlock()
+}
+
+// plan resolves and fully validates a campaign request into an
+// unregistered campaign: scenarios, protocols, per-scenario configs and
+// content hashes, and the cell grid split against the store (cells
+// already present are restored up front — the service always resumes).
+// plan touches no server state, so a failed request leaves no trace.
+func (s *server) plan(id string, req campaignRequest) (*campaign, []job, error) {
+	scs, err := resolveScenarios(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	protocols, err := resolveProtocols(req.Protocols)
+	if err != nil {
+		return nil, nil, err
+	}
+	seeds := req.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+
+	c := &campaign{
+		id: id, req: req, scenarios: scs,
+		protocols: protocols, seeds: seeds, state: "running",
+	}
+	for _, sc := range scs {
+		cfg, err := caem.ScenarioConfig(sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(req.Config) > 0 {
+			dec := json.NewDecoder(bytes.NewReader(req.Config))
+			dec.DisallowUnknownFields()
+			if err := dec.Decode(&cfg); err != nil {
+				return nil, nil, fmt.Errorf("config overrides: %w", err)
+			}
+		}
+		cfg.Workers = 1 // the service's worker budget is the parallel unit
+		cfg.TraceCSV = nil
+		if err := cfg.Validate(); err != nil {
+			return nil, nil, fmt.Errorf("scenario %q: %w", sc.Name, err)
+		}
+		hash, err := caem.CellHash(cfg, sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		c.configs = append(c.configs, cfg)
+		c.hashes = append(c.hashes, hash)
+	}
+
+	// Expand the grid in campaign submission order and split it into
+	// restored and pending cells.
+	var pending []job
+	for si, sc := range scs {
+		for _, p := range protocols {
+			for _, seed := range seeds {
+				ref := cellRef{Scenario: sc.Name, Protocol: p.String(), Seed: seed, Status: "pending"}
+				idx := len(c.cells)
+				if s.store.HasCell(c.hashes[si], sc.Name, p, seed) {
+					ref.Status = "restored"
+					c.completed++
+				} else {
+					cfg := c.configs[si]
+					cfg.Protocol, cfg.Seed = p, seed
+					pending = append(pending, job{camp: c, idx: idx, sc: sc, cfg: cfg, hash: c.hashes[si]})
+				}
+				c.cells = append(c.cells, ref)
+			}
+		}
+	}
+	if len(pending) == 0 {
+		c.state = "done"
+	}
+	return c, pending, nil
+}
+
+// register claims the campaign id under the server lock. It returns the
+// already-registered campaign when the id is taken — the idempotency
+// path — so concurrent equal POSTs cannot both schedule the grid.
+func (s *server) register(c *campaign) (*campaign, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server is shutting down")
+	}
+	if existing := s.campaigns[c.id]; existing != nil {
+		return existing, nil
+	}
+	s.campaigns[c.id] = c
+	s.order = append(s.order, c.id)
+	return nil, nil
+}
+
+// schedule feeds the campaign's pending cells onto the shared worker
+// budget without blocking the caller.
+func (s *server) schedule(pending []job) {
+	if len(pending) == 0 {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for _, j := range pending {
+			select {
+			case s.jobs <- j:
+			case <-s.quit:
+				return
+			}
+		}
+	}()
+}
+
+// launch plans, registers, and schedules a campaign (the recovery
+// path; handleCreate interleaves spec persistence between the steps).
+func (s *server) launch(id string, req campaignRequest) (*campaign, error) {
+	c, pending, err := s.plan(id, req)
+	if err != nil {
+		return nil, err
+	}
+	if existing, err := s.register(c); err != nil {
+		return nil, err
+	} else if existing != nil {
+		return existing, nil
+	}
+	s.schedule(pending)
+	return c, nil
+}
+
+// recover reloads every persisted campaign spec and relaunches it —
+// completed campaigns restore entirely from the store, interrupted ones
+// re-run only their missing cells. A spec that no longer resolves (for
+// example a library scenario renamed across versions) is skipped with a
+// warning rather than wedging the whole service on startup.
+func (s *server) recover() error {
+	ids, err := s.store.CampaignIDs()
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		blob, err := s.store.LoadCampaignSpec(id)
+		if err != nil {
+			return err
+		}
+		var req campaignRequest
+		if err := json.Unmarshal(blob, &req); err != nil {
+			fmt.Fprintf(os.Stderr, "caem-serve: skipping unrecoverable campaign %s: %v\n", id, err)
+			continue
+		}
+		if _, err := s.launch(id, req); err != nil {
+			fmt.Fprintf(os.Stderr, "caem-serve: skipping unrecoverable campaign %s: %v\n", id, err)
+			continue
+		}
+	}
+	return nil
+}
+
+// campaignID derives the canonical idempotent id of a request.
+func campaignID(req campaignRequest) (string, []byte, error) {
+	canonical, err := json.Marshal(req)
+	if err != nil {
+		return "", nil, err
+	}
+	sum := sha256.Sum256(canonical)
+	return hex.EncodeToString(sum[:])[:12], canonical, nil
+}
+
+func resolveScenarios(req campaignRequest) ([]caem.Scenario, error) {
+	var scs []caem.Scenario
+	for _, name := range req.Scenarios {
+		sc, err := caem.FindScenario(name)
+		if err != nil {
+			return nil, err
+		}
+		scs = append(scs, sc)
+	}
+	for i, raw := range req.Specs {
+		sc, err := caem.LoadScenario(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("specs[%d]: %w", i, err)
+		}
+		scs = append(scs, sc)
+	}
+	if len(scs) == 0 {
+		return nil, fmt.Errorf("campaign needs at least one scenario (scenarios or specs)")
+	}
+	return scs, nil
+}
+
+func resolveProtocols(names []string) ([]caem.Protocol, error) {
+	if len(names) == 0 {
+		return caem.Protocols(), nil
+	}
+	out := make([]caem.Protocol, 0, len(names))
+	for _, n := range names {
+		p, err := caem.ParseProtocol(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// ---- HTTP handlers ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	n := len(s.campaigns)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":        true,
+		"workers":   s.workers,
+		"campaigns": n,
+		"cells":     s.store.Len(),
+		"store":     s.store.Dir(),
+	})
+}
+
+func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var req campaignRequest
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	id, canonical, err := campaignID(req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	// Plan first (pure validation: an invalid request must leave no
+	// trace, or its persisted spec would wedge every future recovery),
+	// then atomically claim the id — the idempotency path for retried
+	// and concurrent equal POSTs — then persist the spec BEFORE any cell
+	// runs, so a crash mid-campaign can always recover it.
+	c, pending, err := s.plan(id, req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	existing, err := s.register(c)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if existing != nil { // idempotent re-POST
+		writeJSON(w, http.StatusOK, existing.snapshot())
+		return
+	}
+	if err := s.store.SaveCampaignSpec(id, canonical); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	s.schedule(pending)
+	writeJSON(w, http.StatusAccepted, c.snapshot())
+}
+
+func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]campaignStatus, 0, len(s.order))
+	for _, id := range s.order {
+		st := s.campaigns[id].snapshot()
+		st.Cells = nil // list view stays small
+		out = append(out, st)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+}
+
+func (s *server) campaignFor(w http.ResponseWriter, r *http.Request) *campaign {
+	s.mu.Lock()
+	c := s.campaigns[r.PathValue("id")]
+	s.mu.Unlock()
+	if c == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", r.PathValue("id")))
+	}
+	return c
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if c := s.campaignFor(w, r); c != nil {
+		writeJSON(w, http.StatusOK, c.snapshot())
+	}
+}
+
+// resultCell is the wire form of one completed cell: identity plus the
+// stored summary metrics.
+type resultCell struct {
+	Scenario              string  `json:"scenario"`
+	Protocol              string  `json:"protocol"`
+	Seed                  uint64  `json:"seed"`
+	DurationSeconds       float64 `json:"durationSeconds"`
+	TotalConsumedJ        float64 `json:"totalConsumedJ"`
+	DeliveryRate          float64 `json:"deliveryRate"`
+	MeanDelayMs           float64 `json:"meanDelayMs"`
+	P95DelayMs            float64 `json:"p95DelayMs"`
+	EnergyPerPacketMilliJ float64 `json:"energyPerPacketMilliJ"`
+	AliveAtEnd            int     `json:"aliveAtEnd"`
+	Delivered             uint64  `json:"delivered"`
+	Generated             uint64  `json:"generated"`
+}
+
+// resultAggregate pairs a (scenario, protocol) group with its
+// mean ± CI aggregates.
+type resultAggregate struct {
+	Scenario              string         `json:"scenario"`
+	Protocol              string         `json:"protocol"`
+	Seeds                 int            `json:"seeds"`
+	ConsumedJ             caem.Aggregate `json:"consumedJ"`
+	DeliveryRate          caem.Aggregate `json:"deliveryRate"`
+	MeanDelayMs           caem.Aggregate `json:"meanDelayMs"`
+	P95DelayMs            caem.Aggregate `json:"p95DelayMs"`
+	EnergyPerPacketMilliJ caem.Aggregate `json:"energyPerPacketMilliJ"`
+	AliveAtEnd            caem.Aggregate `json:"aliveAtEnd"`
+}
+
+// handleResults reads the campaign's completed cells back from the
+// persistent store — it works mid-run (partial results), after
+// completion, and after a process restart, because the store is the
+// source of truth, not server memory.
+func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	c := s.campaignFor(w, r)
+	if c == nil {
+		return
+	}
+	var cells []caem.CampaignCell
+	for si, sc := range c.scenarios {
+		for _, p := range c.protocols {
+			for _, seed := range c.seeds {
+				cell, ok, err := s.store.LookupCell(c.hashes[si], sc.Name, p, seed)
+				if err != nil {
+					writeError(w, http.StatusInternalServerError, err)
+					return
+				}
+				if ok {
+					cells = append(cells, cell)
+				}
+			}
+		}
+	}
+	out := struct {
+		ID         string            `json:"id"`
+		State      string            `json:"state"`
+		Total      int               `json:"total"`
+		Completed  int               `json:"completed"`
+		Cells      []resultCell      `json:"cells"`
+		Aggregates []resultAggregate `json:"aggregates"`
+	}{ID: c.id, Total: len(c.cells), Completed: len(cells)}
+	c.mu.Lock()
+	out.State = c.state
+	c.mu.Unlock()
+	for _, cell := range cells {
+		res := cell.Result
+		out.Cells = append(out.Cells, resultCell{
+			Scenario: cell.Scenario, Protocol: cell.Protocol.String(), Seed: cell.Seed,
+			DurationSeconds: res.DurationSeconds, TotalConsumedJ: res.TotalConsumedJ,
+			DeliveryRate: res.DeliveryRate, MeanDelayMs: res.MeanDelayMs,
+			P95DelayMs: res.P95DelayMs, EnergyPerPacketMilliJ: res.EnergyPerPacketMilliJ,
+			AliveAtEnd: res.AliveAtEnd, Delivered: res.Delivered, Generated: res.Generated,
+		})
+	}
+	for _, a := range caem.AggregateCampaign(cells) {
+		out.Aggregates = append(out.Aggregates, resultAggregate{
+			Scenario: a.Scenario, Protocol: a.Protocol.String(), Seeds: a.Seeds,
+			ConsumedJ: a.ConsumedJ, DeliveryRate: a.DeliveryRate,
+			MeanDelayMs: a.MeanDelayMs, P95DelayMs: a.P95DelayMs,
+			EnergyPerPacketMilliJ: a.EnergyPerPacketMilliJ, AliveAtEnd: a.AliveAtEnd,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleProgress streams campaign progress as NDJSON: one snapshot line
+// immediately, then one line per settling cell until the campaign
+// finishes (the stream then closes). `curl -N` renders it live.
+func (s *server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	c := s.campaignFor(w, r)
+	if c == nil {
+		return
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-cache")
+
+	c.mu.Lock()
+	snap := progressEvent{
+		Campaign: c.id, State: c.state,
+		Total: len(c.cells), Completed: c.completed, Failed: c.failed,
+	}
+	var ch chan []byte
+	if c.state == "running" {
+		ch = make(chan []byte, len(c.cells)+1)
+		c.subs = append(c.subs, ch)
+	}
+	c.mu.Unlock()
+
+	enc, _ := json.Marshal(snap)
+	w.Write(append(enc, '\n'))
+	if flusher != nil {
+		flusher.Flush()
+	}
+	if ch == nil {
+		return // already settled: snapshot is the whole story
+	}
+	for {
+		select {
+		case line, ok := <-ch:
+			if !ok {
+				return
+			}
+			if _, err := w.Write(line); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		case <-r.Context().Done():
+			return
+		case <-s.quit:
+			return
+		}
+	}
+}

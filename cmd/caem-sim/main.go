@@ -6,6 +6,8 @@
 //	caem-sim -list-scenarios
 //	caem-sim -scenario node-churn
 //	caem-sim -scenario my-world.json -protocol all -seeds 3
+//	caem-sim -scenario node-churn -protocol all -seeds 5 -store out/mystore
+//	caem-sim -scenario node-churn -protocol all -seeds 5 -store out/mystore -resume
 //
 // Protocols: leach (pure LEACH baseline), scheme1 (CAEM with adaptive
 // threshold), scheme2 (CAEM with fixed highest threshold); "all" (with
@@ -16,10 +18,20 @@
 // configuration; -scenario accepts a curated library name or a path to a
 // JSON spec file. A scenario file's embedded config overrides apply
 // first; explicitly passed flags override the scenario.
+//
+// Campaign persistence: -store writes every completed cell to an
+// append-only results store as it finishes, and -resume skips cells the
+// store already holds (matched by a content hash of the full cell
+// configuration, so only bit-identical reruns are reused). A resumed
+// campaign prints byte-identical output to an uninterrupted one.
+// -halt-after N stops the campaign at a checkpoint after N fresh cells
+// — the deterministic stand-in for a kill — leaving a store that
+// -resume completes.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -46,6 +58,10 @@ func main() {
 
 		scenarioName  = flag.String("scenario", "", "dynamic-world scenario: a library name (see -list-scenarios) or a JSON spec file path")
 		listScenarios = flag.Bool("list-scenarios", false, "list the curated scenario library and exit")
+
+		storeDir  = flag.String("store", "", "persist campaign cells to this results-store directory (enables campaign mode with -scenario)")
+		resume    = flag.Bool("resume", false, "skip cells already present in -store (checkpoint/resume; output is byte-identical to an uninterrupted run)")
+		haltAfter = flag.Int("halt-after", 0, "checkpoint: stop the campaign after N freshly executed cells (requires -store; resume later with -resume)")
 	)
 	flag.Parse()
 
@@ -120,7 +136,16 @@ func main() {
 		cfg.StopWhenNetworkDead = *stopDead
 	}
 
-	campaign := hasScenario && (allProtocols || *seeds > 1)
+	if (*resume || *haltAfter > 0) && *storeDir == "" {
+		fmt.Fprintln(os.Stderr, "caem-sim: -resume and -halt-after need -store")
+		os.Exit(2)
+	}
+	if *storeDir != "" && !hasScenario {
+		fmt.Fprintln(os.Stderr, "caem-sim: -store needs -scenario (campaign mode)")
+		os.Exit(2)
+	}
+
+	campaign := hasScenario && (allProtocols || *seeds > 1 || *storeDir != "")
 
 	// Reject incompatible replication flags before touching the trace
 	// file: os.Create truncates, and a rejected invocation must not
@@ -155,7 +180,7 @@ func main() {
 
 	switch {
 	case campaign:
-		runCampaign(scenario, cfg, allProtocols, cfg.Seed, *seeds, *workers)
+		runCampaign(scenario, cfg, allProtocols, cfg.Seed, *seeds, *workers, *storeDir, *resume, *haltAfter)
 	case *seeds > 1:
 		runReplicates(cfg, cfg.Seed, *seeds, *workers)
 	case hasScenario:
@@ -216,8 +241,11 @@ func printRun(res caem.Result, perNode bool) {
 }
 
 // runCampaign expands the scenario × protocol × seed grid and prints one
-// row per cell plus per-protocol aggregates.
-func runCampaign(sc caem.Scenario, cfg caem.Config, allProtocols bool, firstSeed uint64, nSeeds, workers int) {
+// row per cell plus per-protocol aggregates. With a store directory the
+// campaign persists cells as they complete (and, with resume, restores
+// already-stored cells instead of re-running them); a halt-after
+// checkpoint stops early with the completed prefix safely on disk.
+func runCampaign(sc caem.Scenario, cfg caem.Config, allProtocols bool, firstSeed uint64, nSeeds, workers int, storeDir string, resume bool, haltAfter int) {
 	protocols := []caem.Protocol{cfg.Protocol}
 	if allProtocols {
 		protocols = caem.Protocols()
@@ -227,7 +255,31 @@ func runCampaign(sc caem.Scenario, cfg caem.Config, allProtocols bool, firstSeed
 		seedList[i] = firstSeed + uint64(i)
 	}
 	cfg.Workers = workers
-	cells, err := caem.RunCampaign(cfg, []caem.Scenario{sc}, protocols, seedList)
+
+	opts := caem.CampaignOptions{Resume: resume, MaxRuns: haltAfter, Campaign: "caem-sim"}
+	if storeDir != "" {
+		st, err := caem.OpenStore(storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+			}
+		}()
+		if n := st.RecoveredBytes(); n > 0 {
+			fmt.Fprintf(os.Stderr, "caem-sim: store recovered from a torn tail (%d bytes dropped)\n", n)
+		}
+		opts.Store = st
+	}
+	cells, err := caem.RunCampaignWith(cfg, []caem.Scenario{sc}, protocols, seedList, opts)
+	if errors.Is(err, caem.ErrCampaignHalted) {
+		total := len(protocols) * nSeeds
+		fmt.Fprintf(os.Stderr, "caem-sim: campaign checkpointed: %d/%d cells stored in %s; continue with -resume\n",
+			len(cells), total, storeDir)
+		return
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,32 @@
+// Package runner fans independent simulation runs out across worker
+// goroutines. Every experiment in the paper's evaluation is a grid of
+// fully independent runs (protocol × load × seed), and each run roots all
+// of its randomness in its own rng.Source derived from Config.Seed — so a
+// parallel execution is bit-identical to a serial one, and results are
+// always returned in submission order regardless of which worker finished
+// first.
+//
+// The pool is deliberately simple: a shared index channel, one goroutine
+// per worker, and a result slot per job. There is no cross-run state to
+// synchronize; the only serialized section is the optional Progress
+// callback.
+//
+// # Primitives
+//
+// Run executes a batch of core.Config jobs. Beneath it sit three
+// composable scheduling primitives, also used directly by the public
+// caem wrappers:
+//
+//   - Do(workers, n, fn) — invoke fn(0..n-1) under the worker policy
+//     (0 = NumCPU, 1 or negative = serial inline).
+//   - DoWorkers — Do with the executing worker's dense index, for
+//     worker-local scratch state.
+//   - DoPooled — DoWorkers with a worker-owned Pool of resident
+//     simulation contexts, so consecutive jobs on one worker reset a
+//     kept world in place instead of rebuilding it (the run-reuse
+//     engine; see Pool).
+//
+// Panic policy is uniform: the panic of the lowest-indexed failing task
+// wins — deterministically — and is surfaced after every other task has
+// drained.
+package runner

@@ -1,15 +1,3 @@
-// Package runner fans independent simulation runs out across worker
-// goroutines. Every experiment in the paper's evaluation is a grid of
-// fully independent runs (protocol × load × seed), and each run roots all
-// of its randomness in its own rng.Source derived from Config.Seed — so a
-// parallel execution is bit-identical to a serial one, and results are
-// always returned in submission order regardless of which worker finished
-// first.
-//
-// The pool is deliberately simple: a shared index channel, one goroutine
-// per worker, and a result slot per job. There is no cross-run state to
-// synchronize; the only serialized section is the optional Progress
-// callback.
 package runner
 
 import (

@@ -1,0 +1,29 @@
+// Package scenario is the declarative layer of the dynamic-world engine:
+// a JSON-serializable Spec describes per-node heterogeneity and a timeline
+// of world events — node failures and revivals, battery service, traffic
+// shifts and bursts, channel-weather changes — layered on top of a base
+// core.Config. Compile lowers a Spec onto a concrete configuration by
+// materializing per-node overrides and translating the timeline into
+// core.WorldEvent hooks executed by the discrete-event engine, so a
+// scenario run is exactly as deterministic as a static one.
+//
+// The paper evaluates CAEM only on a static world (100 immobile nodes,
+// constant Poisson load, no failures); scenarios turn the simulator into a
+// general experimentation platform for the conditions the protocol was
+// actually designed to adapt to. The curated library under scenarios/
+// holds named Specs; the public entry points live in package caem
+// (caem.RunScenario, caem.RunCampaign).
+//
+// # Schema
+//
+// A Spec has four parts: a name, an optional partial-configuration
+// override object (opaque here; resolved by caem.ScenarioConfig), a list
+// of NodeRule heterogeneity rules applied at t = 0, and a Timeline of
+// Events in four categories — node lifecycle (kill, revive), energy
+// (topup), traffic (set-rate, scale-rate, ramp-rate, burst), and channel
+// (channel). Selectors pick the affected nodes (all, explicit indices,
+// or strided ranges). Load rejects unknown fields and Validate enforces
+// per-type required fields, so schema typos fail loudly instead of
+// silently corrupting a study. The complete JSON reference with one
+// worked example per category is scenarios/SPEC.md.
+package scenario

@@ -1,0 +1,54 @@
+package scenario_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// Load decodes and validates a spec; unknown fields and malformed
+// events fail loudly instead of silently corrupting a study.
+func ExampleLoad() {
+	spec := `{
+	  "name": "evening-surge",
+	  "description": "traffic doubles for a minute, then a channel squall",
+	  "timeline": [
+	    {"at": 60, "type": "burst", "scale": 2, "durationSeconds": 60},
+	    {"at": 90, "type": "channel", "channel": {"shadowingSigmaDB": 10}}
+	  ]
+	}`
+	sc, err := scenario.Load(strings.NewReader(spec))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %d events\n", sc.Name, sc.EventCount())
+
+	// A typo'd event is rejected with a precise location.
+	bad := `{"name": "oops", "timeline": [{"at": 5, "type": "burst", "scale": 2}]}`
+	_, err = scenario.Load(strings.NewReader(bad))
+	fmt.Println(err)
+	// Output:
+	// evening-surge: 2 events
+	// scenario "oops": timeline[0] (burst): needs a positive durationSeconds
+}
+
+// Selectors pick event targets: everything, explicit indices, or a
+// strided half-open range — unioned, sorted, deduplicated.
+func ExampleSelector_Resolve() {
+	every := scenario.Selector{} // zero value selects all nodes
+	all, _ := every.Resolve(5)
+	fmt.Println(all)
+
+	striped := scenario.Selector{From: 0, To: 10, Every: 3, Indices: []int{4}}
+	picked, _ := striped.Resolve(10)
+	fmt.Println(picked)
+
+	_, err := scenario.Selector{Indices: []int{12}}.Resolve(10)
+	fmt.Println(err)
+	// Output:
+	// [0 1 2 3 4]
+	// [0 3 4 6 9]
+	// scenario: node index 12 outside [0, 10)
+}

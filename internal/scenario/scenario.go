@@ -1,18 +1,3 @@
-// Package scenario is the declarative layer of the dynamic-world engine:
-// a JSON-serializable Spec describes per-node heterogeneity and a timeline
-// of world events — node failures and revivals, battery service, traffic
-// shifts and bursts, channel-weather changes — layered on top of a base
-// core.Config. Compile lowers a Spec onto a concrete configuration by
-// materializing per-node overrides and translating the timeline into
-// core.WorldEvent hooks executed by the discrete-event engine, so a
-// scenario run is exactly as deterministic as a static one.
-//
-// The paper evaluates CAEM only on a static world (100 immobile nodes,
-// constant Poisson load, no failures); scenarios turn the simulator into a
-// general experimentation platform for the conditions the protocol was
-// actually designed to adapt to. The curated library under scenarios/
-// holds named Specs; the public entry points live in package caem
-// (caem.RunScenario, caem.RunCampaign).
 package scenario
 
 import (

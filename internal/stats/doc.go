@@ -1,0 +1,32 @@
+// Package stats is the streaming statistics engine behind every
+// replicated experiment: numerically stable mean/variance accumulation
+// (Welford's algorithm), two-sided Student-t confidence intervals, and
+// constant-memory P² quantile estimation.
+//
+// Everything is allocation-free in the steady state: the accumulators
+// are plain value types whose Add methods touch no heap, so they can
+// sit inside simulation hot paths (per-packet delay tracking) as well
+// as aggregate replicated run metrics at the experiment layer.
+//
+// The three accumulators:
+//
+//   - Welford — online mean and population variance with min/max, the
+//     shared base for simulation metrics that describe a complete
+//     population of packets or snapshots.
+//   - Stream — Welford plus the sample-statistics view for replicated
+//     experiments: unbiased sample variance and exact Student-t
+//     confidence intervals (critical values by incomplete-beta
+//     bisection, no table interpolation).
+//   - Quantile — the P² algorithm: a fixed five-marker estimate of any
+//     single quantile (the p95 delay tracker), O(1) memory regardless
+//     of observation count.
+//
+// NaN policy: statistics that are undefined for the observed sample
+// count return NaN rather than a misleading zero — SampleVariance and
+// every confidence-interval accessor need at least two observations
+// (one replicate carries no dispersion information), and quantiles of
+// an empty stream have no value. Callers render NaN as a bare mean or
+// "-". Welford's population Variance keeps its legacy 0-for-small-n
+// behaviour because the simulation metrics built on it (delay spread,
+// fairness index) treat "no spread observed" as 0.
+package stats

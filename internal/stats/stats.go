@@ -1,21 +1,3 @@
-// Package stats is the streaming statistics engine behind every
-// replicated experiment: numerically stable mean/variance accumulation
-// (Welford's algorithm), two-sided Student-t confidence intervals, and
-// constant-memory P² quantile estimation.
-//
-// Everything is allocation-free in the steady state: the accumulators
-// are plain value types whose Add methods touch no heap, so they can
-// sit inside simulation hot paths (per-packet delay tracking) as well
-// as aggregate replicated run metrics at the experiment layer.
-//
-// NaN policy: statistics that are undefined for the observed sample
-// count return NaN rather than a misleading zero — SampleVariance and
-// every confidence-interval accessor need at least two observations
-// (one replicate carries no dispersion information), and quantiles of
-// an empty stream have no value. Callers render NaN as a bare mean or
-// "-". Welford's population Variance keeps its legacy 0-for-small-n
-// behaviour because the simulation metrics built on it (delay spread,
-// fairness index) treat "no spread observed" as 0.
 package stats
 
 import "math"

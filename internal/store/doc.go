@@ -1,0 +1,37 @@
+// Package store is the persistent, append-only results store behind
+// campaign checkpoint/resume and the caem-serve service: each completed
+// (scenario, protocol, seed) campaign cell is one self-describing JSONL
+// record in results.jsonl, and an index file maps cell keys to byte
+// offsets so lookups stay O(1) without re-scanning the log.
+//
+// # Layout
+//
+// A store is a directory:
+//
+//	<dir>/results.jsonl   append-only log, one JSON Record per line
+//	<dir>/index.json      key → (offset, length) index, rewritten atomically
+//	<dir>/campaigns/      one JSON blob per campaign spec (service metadata)
+//
+// The log is the source of truth; the index is a cache. Open validates
+// the index against the log length, scans any records appended after the
+// last index flush, and rebuilds the index from scratch when it is
+// missing or stale. A torn tail — a partial or undecodable final line
+// left by a crash mid-append — is truncated away on Open and reported
+// via RecoveredBytes, so a killed campaign can always restart cleanly.
+//
+// # Durability and determinism
+//
+// Put appends one record, syncs the log, and checkpoints the index every
+// few dozen writes (and on Flush/Close). Records round-trip exactly:
+// encoding/json preserves float64 values bit-for-bit, which is what lets
+// a resumed campaign reproduce byte-identical aggregate output from
+// stored cells (see caem.RunCampaignWith and TestResumeEquivalence).
+//
+// Appends from concurrent campaign workers are serialized internally;
+// a Store is safe for concurrent use by one process. Multi-process
+// single-writer discipline is the caller's responsibility.
+//
+// The package is deliberately independent of the public caem API: it
+// stores flat Summary metrics and opaque campaign blobs, so the service
+// layer and the CLI share one on-disk format without an import cycle.
+package store

@@ -1,0 +1,470 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	dataFile     = "results.jsonl"
+	indexFile    = "index.json"
+	campaignsDir = "campaigns"
+
+	// recordVersion is the on-disk record format version.
+	recordVersion = 1
+	// indexFlushEvery bounds how many appended records an index
+	// checkpoint can trail behind; a crash re-scans at most this many
+	// log lines on the next Open.
+	indexFlushEvery = 64
+)
+
+// Key identifies one stored campaign cell. Hash is the caller-computed
+// content hash of everything that determines the cell's result besides
+// (Scenario, Protocol, Seed) — for caem campaigns, the normalized base
+// configuration plus the full scenario spec — so a stored cell is only
+// ever reused for a bit-identical rerun.
+type Key struct {
+	Hash     string
+	Scenario string
+	Protocol string
+	Seed     uint64
+}
+
+// String renders the canonical index key. Fields are escaped so that no
+// scenario or protocol name can alias another key.
+func (k Key) String() string {
+	return fmt.Sprintf("%s/%s/%s/%d",
+		url.PathEscape(k.Hash), url.PathEscape(k.Scenario), url.PathEscape(k.Protocol), k.Seed)
+}
+
+// validate reports the first structural problem with the key.
+func (k Key) validate() error {
+	switch {
+	case k.Hash == "":
+		return fmt.Errorf("store: key has empty hash")
+	case k.Scenario == "":
+		return fmt.Errorf("store: key has empty scenario")
+	case k.Protocol == "":
+		return fmt.Errorf("store: key has empty protocol")
+	}
+	return nil
+}
+
+// Summary is the flat per-run metric set stored with each cell: the
+// headline evaluation metrics every campaign report and aggregate is
+// built from. It deliberately excludes the bulky per-run detail (time
+// series, per-node outcomes, round reports) — a stored cell answers
+// "what did this run measure", not "replay everything it did".
+type Summary struct {
+	DurationSeconds        float64 `json:"durationSeconds"`
+	Rounds                 int     `json:"rounds"`
+	TotalConsumedJ         float64 `json:"totalConsumedJ"`
+	AvgRemainingJ          float64 `json:"avgRemainingJ"`
+	AliveAtEnd             int     `json:"aliveAtEnd"`
+	FirstDeathSeconds      float64 `json:"firstDeathSeconds,omitempty"`
+	FirstDeathValid        bool    `json:"firstDeathValid,omitempty"`
+	NetworkLifetimeSeconds float64 `json:"networkLifetimeSeconds,omitempty"`
+	NetworkDead            bool    `json:"networkDead,omitempty"`
+	EnergyPerPacketMilliJ  float64 `json:"energyPerPacketMilliJ"`
+	Generated              uint64  `json:"generated"`
+	Delivered              uint64  `json:"delivered"`
+	DroppedBuffer          uint64  `json:"droppedBuffer"`
+	DroppedRetry           uint64  `json:"droppedRetry"`
+	DeliveryRate           float64 `json:"deliveryRate"`
+	ThroughputKbps         float64 `json:"throughputKbps"`
+	MeanDelayMs            float64 `json:"meanDelayMs"`
+	P95DelayMs             float64 `json:"p95DelayMs"`
+	MaxDelayMs             float64 `json:"maxDelayMs"`
+	QueueStdDev            float64 `json:"queueStdDev"`
+	Collisions             uint64  `json:"collisions"`
+	ChannelFails           uint64  `json:"channelFails"`
+}
+
+// Record is one stored campaign cell: a self-describing line of
+// results.jsonl. Campaign is informative (which campaign first produced
+// the cell); lookups go through Key, so any campaign with the same
+// content hash reuses the cell.
+type Record struct {
+	V        int     `json:"v"`
+	Campaign string  `json:"campaign,omitempty"`
+	Hash     string  `json:"hash"`
+	Scenario string  `json:"scenario"`
+	Protocol string  `json:"protocol"`
+	Seed     uint64  `json:"seed"`
+	Summary  Summary `json:"summary"`
+}
+
+// Key returns the record's cell identity.
+func (r Record) Key() Key {
+	return Key{Hash: r.Hash, Scenario: r.Scenario, Protocol: r.Protocol, Seed: r.Seed}
+}
+
+// indexEntry locates one record line inside results.jsonl.
+type indexEntry struct {
+	K   string `json:"k"`
+	Off int64  `json:"off"`
+	Len int    `json:"len"`
+}
+
+// indexDoc is the on-disk index: the entries in append order plus the
+// log length they cover, so Open can detect staleness in O(1).
+type indexDoc struct {
+	V       int          `json:"v"`
+	Size    int64        `json:"size"`
+	Entries []indexEntry `json:"entries"`
+}
+
+// Store is an open results store. All methods are safe for concurrent
+// use within one process.
+type Store struct {
+	dir string
+
+	mu        sync.Mutex
+	f         *os.File
+	size      int64                 // current validated log length
+	index     map[string]indexEntry // key → latest record line
+	order     []Key                 // first-Put order, deduplicated
+	dirty     int                   // records appended since last index flush
+	recovered int64                 // torn-tail bytes dropped by Open
+}
+
+// Open opens (creating if needed) the store rooted at dir, loading the
+// index, scanning any log tail the index does not cover, and truncating
+// a torn final line if the previous writer crashed mid-append.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, campaignsDir), 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, dataFile), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, f: f, index: make(map[string]indexEntry)}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// load restores the in-memory index: from index.json when it is present
+// and consistent with the log, then by scanning whatever the index does
+// not cover. A stale-beyond-the-log index (the log was truncated behind
+// our back) is discarded and rebuilt from scratch.
+func (s *Store) load() error {
+	fi, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	logLen := fi.Size()
+
+	covered := int64(0)
+	if blob, err := os.ReadFile(filepath.Join(s.dir, indexFile)); err == nil {
+		var doc indexDoc
+		if json.Unmarshal(blob, &doc) == nil && doc.V == recordVersion && doc.Size <= logLen {
+			ok := true
+			for _, e := range doc.Entries {
+				if e.Off < 0 || e.Len <= 0 || e.Off+int64(e.Len) > doc.Size {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for _, e := range doc.Entries {
+					if _, dup := s.index[e.K]; !dup {
+						if k, err := s.keyAt(e); err == nil {
+							s.order = append(s.order, k)
+						} else {
+							ok = false
+							break
+						}
+					}
+					s.index[e.K] = e
+				}
+				if ok {
+					covered = doc.Size
+				}
+			}
+			if !ok { // undecodable entry: fall back to a full rebuild
+				s.index = make(map[string]indexEntry)
+				s.order = nil
+			}
+		}
+	}
+	return s.scan(covered, logLen)
+}
+
+// keyAt re-reads the record at an index entry and returns its Key —
+// used when rehydrating the append order from the index file.
+func (s *Store) keyAt(e indexEntry) (Key, error) {
+	var r Record
+	if err := s.readAt(e, &r); err != nil {
+		return Key{}, err
+	}
+	return r.Key(), nil
+}
+
+// scan decodes log records in [from, to), extending the index, and
+// truncates the log at the first torn or undecodable line.
+func (s *Store) scan(from, to int64) error {
+	s.size = from
+	if from >= to {
+		return nil
+	}
+	buf := make([]byte, to-from)
+	if _, err := s.f.ReadAt(buf, from); err != nil {
+		return fmt.Errorf("store: reading log tail: %w", err)
+	}
+	off := from
+	for len(buf) > 0 {
+		nl := bytes.IndexByte(buf, '\n')
+		if nl < 0 {
+			break // torn tail: no final newline
+		}
+		line := buf[:nl]
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil || r.V != recordVersion || r.Key().validate() != nil {
+			break // undecodable or wrong-version line: stop here
+		}
+		k := r.Key()
+		if _, dup := s.index[k.String()]; !dup {
+			s.order = append(s.order, k)
+		}
+		s.index[k.String()] = indexEntry{K: k.String(), Off: off, Len: nl + 1}
+		off += int64(nl + 1)
+		buf = buf[nl+1:]
+		s.size = off
+	}
+	if s.size < to {
+		s.recovered = to - s.size
+		if err := s.f.Truncate(s.size); err != nil {
+			return fmt.Errorf("store: truncating torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Len returns the number of distinct stored cells.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.order)
+}
+
+// RecoveredBytes reports how many torn-tail bytes Open dropped to
+// restore a consistent log (0 for a clean shutdown).
+func (s *Store) RecoveredBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.recovered
+}
+
+// Has reports whether a cell with the given key is stored.
+func (s *Store) Has(k Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.index[k.String()]
+	return ok
+}
+
+// Get returns the stored record for the key, reading exactly one log
+// line via the index (O(1) in the store size).
+func (s *Store) Get(k Key) (Record, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.index[k.String()]
+	if !ok {
+		return Record{}, false, nil
+	}
+	var r Record
+	if err := s.readAt(e, &r); err != nil {
+		return Record{}, false, err
+	}
+	return r, true, nil
+}
+
+// readAt decodes the record line at an index entry. Caller holds mu (or
+// is single-threaded during load).
+func (s *Store) readAt(e indexEntry, r *Record) error {
+	buf := make([]byte, e.Len)
+	if _, err := s.f.ReadAt(buf, e.Off); err != nil {
+		return fmt.Errorf("store: reading record at %d: %w", e.Off, err)
+	}
+	if err := json.Unmarshal(bytes.TrimSuffix(buf, []byte{'\n'}), r); err != nil {
+		return fmt.Errorf("store: corrupt record at %d: %w", e.Off, err)
+	}
+	return nil
+}
+
+// Put appends one record and updates the index. Re-putting an existing
+// key appends a fresh line and repoints the index at it (last write
+// wins), keeping the log append-only.
+func (s *Store) Put(r Record) error {
+	r.V = recordVersion
+	if err := r.Key().validate(); err != nil {
+		return err
+	}
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	line = append(line, '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.WriteAt(line, s.size); err != nil {
+		return fmt.Errorf("store: appending record: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	k := r.Key()
+	if _, dup := s.index[k.String()]; !dup {
+		s.order = append(s.order, k)
+	}
+	s.index[k.String()] = indexEntry{K: k.String(), Off: s.size, Len: len(line)}
+	s.size += int64(len(line))
+	s.dirty++
+	if s.dirty >= indexFlushEvery {
+		return s.flushIndexLocked()
+	}
+	return nil
+}
+
+// Keys returns every stored cell key in first-Put order.
+func (s *Store) Keys() []Key {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Key, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Records returns every stored record in first-Put order (for a re-put
+// key, the latest version).
+func (s *Store) Records() ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Record, 0, len(s.order))
+	for _, k := range s.order {
+		var r Record
+		if err := s.readAt(s.index[k.String()], &r); err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Flush checkpoints the index to disk (atomically: temp file + rename).
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.flushIndexLocked()
+}
+
+func (s *Store) flushIndexLocked() error {
+	doc := indexDoc{V: recordVersion, Size: s.size, Entries: make([]indexEntry, 0, len(s.order))}
+	for _, k := range s.order {
+		doc.Entries = append(doc.Entries, s.index[k.String()])
+	}
+	blob, err := json.Marshal(doc)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp := filepath.Join(s.dir, indexFile+".tmp")
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, indexFile)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.dirty = 0
+	return nil
+}
+
+// Close checkpoints the index and releases the log file handle.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ferr := s.flushIndexLocked()
+	cerr := s.f.Close()
+	if ferr != nil {
+		return ferr
+	}
+	if cerr != nil {
+		return fmt.Errorf("store: %w", cerr)
+	}
+	return nil
+}
+
+// campaignPath maps a campaign id to its blob file. Ids are escaped so
+// arbitrary identifiers cannot traverse outside the campaigns dir.
+func (s *Store) campaignPath(id string) (string, error) {
+	if id == "" {
+		return "", fmt.Errorf("store: empty campaign id")
+	}
+	return filepath.Join(s.dir, campaignsDir, url.PathEscape(id)+".json"), nil
+}
+
+// PutCampaign persists an opaque campaign spec blob under id
+// (atomically), creating or replacing it.
+func (s *Store) PutCampaign(id string, blob []byte) error {
+	path, err := s.campaignPath(id)
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// GetCampaign returns the campaign spec blob stored under id.
+func (s *Store) GetCampaign(id string) ([]byte, error) {
+	path, err := s.campaignPath(id)
+	if err != nil {
+		return nil, err
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: campaign %q: %w", id, err)
+	}
+	return blob, nil
+}
+
+// Campaigns returns the ids of every stored campaign spec, sorted.
+func (s *Store) Campaigns() ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(s.dir, campaignsDir))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	ids := make([]string, 0, len(entries))
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id, err := url.PathUnescape(strings.TrimSuffix(name, ".json"))
+		if err != nil {
+			continue // not one of ours
+		}
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids, nil
+}

@@ -1,0 +1,391 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// rec builds a distinct, fully populated record for index i.
+func rec(i int) Record {
+	return Record{
+		Campaign: "test",
+		Hash:     "deadbeef00112233",
+		Scenario: "node-churn",
+		Protocol: fmt.Sprintf("proto-%d", i%3),
+		Seed:     uint64(i),
+		Summary: Summary{
+			DurationSeconds:       600,
+			Rounds:                30 + i,
+			TotalConsumedJ:        123.4567890123 + float64(i)/3,
+			AvgRemainingJ:         0.1 * float64(i),
+			AliveAtEnd:            100 - i,
+			EnergyPerPacketMilliJ: 1.25 + float64(i)*0.001,
+			Generated:             uint64(1000 * i),
+			Delivered:             uint64(990 * i),
+			DeliveryRate:          0.99,
+			ThroughputKbps:        64.5,
+			MeanDelayMs:           12.75,
+			P95DelayMs:            40.5,
+			MaxDelayMs:            99.9,
+			QueueStdDev:           1.5,
+			Collisions:            uint64(i),
+		},
+	}
+}
+
+// TestRoundTrip: Put → Close → Open must return bit-identical records,
+// with order and O(1) lookups preserved across the restart.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 10
+	want := make([]Record, 0, n)
+	for i := 0; i < n; i++ {
+		r := rec(i)
+		if err := s.Put(r); err != nil {
+			t.Fatal(err)
+		}
+		r.V = recordVersion
+		want = append(want, r)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != n {
+		t.Fatalf("Len = %d, want %d", s2.Len(), n)
+	}
+	if s2.RecoveredBytes() != 0 {
+		t.Fatalf("clean reopen recovered %d bytes", s2.RecoveredBytes())
+	}
+	got, err := s2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("records diverged after reopen:\n got %+v\nwant %+v", got, want)
+	}
+	for i := 0; i < n; i++ {
+		r, ok, err := s2.Get(want[i].Key())
+		if err != nil || !ok {
+			t.Fatalf("Get(%v) = ok=%v err=%v", want[i].Key(), ok, err)
+		}
+		if !reflect.DeepEqual(r, want[i]) {
+			t.Fatalf("Get(%d) diverged", i)
+		}
+	}
+	if _, ok, _ := s2.Get(Key{Hash: "no", Scenario: "no", Protocol: "no"}); ok {
+		t.Fatal("Get of absent key reported ok")
+	}
+}
+
+// TestRePutLastWins: re-putting a key appends (the log stays
+// append-only) but lookups and Records return the latest version.
+func TestRePutLastWins(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rec(1)
+	if err := s.Put(r); err != nil {
+		t.Fatal(err)
+	}
+	r2 := r
+	r2.Summary.Delivered = 4242
+	if err := s.Put(r2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok, err := s2.Get(r.Key())
+	if err != nil || !ok {
+		t.Fatalf("Get = ok=%v err=%v", ok, err)
+	}
+	if got.Summary.Delivered != 4242 {
+		t.Fatalf("Delivered = %d, want the re-put value 4242", got.Summary.Delivered)
+	}
+}
+
+// TestTornTailRecovery: a crash mid-append leaves a partial final line;
+// Open must truncate it away, report the dropped bytes, and leave the
+// store appendable.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log := filepath.Join(dir, dataFile)
+	torn := []byte(`{"v":1,"hash":"deadbeef00112233","scenario":"node-ch`)
+	f, err := os.OpenFile(log, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(torn); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 3 {
+		t.Fatalf("Len after torn tail = %d, want 3", s2.Len())
+	}
+	if s2.RecoveredBytes() != int64(len(torn)) {
+		t.Fatalf("RecoveredBytes = %d, want %d", s2.RecoveredBytes(), len(torn))
+	}
+	// The log itself must be truncated so the next append is clean.
+	if err := s2.Put(rec(7)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if s3.Len() != 4 || s3.RecoveredBytes() != 0 {
+		t.Fatalf("after recovery+append: Len=%d recovered=%d, want 4, 0", s3.Len(), s3.RecoveredBytes())
+	}
+}
+
+// TestCorruptTailRecovery: a complete but undecodable line (torn write
+// that happened to include a newline, bitrot) truncates from that line.
+func TestCorruptTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Put(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the index so the corrupt line is inside the scanned region.
+	if err := os.Remove(filepath.Join(dir, indexFile)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, dataFile), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("{not json at all}\n")); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("Len after corrupt line = %d, want 2", s2.Len())
+	}
+	if s2.RecoveredBytes() == 0 {
+		t.Fatal("corrupt line was not reported as recovered")
+	}
+}
+
+// TestIndexRebuild: with index.json deleted, Open must rebuild the full
+// index from the log alone.
+func TestIndexRebuild(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		if err := s.Put(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, indexFile)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != n {
+		t.Fatalf("rebuilt Len = %d, want %d", s2.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if !s2.Has(rec(i).Key()) {
+			t.Fatalf("rebuilt index missing cell %d", i)
+		}
+	}
+}
+
+// TestStaleIndexTailScan: records appended after the last index flush
+// (simulating a crash before Close) must be picked up by the tail scan.
+func TestStaleIndexTailScan(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil { // index now covers 1 record
+		t.Fatal(err)
+	}
+	if err := s.Put(rec(1)); err != nil { // beyond the flushed index
+		t.Fatal(err)
+	}
+	// Simulate a crash: drop the handle without Close's index flush.
+	s.f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (tail record lost)", s2.Len())
+	}
+	if !s2.Has(rec(1).Key()) {
+		t.Fatal("tail-scanned record missing from index")
+	}
+}
+
+// TestIndexBeyondLogIsRebuilt: an index claiming more bytes than the log
+// holds (log truncated externally) must be discarded, not trusted.
+func TestIndexBeyondLogIsRebuilt(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := s.Put(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Truncate the log to its first two lines, keeping the stale index.
+	blob, err := os.ReadFile(filepath.Join(dir, dataFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut, lines := 0, 0
+	for i, b := range blob {
+		if b == '\n' {
+			lines++
+			if lines == 2 {
+				cut = i + 1
+				break
+			}
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, dataFile), blob[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 after external truncation", s2.Len())
+	}
+}
+
+// TestCampaignBlobs: campaign specs round-trip and enumerate.
+func TestCampaignBlobs(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.PutCampaign("camp-b", []byte(`{"b":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCampaign("camp-a", []byte(`{"a":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := s.Campaigns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ids, []string{"camp-a", "camp-b"}) {
+		t.Fatalf("Campaigns = %v", ids)
+	}
+	blob, err := s.GetCampaign("camp-a")
+	if err != nil || string(blob) != `{"a":1}` {
+		t.Fatalf("GetCampaign = %q, %v", blob, err)
+	}
+	if _, err := s.GetCampaign("absent"); err == nil {
+		t.Fatal("GetCampaign of absent id succeeded")
+	}
+}
+
+// TestPutRejectsEmptyKey: structural key validation fails loudly.
+func TestPutRejectsEmptyKey(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(Record{Scenario: "x", Protocol: "y"}); err == nil {
+		t.Fatal("Put with empty hash succeeded")
+	}
+}
+
+// TestKeyEscaping: metacharacters in key fields cannot alias another key.
+func TestKeyEscaping(t *testing.T) {
+	a := Key{Hash: "h", Scenario: "a/b", Protocol: "c", Seed: 1}
+	b := Key{Hash: "h", Scenario: "a", Protocol: "b/c", Seed: 1}
+	if a.String() == b.String() {
+		t.Fatalf("keys alias: %q", a.String())
+	}
+}

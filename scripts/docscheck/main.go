@@ -1,0 +1,334 @@
+// Command docscheck is the documentation quality gate behind
+// `make docs-check`. It fails the build when the documentation surface
+// rots:
+//
+//   - every package in the module must carry a package comment on a
+//     non-test file, so `go doc` is never empty;
+//   - every fenced ```go block in the given markdown files must build
+//     against the real module (complete files build as-is; statement
+//     snippets are wrapped in a function with inferred imports);
+//   - every fenced ```json block in the scenario docs must parse and
+//     validate through the real scenario loader.
+//
+// The Example* doc tests themselves run via `go test -run '^Example'`
+// in the same make target; docscheck covers what the test runner
+// cannot see.
+//
+// Usage:
+//
+//	docscheck -docs README.md,ARCHITECTURE.md,scenarios/SPEC.md -scenario-docs scenarios/SPEC.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+func main() {
+	var (
+		root         = flag.String("root", ".", "module root to scan")
+		docs         = flag.String("docs", "", "comma-separated markdown files whose ```go blocks must build")
+		scenarioDocs = flag.String("scenario-docs", "", "comma-separated markdown files whose ```json blocks must validate as scenario specs")
+	)
+	flag.Parse()
+
+	var problems []string
+
+	missing, err := packagesMissingDocs(*root)
+	if err != nil {
+		fatal(err)
+	}
+	for _, dir := range missing {
+		problems = append(problems, fmt.Sprintf("package %s has no package comment (add a doc.go)", dir))
+	}
+
+	var goBlocks []block
+	for _, f := range splitList(*docs) {
+		bs, err := extractBlocks(f, "go")
+		if err != nil {
+			fatal(err)
+		}
+		goBlocks = append(goBlocks, bs...)
+	}
+	if len(goBlocks) > 0 {
+		probs, err := buildGoBlocks(*root, goBlocks)
+		if err != nil {
+			fatal(err)
+		}
+		problems = append(problems, probs...)
+	}
+
+	nspecs := 0
+	for _, f := range splitList(*scenarioDocs) {
+		bs, err := extractBlocks(f, "json")
+		if err != nil {
+			fatal(err)
+		}
+		for _, b := range bs {
+			nspecs++
+			if _, err := scenario.Load(strings.NewReader(b.body)); err != nil {
+				problems = append(problems, fmt.Sprintf("%s:%d: scenario block does not validate: %v", b.file, b.line, err))
+			}
+		}
+	}
+
+	if len(problems) > 0 {
+		fmt.Fprintln(os.Stderr, "docscheck: FAIL")
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "  - "+p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: ok (%d packages documented, %d go blocks build, %d scenario blocks validate)\n",
+		packagesScanned, len(goBlocks), nspecs)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+	os.Exit(1)
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+var packagesScanned int
+
+// packagesMissingDocs walks every package directory under root and
+// returns those whose non-test files carry no package comment.
+func packagesMissingDocs(root string) ([]string, error) {
+	skip := map[string]bool{".git": true, "out": true, "testdata": true, ".github": true}
+	var missing []string
+
+	// Collect package dirs (any dir with a non-test .go file).
+	dirs := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if skip[d.Name()] && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			dir := filepath.Dir(path)
+			dirs[dir] = append(dirs[dir], path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sorted := make([]string, 0, len(dirs))
+	for dir := range dirs {
+		sorted = append(sorted, dir)
+	}
+	sort.Strings(sorted)
+	packagesScanned = len(sorted)
+
+	fset := token.NewFileSet()
+	for _, dir := range sorted {
+		documented := false
+		for _, file := range dirs[dir] {
+			f, err := parser.ParseFile(fset, file, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", file, err)
+			}
+			if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			missing = append(missing, dir)
+		}
+	}
+	return missing, nil
+}
+
+// block is one fenced code block.
+type block struct {
+	file string
+	line int // 1-based line of the opening fence
+	body string
+}
+
+// extractBlocks returns the fenced blocks of the given language.
+func extractBlocks(file, lang string) ([]block, error) {
+	blob, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		out     []block
+		cur     []string
+		curLine int
+		in      bool
+	)
+	for i, line := range strings.Split(string(blob), "\n") {
+		trimmed := strings.TrimSpace(line)
+		switch {
+		case !in && trimmed == "```"+lang:
+			in, cur, curLine = true, nil, i+1
+		case in && trimmed == "```":
+			in = false
+			out = append(out, block{file: file, line: curLine, body: strings.Join(cur, "\n") + "\n"})
+		case in:
+			cur = append(cur, line)
+		}
+	}
+	if in {
+		return nil, fmt.Errorf("%s:%d: unterminated ```%s block", file, curLine, lang)
+	}
+	return out, nil
+}
+
+// knownImports maps selector roots a doc snippet may use to their
+// import paths. Snippets keep to this vocabulary by construction; a new
+// root shows up as a build failure naming the undefined identifier.
+var knownImports = map[string]string{
+	"fmt":      "fmt",
+	"os":       "os",
+	"errors":   "errors",
+	"strings":  "strings",
+	"bytes":    "bytes",
+	"io":       "io",
+	"time":     "time",
+	"math":     "math",
+	"sort":     "sort",
+	"json":     "encoding/json",
+	"http":     "net/http",
+	"caem":     "repro/caem",
+	"scenario": "repro/internal/scenario",
+	"stats":    "repro/internal/stats",
+	"runner":   "repro/internal/runner",
+	"store":    "repro/internal/store",
+}
+
+// topLevelRe detects snippet bodies that already contain file-level
+// declarations and so must not be wrapped inside a function.
+var topLevelRe = regexp.MustCompile(`(?m)^(func|type|var|const)\s`)
+
+// wrapSnippet turns a statement-or-declaration snippet into a
+// compilable file with inferred imports.
+func wrapSnippet(body string) string {
+	var imports []string
+	for root, path := range knownImports {
+		if regexp.MustCompile(`\b` + root + `\.`).MatchString(body) {
+			imports = append(imports, path)
+		}
+	}
+	sort.Strings(imports)
+	var b strings.Builder
+	b.WriteString("package snippet\n\n")
+	if len(imports) > 0 {
+		b.WriteString("import (\n")
+		for _, p := range imports {
+			fmt.Fprintf(&b, "\t%q\n", p)
+		}
+		b.WriteString(")\n\n")
+	}
+	if topLevelRe.MatchString(body) {
+		b.WriteString(body)
+	} else {
+		b.WriteString("func _() {\n")
+		b.WriteString(body)
+		b.WriteString("}\n")
+	}
+	return b.String()
+}
+
+// buildGoBlocks materializes every block as its own package in a temp
+// module that replaces repro with the local checkout, then builds them
+// all in one `go build ./...`.
+func buildGoBlocks(root string, blocks []block) ([]string, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	tmp, err := os.MkdirTemp("", "docscheck")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	gomod := fmt.Sprintf("module docsnippets\n\ngo 1.24\n\nrequire repro v0.0.0\n\nreplace repro => %s\n", absRoot)
+	if err := os.WriteFile(filepath.Join(tmp, "go.mod"), []byte(gomod), 0o644); err != nil {
+		return nil, err
+	}
+
+	where := make(map[string]block, len(blocks)) // package dir name → origin
+	for i, b := range blocks {
+		src := b.body
+		if !strings.HasPrefix(strings.TrimSpace(src), "package ") {
+			src = wrapSnippet(src)
+		}
+		name := fmt.Sprintf("b%02d", i)
+		dir := filepath.Join(tmp, name)
+		if err := os.Mkdir(dir, 0o755); err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(filepath.Join(dir, "snippet.go"), []byte(src), 0o644); err != nil {
+			return nil, err
+		}
+		where[name] = b
+	}
+
+	// `go mod tidy` resolves the require/replace pair offline; `go vet`
+	// then fully type-checks every snippet package, main and non-main
+	// alike, without writing binaries (`go build -o dir ./...` silently
+	// skips non-main packages, and plain `go build ./...` drops main-
+	// package executables into the working directory).
+	for _, args := range [][]string{{"mod", "tidy"}, {"vet", "./..."}} {
+		cmd := exec.Command("go", args...)
+		cmd.Dir = tmp
+		cmd.Env = append(os.Environ(), "GOWORK=off", "GOFLAGS=-mod=mod")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			return attributeFailures(string(out), where), nil
+		}
+	}
+	return nil, nil
+}
+
+// attributeFailures maps compiler output lines back to the markdown
+// blocks they came from.
+func attributeFailures(out string, where map[string]block) []string {
+	var problems []string
+	seen := map[string]bool{}
+	for _, line := range strings.Split(out, "\n") {
+		for name, b := range where {
+			if strings.Contains(line, name+string(os.PathSeparator)+"snippet.go") && !seen[name] {
+				seen[name] = true
+				problems = append(problems, fmt.Sprintf("%s:%d: go block fails to build: %s", b.file, b.line, strings.TrimSpace(line)))
+			}
+		}
+	}
+	if len(problems) == 0 { // e.g. go.mod resolution failure
+		problems = append(problems, "doc snippet build failed:\n"+out)
+	}
+	sort.Strings(problems)
+	return problems
+}
