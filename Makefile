@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet lint bench bench-smoke bench-gate bench-compare profile determinism resume-check docs-check figures scenarios examples clean
+.PHONY: all build test race vet lint chaos bench bench-smoke bench-gate bench-compare profile determinism resume-check docs-check figures scenarios examples clean
 
 all: build test vet
 
@@ -11,7 +11,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/ ./internal/experiment/ ./caem/ ./cmd/caem-serve/
+	$(GO) test -race ./internal/runner/ ./internal/experiment/ ./internal/cluster/ ./caem/ ./cmd/caem-serve/
+
+# Cluster fault-tolerance gate: a campaign distributed to real worker
+# processes, one of which is SIGKILLed mid-lease, must produce a
+# byte-identical results document to the same campaign run
+# single-process with no faults. Race-enabled: the lease protocol and
+# the settlement sink are exactly where concurrency bugs would hide.
+chaos:
+	$(GO) test -race -count=1 -v -timeout 300s -run 'TestClusterChaos|TestTransientStoreFaultHealsInvisibly|TestChaos|TestDroppedHeartbeats' ./cmd/caem-serve/ ./internal/cluster/
 
 vet:
 	$(GO) vet ./...

@@ -1,0 +1,95 @@
+package caem
+
+import (
+	"math"
+	"testing"
+)
+
+// aggCell fabricates a summary-level cell with metric values that make
+// floating-point accumulation order observable: adding them to a
+// Welford stream in different orders drifts the final ulps.
+func aggCell(scenario string, p Protocol, seed uint64) CampaignCell {
+	f := float64(seed)
+	return CampaignCell{
+		Scenario: scenario,
+		Protocol: p,
+		Seed:     seed,
+		Result: Result{
+			Protocol:              p,
+			TotalConsumedJ:        1e8 + f*math.Pi,
+			DeliveryRate:          1 / (f + 3),
+			MeanDelayMs:           math.Sqrt(f + 2),
+			P95DelayMs:            math.Cbrt(f + 7),
+			EnergyPerPacketMilliJ: math.Log(f + 2),
+			AliveAtEnd:            int(90 + seed),
+		},
+	}
+}
+
+// TestStoreAggregatesCanonicalOrder: CampaignStore.Aggregates must be
+// independent of store append order (completion order when cells ran
+// concurrently) and exactly equal — not equal-modulo-ulps — to
+// aggregating the same cells in canonical submission order.
+func TestStoreAggregatesCanonicalOrder(t *testing.T) {
+	scenarios := []string{"alpha", "beta"}
+	protocols := []Protocol{PureLEACH, Scheme1}
+	seeds := []uint64{1, 2, 3, 4, 5}
+
+	// The canonical reference: submission order, as a serial
+	// RunCampaign would aggregate.
+	var canonical []CampaignCell
+	for _, sc := range scenarios {
+		for _, p := range protocols {
+			for _, seed := range seeds {
+				canonical = append(canonical, aggCell(sc, p, seed))
+			}
+		}
+	}
+	want := AggregateCampaign(canonical)
+
+	// Store the same cells in a scrambled "completion" order.
+	cs, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	perm := []int{13, 2, 19, 7, 0, 16, 9, 4, 11, 18, 1, 14, 6, 10, 3, 17, 8, 15, 5, 12}
+	if len(perm) != len(canonical) {
+		t.Fatalf("permutation covers %d cells, grid has %d", len(perm), len(canonical))
+	}
+	for _, i := range perm {
+		c := canonical[i]
+		c.Restored = false
+		if err := cs.PutCell("agg-test", "feedc0defeedc0de", c); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, err := cs.Aggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d aggregate groups, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.Scenario != w.Scenario || g.Protocol != w.Protocol || g.Seeds != w.Seeds {
+			t.Fatalf("group %d = %s/%s n=%d, want %s/%s n=%d",
+				i, g.Scenario, g.Protocol, g.Seeds, w.Scenario, w.Protocol, w.Seeds)
+		}
+		for name, pair := range map[string][2]Aggregate{
+			"consumedJ":    {g.ConsumedJ, w.ConsumedJ},
+			"deliveryRate": {g.DeliveryRate, w.DeliveryRate},
+			"meanDelayMs":  {g.MeanDelayMs, w.MeanDelayMs},
+			"p95DelayMs":   {g.P95DelayMs, w.P95DelayMs},
+			"energyPerPkt": {g.EnergyPerPacketMilliJ, w.EnergyPerPacketMilliJ},
+			"aliveAtEnd":   {g.AliveAtEnd, w.AliveAtEnd},
+		} {
+			if pair[0] != pair[1] {
+				t.Errorf("group %s/%s metric %s differs from canonical-order aggregation:\n got %+v\nwant %+v",
+					g.Scenario, g.Protocol, name, pair[0], pair[1])
+			}
+		}
+	}
+}

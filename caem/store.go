@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"repro/internal/store"
 )
@@ -128,11 +129,29 @@ func (cs *CampaignStore) Cells() ([]CampaignCell, error) {
 // Aggregates collapses every stored cell into per-(scenario, protocol)
 // statistical summaries — incremental aggregation over whatever the
 // store holds, without re-running anything.
+//
+// Cells are aggregated in canonical submission order — scenario name,
+// then protocol, then ascending seed — not in store append order. Store
+// append order is completion order when cells ran concurrently (or
+// arrived from cluster workers), and floating-point accumulation is not
+// associative, so order-dependent aggregation would match a serial
+// campaign's only modulo final-ulp drift. Canonical ordering makes the
+// aggregates of a clustered, parallel, or resumed campaign exactly
+// equal — byte-identical — to the serial run's.
 func (cs *CampaignStore) Aggregates() ([]CampaignAggregate, error) {
 	cells, err := cs.Cells()
 	if err != nil {
 		return nil, err
 	}
+	sort.SliceStable(cells, func(i, j int) bool {
+		if cells[i].Scenario != cells[j].Scenario {
+			return cells[i].Scenario < cells[j].Scenario
+		}
+		if cells[i].Protocol != cells[j].Protocol {
+			return cells[i].Protocol < cells[j].Protocol
+		}
+		return cells[i].Seed < cells[j].Seed
+	})
 	return AggregateCampaign(cells), nil
 }
 

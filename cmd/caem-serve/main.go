@@ -1,10 +1,21 @@
 // Command caem-serve is the always-on campaign service: an HTTP API
-// over a persistent, append-only results store and a bounded simulation
-// worker budget.
+// over a persistent, append-only results store and a fault-tolerant
+// cluster of simulation workers.
 //
 // Usage:
 //
 //	caem-serve -addr :8080 -store ./caem-store -workers 0
+//	caem-serve -join http://coordinator:8080 -workers 0
+//
+// The first form runs a coordinator: it owns the store, serves the
+// campaign API, and executes cells on its local worker budget. The
+// second form runs a worker process that joins an existing coordinator
+// over HTTP: it claims leases of campaign cells, executes them on its
+// own simulation pools, and pushes the results back. Workers hold no
+// state — they can be added, removed, or killed at any point; the
+// coordinator's lease/heartbeat protocol re-queues whatever a dead
+// worker was holding, and determinism makes the recomputed results
+// bit-identical.
 //
 // API:
 //
@@ -17,6 +28,9 @@
 //	                               mid-run and after restarts)
 //	GET  /campaigns/{id}/progress  NDJSON progress stream (curl -N)
 //	GET  /healthz                  liveness + store stats
+//	GET  /cluster/status           work queue, leases, workers, poisons
+//	POST /leases/...               the worker lease protocol (see
+//	                               internal/cluster)
 //
 // A campaign request names library scenarios (or embeds inline specs),
 // protocols, seeds, and partial config overrides:
@@ -33,27 +47,40 @@
 // service survives restarts: campaign specs live in the store, so a
 // restarted caem-serve re-registers every campaign, restores the cells
 // already on disk, and re-runs only what is missing. Results are
-// deterministic — a cell computed before a crash is bit-identical to
-// one computed after — so recovery changes nothing about the answers.
+// deterministic — a cell computed before a crash, after a crash, or on
+// any worker of the cluster is bit-identical — so failures and recovery
+// change nothing about the answers.
+//
+// On SIGTERM/SIGINT both modes drain gracefully: in-flight cells
+// finish (bounded by -drain), worker mode releases its leases back to
+// the coordinator, and the store flushes before exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
+	"sync"
 	"syscall"
+	"time"
 
 	"repro/caem"
+	"repro/internal/cluster"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
+		addr     = flag.String("addr", ":8080", "listen address (coordinator mode)")
 		storeDir = flag.String("store", "caem-store", "results-store directory (created if absent)")
 		workers  = flag.Int("workers", 0, "simulation worker budget (0 = one per CPU)")
+		join     = flag.String("join", "", "coordinator URL: run as a worker of that cluster instead of serving")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight cells")
+		leaseTTL = flag.Duration("lease-ttl", 0, "worker lease TTL before cells re-queue (0 = default 15s)")
 	)
 	flag.Parse()
 
@@ -61,41 +88,96 @@ func main() {
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
-	st, err := caem.OpenStore(*storeDir)
+	if *join != "" {
+		os.Exit(workerMode(*join, w, *drain))
+	}
+	os.Exit(serveMode(*addr, *storeDir, w, *drain, *leaseTTL))
+}
+
+// serveMode runs the coordinator: store, campaign API, local workers.
+func serveMode(addr, storeDir string, workers int, drain, leaseTTL time.Duration) int {
+	st, err := caem.OpenStore(storeDir)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if n := st.RecoveredBytes(); n > 0 {
 		fmt.Fprintf(os.Stderr, "caem-serve: store recovered from a torn tail (%d bytes dropped)\n", n)
 	}
-	srv, err := newServer(st, w)
+	srv, err := newServerWith(st, serverConfig{
+		workers: workers,
+		lease:   cluster.Options{LeaseTTL: leaseTTL},
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
 	fmt.Printf("caem-serve: listening on %s, store %s, %d workers, %d cells on disk\n",
-		*addr, st.Dir(), w, st.Len())
+		addr, st.Dir(), workers, st.Len())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	code := 0
 	select {
 	case err := <-done:
 		fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
-		srv.Close()
-		st.Close()
-		os.Exit(1)
+		code = 1
 	case <-sig:
-		fmt.Fprintln(os.Stderr, "caem-serve: shutting down (in-flight cells finish, pending cells resume on restart)")
-		httpSrv.Close()
-		srv.Close()
-		if err := st.Close(); err != nil {
-			fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
-			os.Exit(1)
+		fmt.Fprintf(os.Stderr, "caem-serve: draining (in-flight cells get %v; pending cells resume on restart)\n", drain)
+	}
+	httpSrv.Close()
+	if err := srv.Shutdown(drain); err != nil {
+		fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
+		code = 1
+	}
+	if err := st.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
+		code = 1
+	}
+	return code
+}
+
+// workerMode joins an existing coordinator: n executor loops claim
+// leases over HTTP until interrupted, then release them and exit.
+func workerMode(join string, n int, drain time.Duration) int {
+	remote := &cluster.Remote{Base: strings.TrimRight(join, "/")}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "worker"
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		w := &cluster.Worker{
+			Queue: remote,
+			Name:  fmt.Sprintf("%s-%d-%d", host, os.Getpid(), i),
 		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	fmt.Printf("caem-serve: %d workers joined %s\n", n, join)
+
+	<-ctx.Done()
+	fmt.Fprintf(os.Stderr, "caem-serve: draining (in-flight cells get %v, leases release to the coordinator)\n", drain)
+	drained := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return 0
+	case <-time.After(drain):
+		fmt.Fprintln(os.Stderr, "caem-serve: drain deadline passed; abandoning leases (they expire and re-queue)")
+		return 1
 	}
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -9,8 +10,10 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"time"
 
 	"repro/caem"
+	"repro/internal/cluster"
 )
 
 // campaignRequest is the POST /campaigns body: which scenarios to run
@@ -94,26 +97,36 @@ type campaignStatus struct {
 	Cells     []cellRef `json:"cells,omitempty"`
 }
 
-// job is one cell execution scheduled onto the server's worker budget.
-type job struct {
-	camp *campaign
-	idx  int // cell index within the campaign grid
-	sc   caem.Scenario
-	cfg  caem.Config // fully resolved: protocol and seed set
-	hash string
+// serverConfig tunes a server beyond the worker count: the cluster
+// fault-tolerance envelope and the chaos harness. The zero value means
+// production defaults, no local workers, no injected faults.
+type serverConfig struct {
+	// workers is the number of local executor loops (each owning a
+	// resident SimPool). 0 means coordinator-only: every cell is executed
+	// by workers that join over HTTP.
+	workers int
+	// lease configures the coordinator (zero value = defaults).
+	lease cluster.Options
+	// chaos, when non-nil, injects deterministic faults into both the
+	// local workers and the store-persistence sink.
+	chaos *cluster.Chaos
 }
 
 // server is the campaign service: an HTTP API over a persistent results
-// store and a bounded worker budget. Every worker goroutine owns a
-// resident caem.SimPool, so a stream of grid cells reuses simulation
-// contexts instead of rebuilding worlds; the store makes completed work
-// durable, and restart recovery re-schedules whatever is missing.
+// store and a fault-tolerant work-distribution coordinator. Cells flow
+// through lease/heartbeat scheduling (internal/cluster) whether they
+// run on local worker loops or on worker processes joined over HTTP;
+// the server is the coordinator's Sink, persisting every settled cell
+// and folding it back into campaign progress. The store makes completed
+// work durable, and restart recovery re-schedules whatever is missing.
 type server struct {
 	store   *caem.CampaignStore
 	workers int
 	mux     *http.ServeMux
-	jobs    chan job
+	coord   *cluster.Coordinator
+	chaos   *cluster.Chaos
 	quit    chan struct{}
+	cancel  context.CancelFunc // stops the local workers
 	wg      sync.WaitGroup
 
 	mu        sync.Mutex
@@ -122,95 +135,172 @@ type server struct {
 	closed    bool
 }
 
-// newServer starts the worker budget (workers ≤ 0 means one) and
-// recovers campaigns persisted in the store: completed ones become
-// queryable, interrupted ones resume from their stored cells.
+// newServer starts a self-contained server: workers local executor
+// loops (≤ 0 means one) and default cluster options.
 func newServer(st *caem.CampaignStore, workers int) (*server, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	return newServerWith(st, serverConfig{workers: workers})
+}
+
+// newServerWith starts the coordinator, recovers campaigns persisted in
+// the store (completed ones become queryable, interrupted ones resume
+// from their stored cells), and then starts the local workers.
+func newServerWith(st *caem.CampaignStore, cfg serverConfig) (*server, error) {
 	s := &server{
 		store:     st,
-		workers:   workers,
+		workers:   cfg.workers,
 		mux:       http.NewServeMux(),
-		jobs:      make(chan job),
+		chaos:     cfg.chaos,
 		quit:      make(chan struct{}),
 		campaigns: make(map[string]*campaign),
 	}
+	s.coord = cluster.NewCoordinator(s, cfg.lease)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /campaigns", s.handleCreate)
 	s.mux.HandleFunc("GET /campaigns", s.handleList)
 	s.mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
 	s.mux.HandleFunc("GET /campaigns/{id}/progress", s.handleProgress)
+	s.coord.RegisterHTTP(s.mux)
 
-	for w := 0; w < workers; w++ {
-		s.wg.Add(1)
-		go s.worker()
-	}
 	if err := s.recover(); err != nil {
-		s.Close()
+		s.coord.Stop()
 		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
+	for w := 0; w < cfg.workers; w++ {
+		wk := &cluster.Worker{
+			Queue: s.coord,
+			Name:  fmt.Sprintf("local-%d", w),
+			Poll:  50 * time.Millisecond,
+			Chaos: cfg.chaos,
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			wk.Run(ctx)
+		}()
 	}
 	return s, nil
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// Close stops accepting work, stops the workers, and checkpoints the
-// store index. In-flight cells finish; pending ones stay in the store's
-// debt and are re-scheduled by the next process via recover().
-func (s *server) Close() {
+// Close shuts down with no drain deadline: local workers finish their
+// in-flight cell and release their leases, then the store flushes.
+func (s *server) Close() { s.Shutdown(0) }
+
+// Shutdown stops accepting campaigns, cancels the local workers, and
+// waits up to drain (0 = indefinitely) for them to settle or release
+// their leases. The coordinator then stops sweeping and the store index
+// checkpoints; unfinished cells stay in the store's debt and are
+// re-scheduled by the next process via recover().
+func (s *server) Shutdown(drain time.Duration) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return
+		return nil
 	}
 	s.closed = true
 	s.mu.Unlock()
 	close(s.quit)
-	s.wg.Wait()
-	s.store.Flush()
-}
+	s.cancel()
 
-// worker executes cells from the shared budget on a resident SimPool.
-func (s *server) worker() {
-	defer s.wg.Done()
-	pool := caem.NewSimPool()
-	for {
+	drained := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(drained)
+	}()
+	var err error
+	if drain > 0 {
 		select {
-		case <-s.quit:
-			return
-		case j := <-s.jobs:
-			s.runJob(pool, j)
+		case <-drained:
+		case <-time.After(drain):
+			err = fmt.Errorf("drain deadline (%v) passed with cells still in flight", drain)
 		}
+	} else {
+		<-drained
 	}
+	s.coord.Stop()
+	s.store.Flush()
+	return err
 }
 
-// runJob executes one cell, persists it, and publishes progress.
-func (s *server) runJob(pool *caem.SimPool, j job) {
-	c := j.camp
-	c.setCellStatus(j.idx, "running", "")
-	res, err := pool.RunScenario(j.sc, j.cfg)
-	if err == nil {
-		cell := caem.CampaignCell{
-			Scenario: j.sc.Name,
-			Protocol: j.cfg.Protocol,
-			Seed:     j.cfg.Seed,
-			Result:   res,
-		}
-		err = s.store.PutCell(c.id, j.hash, cell)
-	}
+// ---- cluster.Sink: settlement callbacks from the coordinator ----
 
-	c.mu.Lock()
-	if err != nil {
-		c.cells[j.idx].Status, c.cells[j.idx].Error = "failed", err.Error()
-		c.failed++
-	} else {
-		c.cells[j.idx].Status = "done"
-		c.completed++
+// campaignByID is the sink-side campaign lookup.
+func (s *server) campaignByID(id string) *campaign {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.campaigns[id]
+}
+
+// CellStarted marks the cell running. A duplicate hand-out after a
+// lease expiry may arrive when the cell already settled; never downgrade
+// a terminal status.
+func (s *server) CellStarted(cell cluster.Cell) {
+	c := s.campaignByID(cell.Campaign)
+	if c == nil {
+		return
 	}
-	s.finishLocked(c, j.idx)
+	c.mu.Lock()
+	if st := c.cells[cell.Index].Status; st == "pending" || st == "running" {
+		c.cells[cell.Index].Status = "running"
+	}
+	c.mu.Unlock()
+}
+
+// CellDone persists the result and folds it into campaign progress. A
+// persistence failure is returned to the coordinator, which re-queues
+// the cell through the retry/backoff path — a transient store fault
+// must not lose the cell.
+func (s *server) CellDone(cell cluster.Cell, res *caem.Result) error {
+	if err := s.chaos.FailStorePutFor(cell); err != nil {
+		return err
+	}
+	cc := caem.CampaignCell{
+		Scenario: cell.Scenario.Name,
+		Protocol: cell.Config.Protocol,
+		Seed:     cell.Config.Seed,
+		Result:   *res,
+	}
+	if err := s.store.PutCell(cell.Campaign, cell.Hash, cc); err != nil {
+		return err
+	}
+	c := s.campaignByID(cell.Campaign)
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	if st := c.cells[cell.Index].Status; st == "done" || st == "restored" || st == "failed" {
+		c.mu.Unlock()
+		return nil
+	}
+	c.cells[cell.Index].Status = "done"
+	c.completed++
+	s.finishLocked(c, cell.Index)
+	return nil
+}
+
+// CellFailed marks a poisoned cell terminally failed: its retry budget
+// is spent and the campaign completes without it.
+func (s *server) CellFailed(cell cluster.Cell, attempts int, err error) {
+	c := s.campaignByID(cell.Campaign)
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if st := c.cells[cell.Index].Status; st == "done" || st == "restored" || st == "failed" {
+		c.mu.Unlock()
+		return
+	}
+	c.cells[cell.Index].Status = "failed"
+	c.cells[cell.Index].Error = fmt.Sprintf("poisoned after %d attempts: %v", attempts, err)
+	c.failed++
+	s.finishLocked(c, cell.Index)
 }
 
 // finishLocked updates campaign state after a cell settles and emits
@@ -254,18 +344,12 @@ func (s *server) finishLocked(c *campaign, idx int) {
 	}
 }
 
-func (c *campaign) setCellStatus(idx int, status, msg string) {
-	c.mu.Lock()
-	c.cells[idx].Status, c.cells[idx].Error = status, msg
-	c.mu.Unlock()
-}
-
 // plan resolves and fully validates a campaign request into an
 // unregistered campaign: scenarios, protocols, per-scenario configs and
 // content hashes, and the cell grid split against the store (cells
 // already present are restored up front — the service always resumes).
 // plan touches no server state, so a failed request leaves no trace.
-func (s *server) plan(id string, req campaignRequest) (*campaign, []job, error) {
+func (s *server) plan(id string, req campaignRequest) (*campaign, []cluster.Cell, error) {
 	scs, err := resolveScenarios(req)
 	if err != nil {
 		return nil, nil, err
@@ -310,7 +394,7 @@ func (s *server) plan(id string, req campaignRequest) (*campaign, []job, error) 
 
 	// Expand the grid in campaign submission order and split it into
 	// restored and pending cells.
-	var pending []job
+	var pending []cluster.Cell
 	for si, sc := range scs {
 		for _, p := range protocols {
 			for _, seed := range seeds {
@@ -322,7 +406,10 @@ func (s *server) plan(id string, req campaignRequest) (*campaign, []job, error) 
 				} else {
 					cfg := c.configs[si]
 					cfg.Protocol, cfg.Seed = p, seed
-					pending = append(pending, job{camp: c, idx: idx, sc: sc, cfg: cfg, hash: c.hashes[si]})
+					pending = append(pending, cluster.Cell{
+						Campaign: id, Index: idx, Hash: c.hashes[si],
+						Scenario: sc, Config: cfg,
+					})
 				}
 				c.cells = append(c.cells, ref)
 			}
@@ -351,23 +438,12 @@ func (s *server) register(c *campaign) (*campaign, error) {
 	return nil, nil
 }
 
-// schedule feeds the campaign's pending cells onto the shared worker
-// budget without blocking the caller.
-func (s *server) schedule(pending []job) {
-	if len(pending) == 0 {
-		return
+// schedule submits the campaign's pending cells to the coordinator for
+// lease-based distribution across local and joined workers.
+func (s *server) schedule(pending []cluster.Cell) {
+	if len(pending) > 0 {
+		s.coord.Submit(pending)
 	}
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for _, j := range pending {
-			select {
-			case s.jobs <- j:
-			case <-s.quit:
-				return
-			}
-		}
-	}()
 }
 
 // launch plans, registers, and schedules a campaign (the recovery

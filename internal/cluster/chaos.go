@@ -1,0 +1,82 @@
+package cluster
+
+import "time"
+
+// Chaos is the deterministic fault-injection harness. Every hook is
+// optional (nil = no fault) and configured explicitly by tests, so a
+// chaotic run is exactly reproducible: the same hooks injected into the
+// same campaign produce the same sequence of failures — and, by the
+// determinism contract, the same final report as a fault-free run.
+//
+// Hooks that carry state across calls (counters, per-cell budgets) must
+// be internally synchronized by the closure if shared between workers;
+// each hook is called from the goroutine experiencing the fault.
+type Chaos struct {
+	// FailCell, consulted before executing a cell, injects a transient
+	// cell failure: a non-nil error is reported to the coordinator as the
+	// cell's result instead of running it. Drives the retry/backoff and
+	// poison paths.
+	FailCell func(c Cell) error
+
+	// KillAfterCells, when positive, crashes the worker after it has
+	// executed this many cells: Worker.Run returns ErrWorkerKilled
+	// immediately, mid-lease, without completing or releasing — the
+	// in-process stand-in for SIGKILL. Recovery happens only through
+	// lease expiry.
+	KillAfterCells int
+
+	// DropRenewal, consulted before each heartbeat, drops the n-th
+	// renewal (1-based) of the lease when it returns true — simulating a
+	// lost heartbeat packet.
+	DropRenewal func(leaseID string, n int) bool
+
+	// DelayRenewal, consulted before each heartbeat, stalls the n-th
+	// renewal by the returned duration — simulating scheduling delay or
+	// network latency long enough to let a lease expire under a live
+	// worker.
+	DelayRenewal func(leaseID string, n int) time.Duration
+
+	// FailStorePut injects a transient store-write error when the
+	// coordinator's sink persists the cell (consulted by cmd/caem-serve's
+	// sink, not by the worker). The coordinator re-queues the cell
+	// through the same retry/backoff path as a reported cell failure.
+	FailStorePut func(c Cell) error
+}
+
+// failCell applies the FailCell hook, tolerating a nil receiver.
+func (ch *Chaos) failCell(c Cell) error {
+	if ch == nil || ch.FailCell == nil {
+		return nil
+	}
+	return ch.FailCell(c)
+}
+
+// shouldDie reports whether the worker has hit its kill budget.
+func (ch *Chaos) shouldDie(cellsRun int) bool {
+	return ch != nil && ch.KillAfterCells > 0 && cellsRun >= ch.KillAfterCells
+}
+
+// dropRenewal applies the DropRenewal hook, tolerating a nil receiver.
+func (ch *Chaos) dropRenewal(leaseID string, n int) bool {
+	return ch != nil && ch.DropRenewal != nil && ch.DropRenewal(leaseID, n)
+}
+
+// delayRenewal applies the DelayRenewal hook, tolerating a nil receiver.
+func (ch *Chaos) delayRenewal(leaseID string, n int) time.Duration {
+	if ch == nil || ch.DelayRenewal == nil {
+		return 0
+	}
+	return ch.DelayRenewal(leaseID, n)
+}
+
+// failStorePut applies the FailStorePut hook, tolerating a nil receiver.
+func (ch *Chaos) failStorePut(c Cell) error {
+	if ch == nil || ch.FailStorePut == nil {
+		return nil
+	}
+	return ch.FailStorePut(c)
+}
+
+// FailStorePutFor exposes the FailStorePut hook to sinks outside this
+// package (cmd/caem-serve) with nil-safety included.
+func (ch *Chaos) FailStorePutFor(c Cell) error { return ch.failStorePut(c) }

@@ -1,0 +1,447 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options tunes the coordinator's fault-tolerance envelope. The zero
+// value resolves to production-shaped defaults; tests and the chaos
+// harness shrink the timings to force expiry paths quickly.
+type Options struct {
+	// LeaseTTL is how long a lease survives without a renewal before its
+	// cells are presumed lost and re-queued. Default 15s.
+	LeaseTTL time.Duration
+	// SweepEvery is the expiry-check period. Default LeaseTTL/4.
+	SweepEvery time.Duration
+	// MaxAttempts bounds how many times a *failing* cell is retried
+	// before it is poisoned. (Lease expiry re-queues are not attempts: a
+	// dead worker says nothing about the cell.) Default 4.
+	MaxAttempts int
+	// BackoffBase is the first retry delay; attempt n waits
+	// BackoffBase·2^(n-1) plus deterministic jitter. Default 250ms.
+	BackoffBase time.Duration
+	// MaxBatch caps the cells in one lease. Default 8.
+	MaxBatch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 15 * time.Second
+	}
+	if o.SweepEvery <= 0 {
+		o.SweepEvery = o.LeaseTTL / 4
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 250 * time.Millisecond
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 8
+	}
+	return o
+}
+
+// lease is the coordinator's record of one outstanding batch.
+type lease struct {
+	id       string
+	worker   string
+	cells    []Cell
+	deadline time.Time
+	renews   int
+}
+
+// delayedCell is a failed cell waiting out its retry backoff.
+type delayedCell struct {
+	cell      Cell
+	notBefore time.Time
+}
+
+// workerInfo is per-worker observability state.
+type workerInfo struct {
+	lastSeen time.Time
+	settled  int
+}
+
+// PoisonReport records one terminally failed cell for /cluster/status.
+type PoisonReport struct {
+	Campaign string `json:"campaign"`
+	Index    int    `json:"index"`
+	Scenario string `json:"scenario"`
+	Protocol string `json:"protocol"`
+	Seed     uint64 `json:"seed"`
+	Attempts int    `json:"attempts"`
+	Error    string `json:"error"`
+}
+
+// Coordinator owns the cluster's work queue and lease table. All
+// methods are safe for concurrent use; Sink callbacks run under the
+// coordinator lock, serializing settlement with expiry sweeps.
+type Coordinator struct {
+	opts Options
+	sink Sink
+	now  func() time.Time // injectable clock (tests)
+
+	mu       sync.Mutex
+	queue    []Cell                 // ready to lease, FIFO
+	delayed  []delayedCell          // backing off after a failure
+	leases   map[string]*lease      // outstanding batches
+	attempts map[string]int         // reported failures per cell key
+	settled  map[string]bool        // terminally settled (done or poisoned)
+	workers  map[string]*workerInfo // per-worker stats
+	poisoned []PoisonReport
+	leaseSeq int
+	expired  int // leases reclaimed by the expiry sweep
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCoordinator starts a coordinator (including its expiry sweeper)
+// delivering settlement callbacks to sink. Stop it with Stop.
+func NewCoordinator(sink Sink, opts Options) *Coordinator {
+	c := &Coordinator{
+		opts:     opts.withDefaults(),
+		sink:     sink,
+		now:      time.Now,
+		leases:   make(map[string]*lease),
+		attempts: make(map[string]int),
+		settled:  make(map[string]bool),
+		workers:  make(map[string]*workerInfo),
+		stop:     make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.sweeper()
+	return c
+}
+
+// Stop halts the expiry sweeper. Outstanding leases stay claimable to
+// completion by in-flight workers; no new expiry reclaims happen.
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	select {
+	case <-c.stop:
+		c.mu.Unlock()
+		return
+	default:
+	}
+	close(c.stop)
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+func (c *Coordinator) sweeper() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.Sweep()
+		}
+	}
+}
+
+// Submit enqueues cells for distribution. Cells re-submitted after
+// already settling (a campaign re-planned across a coordinator restart)
+// are filtered out by the caller; the coordinator trusts its input.
+func (c *Coordinator) Submit(cells []Cell) {
+	c.mu.Lock()
+	c.queue = append(c.queue, cells...)
+	c.mu.Unlock()
+}
+
+// Claim hands the worker a lease of at most max cells, sized by guided
+// self-scheduling: roughly remaining/(2·workers), large while the queue
+// is deep and shrinking toward 1 as it drains, so a slow irregular cell
+// near the end cannot strand a big batch behind one worker.
+func (c *Coordinator) Claim(worker string, max int) (*Lease, error) {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[worker]
+	if w == nil {
+		w = &workerInfo{}
+		c.workers[worker] = w
+	}
+	w.lastSeen = now
+	c.promoteRipeLocked(now)
+	// Drop queue copies of cells that settled while re-queued: an expiry
+	// re-queue can race a late completion of the same cell, and handing
+	// the stale copy out again would only waste a worker.
+	if len(c.settled) > 0 {
+		q := c.queue[:0]
+		for _, cell := range c.queue {
+			if !c.settled[cell.Key()] {
+				q = append(q, cell)
+			}
+		}
+		c.queue = q
+	}
+	if len(c.queue) == 0 {
+		return nil, nil
+	}
+
+	n := (len(c.queue) + 2*len(c.workers) - 1) / (2 * len(c.workers))
+	if n < 1 {
+		n = 1
+	}
+	if n > c.opts.MaxBatch {
+		n = c.opts.MaxBatch
+	}
+	if max > 0 && n > max {
+		n = max
+	}
+	cells := make([]Cell, n)
+	copy(cells, c.queue[:n])
+	c.queue = c.queue[n:]
+
+	c.leaseSeq++
+	l := &lease{
+		id:       fmt.Sprintf("lease-%d", c.leaseSeq),
+		worker:   worker,
+		cells:    cells,
+		deadline: now.Add(c.opts.LeaseTTL),
+	}
+	c.leases[l.id] = l
+	for _, cell := range cells {
+		c.sink.CellStarted(cell)
+	}
+	return &Lease{ID: l.id, Worker: worker, Cells: cells, TTLMillis: c.opts.LeaseTTL.Milliseconds()}, nil
+}
+
+// promoteRipeLocked moves delayed cells whose backoff elapsed back onto
+// the ready queue. Caller holds mu.
+func (c *Coordinator) promoteRipeLocked(now time.Time) {
+	kept := c.delayed[:0]
+	for _, d := range c.delayed {
+		if !d.notBefore.After(now) {
+			c.queue = append(c.queue, d.cell)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	c.delayed = kept
+}
+
+// Renew extends the lease's heartbeat deadline.
+func (c *Coordinator) Renew(leaseID string) error {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[leaseID]
+	if !ok {
+		return ErrLeaseGone
+	}
+	l.deadline = now.Add(c.opts.LeaseTTL)
+	l.renews++
+	if w := c.workers[l.worker]; w != nil {
+		w.lastSeen = now
+	}
+	return nil
+}
+
+// Complete settles a lease with the worker's results. Against an
+// already-expired lease it returns ErrLeaseGone and discards the
+// results — the cells re-queued at expiry and will be recomputed
+// bit-identically, so dropping a late completion is always safe.
+func (c *Coordinator) Complete(leaseID string, results []CellResult) error {
+	return c.settle(leaseID, results, false)
+}
+
+// Release returns a lease early — the graceful-shutdown path. Finished
+// results settle normally; every other cell re-queues immediately with
+// no retry penalty and no wait for expiry.
+func (c *Coordinator) Release(leaseID string, results []CellResult) error {
+	return c.settle(leaseID, results, true)
+}
+
+func (c *Coordinator) settle(leaseID string, results []CellResult, partial bool) error {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[leaseID]
+	if !ok {
+		return ErrLeaseGone
+	}
+	delete(c.leases, leaseID)
+	w := c.workers[l.worker]
+	if w != nil {
+		w.lastSeen = now
+	}
+
+	byIndex := make(map[string]CellResult, len(results))
+	for _, r := range results {
+		byIndex[fmt.Sprintf("%s/%d", r.Campaign, r.Index)] = r
+	}
+	for _, cell := range l.cells {
+		key := cell.Key()
+		if c.settled[key] {
+			continue // duplicate execution after an expiry re-queue
+		}
+		r, have := byIndex[key]
+		switch {
+		case !have:
+			if !partial {
+				// A Complete that omits a leased cell is a worker bug, but
+				// losing the cell would hang its campaign forever; re-queue.
+				c.queue = append(c.queue, cell)
+				continue
+			}
+			c.queue = append(c.queue, cell) // released unfinished: no penalty
+		case r.Result != nil:
+			if err := c.sink.CellDone(cell, r.Result); err != nil {
+				c.retryLocked(cell, now, err) // transient store fault
+				continue
+			}
+			c.settled[key] = true
+			if w != nil {
+				w.settled++
+			}
+		default:
+			c.retryLocked(cell, now, fmt.Errorf("%s", r.Error))
+		}
+	}
+	return nil
+}
+
+// retryLocked schedules a failed cell's next attempt — exponential
+// backoff with deterministic jitter — or poisons it once the attempt
+// budget is spent. Caller holds mu.
+func (c *Coordinator) retryLocked(cell Cell, now time.Time, cause error) {
+	key := cell.Key()
+	c.attempts[key]++
+	n := c.attempts[key]
+	if n >= c.opts.MaxAttempts {
+		c.settled[key] = true
+		c.poisoned = append(c.poisoned, PoisonReport{
+			Campaign: cell.Campaign,
+			Index:    cell.Index,
+			Scenario: cell.Scenario.Name,
+			Protocol: cell.Config.Protocol.String(),
+			Seed:     cell.Config.Seed,
+			Attempts: n,
+			Error:    cause.Error(),
+		})
+		c.sink.CellFailed(cell, n, cause)
+		return
+	}
+	shift := n - 1
+	if shift > 6 {
+		shift = 6 // cap the exponent: 64× base is patient enough
+	}
+	delay := c.opts.BackoffBase << shift
+	delay += jitter(key, n, delay/2)
+	c.delayed = append(c.delayed, delayedCell{cell: cell, notBefore: now.Add(delay)})
+}
+
+// jitter derives a deterministic pseudo-random delay in [0, span] from
+// the cell key and attempt number, de-synchronizing retry herds without
+// sacrificing reproducibility.
+func jitter(key string, attempt int, span time.Duration) time.Duration {
+	if span <= 0 {
+		return 0
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s#%d", key, attempt)
+	return time.Duration(h.Sum64() % uint64(span+1))
+}
+
+// Sweep reclaims expired leases: every unsettled cell of a lease whose
+// deadline passed re-queues immediately. Runs on the sweeper ticker;
+// exposed for deterministic tests.
+func (c *Coordinator) Sweep() {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, l := range c.leases {
+		if l.deadline.After(now) {
+			continue
+		}
+		delete(c.leases, id)
+		c.expired++
+		for _, cell := range l.cells {
+			if !c.settled[cell.Key()] {
+				c.queue = append(c.queue, cell)
+			}
+		}
+	}
+	c.promoteRipeLocked(now)
+}
+
+// LeaseStatus is one outstanding lease in a Status snapshot.
+type LeaseStatus struct {
+	ID        string `json:"id"`
+	Worker    string `json:"worker"`
+	Cells     int    `json:"cells"`
+	Renews    int    `json:"renews"`
+	ExpiresMs int64  `json:"expiresInMs"`
+}
+
+// WorkerStatus is one worker's view in a Status snapshot.
+type WorkerStatus struct {
+	Name       string `json:"name"`
+	Settled    int    `json:"settled"`
+	LastSeenMs int64  `json:"lastSeenMsAgo"`
+}
+
+// Status is the /cluster/status observability snapshot.
+type Status struct {
+	Queue         int            `json:"queue"`
+	Delayed       int            `json:"delayed"`
+	Settled       int            `json:"settled"`
+	ExpiredLeases int            `json:"expiredLeases"`
+	Leases        []LeaseStatus  `json:"leases"`
+	Workers       []WorkerStatus `json:"workers"`
+	Poisoned      []PoisonReport `json:"poisoned,omitempty"`
+}
+
+// Status snapshots the coordinator for observability.
+func (c *Coordinator) Status() Status {
+	now := c.now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := Status{
+		Queue:         len(c.queue),
+		Delayed:       len(c.delayed),
+		Settled:       len(c.settled) - len(c.poisoned),
+		ExpiredLeases: c.expired,
+		Leases:        make([]LeaseStatus, 0, len(c.leases)),
+		Workers:       make([]WorkerStatus, 0, len(c.workers)),
+		Poisoned:      append([]PoisonReport(nil), c.poisoned...),
+	}
+	for _, l := range c.leases {
+		st.Leases = append(st.Leases, LeaseStatus{
+			ID:        l.id,
+			Worker:    l.worker,
+			Cells:     len(l.cells),
+			Renews:    l.renews,
+			ExpiresMs: l.deadline.Sub(now).Milliseconds(),
+		})
+	}
+	sort.Slice(st.Leases, func(i, j int) bool { return st.Leases[i].ID < st.Leases[j].ID })
+	for name, w := range c.workers {
+		st.Workers = append(st.Workers, WorkerStatus{
+			Name:       name,
+			Settled:    w.settled,
+			LastSeenMs: now.Sub(w.lastSeen).Milliseconds(),
+		})
+	}
+	sort.Slice(st.Workers, func(i, j int) bool { return st.Workers[i].Name < st.Workers[j].Name })
+	return st
+}
+
+// SetClock replaces the coordinator's time source — deterministic tests
+// drive expiry by advancing a fake clock and calling Sweep directly.
+func (c *Coordinator) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	c.now = now
+	c.mu.Unlock()
+}

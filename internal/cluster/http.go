@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Wire bodies of the lease protocol. Leases and results reuse the Lease
+// and CellResult JSON forms directly.
+type claimRequest struct {
+	Worker string `json:"worker"`
+	Max    int    `json:"max,omitempty"`
+}
+
+type settleRequest struct {
+	Results []CellResult `json:"results"`
+}
+
+// RegisterHTTP mounts the lease protocol and cluster observability on
+// mux:
+//
+//	POST /leases/claim         {"worker","max"} → 200 Lease | 204 no work
+//	POST /leases/{id}/renew    → 204 | 410 lease gone
+//	POST /leases/{id}/complete {"results":[...]} → 204 | 410
+//	POST /leases/{id}/release  {"results":[...]} → 204 | 410
+//	GET  /cluster/status       → Status
+//
+// 410 Gone maps to ErrLeaseGone on the Remote side: the worker drops
+// the batch and claims fresh work.
+func (c *Coordinator) RegisterHTTP(mux *http.ServeMux) {
+	mux.HandleFunc("POST /leases/claim", func(w http.ResponseWriter, r *http.Request) {
+		var req claimRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("bad claim body: %v", err), http.StatusBadRequest)
+			return
+		}
+		if req.Worker == "" {
+			http.Error(w, "claim needs a worker name", http.StatusBadRequest)
+			return
+		}
+		lease, err := c.Claim(req.Worker, req.Max)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if lease == nil {
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(lease)
+	})
+	mux.HandleFunc("POST /leases/{id}/renew", func(w http.ResponseWriter, r *http.Request) {
+		settleHTTP(w, c.Renew(r.PathValue("id")))
+	})
+	mux.HandleFunc("POST /leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
+		var req settleRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("bad complete body: %v", err), http.StatusBadRequest)
+			return
+		}
+		settleHTTP(w, c.Complete(r.PathValue("id"), req.Results))
+	})
+	mux.HandleFunc("POST /leases/{id}/release", func(w http.ResponseWriter, r *http.Request) {
+		var req settleRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("bad release body: %v", err), http.StatusBadRequest)
+			return
+		}
+		settleHTTP(w, c.Release(r.PathValue("id"), req.Results))
+	})
+	mux.HandleFunc("GET /cluster/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(c.Status())
+	})
+}
+
+func settleHTTP(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrLeaseGone):
+		http.Error(w, err.Error(), http.StatusGone)
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		w.WriteHeader(http.StatusNoContent)
+	}
+}
+
+// Remote is the worker-side Queue over HTTP: the client half of
+// RegisterHTTP, used by cmd/caem-serve -join.
+type Remote struct {
+	// Base is the coordinator's base URL (no trailing slash needed).
+	Base string
+	// Client overrides http.DefaultClient when non-nil.
+	Client *http.Client
+}
+
+func (r *Remote) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return http.DefaultClient
+}
+
+// post sends a JSON body and decodes a 2xx response into out (when
+// non-nil). 410 maps to ErrLeaseGone; 204 leaves out untouched.
+func (r *Remote) post(path string, body, out any) error {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	resp, err := r.client().Post(r.Base+path, "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusGone:
+		return ErrLeaseGone
+	case resp.StatusCode == http.StatusNoContent:
+		return nil
+	case resp.StatusCode >= 300:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Claim implements Queue.
+func (r *Remote) Claim(worker string, max int) (*Lease, error) {
+	blob, err := json.Marshal(claimRequest{Worker: worker, Max: max})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	resp, err := r.client().Post(r.Base+"/leases/claim", "application/json", bytes.NewReader(blob))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNoContent:
+		return nil, nil
+	case resp.StatusCode >= 300:
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("cluster: claim: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	var lease Lease
+	if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
+		return nil, fmt.Errorf("cluster: decoding lease: %w", err)
+	}
+	return &lease, nil
+}
+
+// Renew implements Queue.
+func (r *Remote) Renew(leaseID string) error {
+	return r.post("/leases/"+leaseID+"/renew", struct{}{}, nil)
+}
+
+// Complete implements Queue.
+func (r *Remote) Complete(leaseID string, results []CellResult) error {
+	return r.post("/leases/"+leaseID+"/complete", settleRequest{Results: results}, nil)
+}
+
+// Release implements Queue.
+func (r *Remote) Release(leaseID string, results []CellResult) error {
+	return r.post("/leases/"+leaseID+"/release", settleRequest{Results: results}, nil)
+}
+
+// WaitIdle polls the coordinator until it reports no queued, delayed,
+// or leased work, or the timeout elapses — a convenience for tests and
+// scripted drains.
+func (r *Remote) WaitIdle(timeout, poll time.Duration) (Status, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := r.client().Get(r.Base + "/cluster/status")
+		if err == nil {
+			var st Status
+			derr := json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if derr == nil && st.Queue == 0 && st.Delayed == 0 && len(st.Leases) == 0 {
+				return st, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return Status{}, fmt.Errorf("cluster: coordinator not idle after %v", timeout)
+		}
+		time.Sleep(poll)
+	}
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"repro/caem"
+)
+
+// ErrWorkerKilled is returned by Worker.Run when the Chaos kill budget
+// fires: the worker "dies" mid-lease without completing or releasing,
+// so its cells can only come back through heartbeat expiry.
+var ErrWorkerKilled = errors.New("cluster: worker killed by chaos injection")
+
+// Worker pulls leases from a Queue and executes their cells on a
+// resident caem.SimPool. One Worker drives one executor loop; run
+// several (each with its own Worker value) to use more cores. Workers
+// are stateless between leases — all fault tolerance lives with the
+// coordinator — so a worker process can appear, disappear, or be killed
+// at any point without corrupting a campaign.
+type Worker struct {
+	// Queue distributes the work: the Coordinator itself for in-process
+	// workers, a Remote for workers joined over HTTP.
+	Queue Queue
+	// Name identifies the worker in leases and /cluster/status.
+	Name string
+	// Poll is the idle re-claim interval when no work is available
+	// (default 200ms).
+	Poll time.Duration
+	// MaxBatch caps how many cells one claim may return (default: the
+	// coordinator's batch limit).
+	MaxBatch int
+	// Chaos, when non-nil, injects deterministic faults.
+	Chaos *Chaos
+
+	cellsRun int
+}
+
+// Run claims and executes leases until ctx is cancelled. Cancellation
+// is graceful: the in-flight cell finishes, then the lease is released
+// — finished results settle, unfinished cells re-queue immediately for
+// other workers — and Run returns nil. A Queue error (coordinator
+// unreachable) is retried at the poll interval rather than returned, so
+// a worker survives coordinator restarts.
+func (w *Worker) Run(ctx context.Context) error {
+	pool := caem.NewSimPool()
+	poll := w.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		if w.Chaos.shouldDie(w.cellsRun) {
+			// Kill budget spent between leases: die here rather than
+			// claiming (and stranding) more work.
+			return ErrWorkerKilled
+		}
+		lease, err := w.Queue.Claim(w.Name, w.MaxBatch)
+		if err != nil || lease == nil {
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+			continue
+		}
+		if err := w.runLease(ctx, pool, lease); err != nil {
+			return err
+		}
+	}
+}
+
+// runLease executes one lease under a heartbeat, then settles it.
+func (w *Worker) runLease(ctx context.Context, pool *caem.SimPool, l *Lease) error {
+	// Heartbeat: renew at TTL/3 until the lease settles. A lost lease
+	// (ErrLeaseGone) flips gone so the executor abandons the rest of the
+	// batch — the coordinator has already re-queued it.
+	var gone atomic.Bool
+	hbStop := make(chan struct{})
+	hbDone := make(chan struct{})
+	ttl := time.Duration(l.TTLMillis) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 15 * time.Second
+	}
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for n := 1; ; n++ {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+			}
+			if w.Chaos.dropRenewal(l.ID, n) {
+				continue
+			}
+			if d := w.Chaos.delayRenewal(l.ID, n); d > 0 {
+				select {
+				case <-hbStop:
+					return
+				case <-time.After(d):
+				}
+			}
+			if err := w.Queue.Renew(l.ID); errors.Is(err, ErrLeaseGone) {
+				gone.Store(true)
+				return
+			}
+		}
+	}()
+	stopHeartbeat := func() {
+		close(hbStop)
+		<-hbDone
+	}
+
+	results := make([]CellResult, 0, len(l.Cells))
+	for _, cell := range l.Cells {
+		if w.Chaos.shouldDie(w.cellsRun) {
+			stopHeartbeat() // SIGKILL stand-in: heartbeats stop with the process
+			return ErrWorkerKilled
+		}
+		if gone.Load() {
+			break // lease expired under us; the batch is someone else's now
+		}
+		r := CellResult{Campaign: cell.Campaign, Index: cell.Index}
+		if err := w.Chaos.failCell(cell); err != nil {
+			r.Error = err.Error()
+		} else if res, err := pool.RunScenario(cell.Scenario, cell.Config); err != nil {
+			r.Error = err.Error()
+		} else {
+			r.Result = &res
+		}
+		w.cellsRun++
+		results = append(results, r)
+		if ctx.Err() != nil {
+			break // graceful shutdown: release what we have
+		}
+	}
+	stopHeartbeat()
+
+	if gone.Load() {
+		return nil // nothing to settle; results are recomputed elsewhere
+	}
+	if ctx.Err() != nil || len(results) < len(l.Cells) {
+		w.Queue.Release(l.ID, results)
+		return nil
+	}
+	// Complete's only failure mode that matters is a lost lease, and
+	// dropping the batch is the correct response to it either way.
+	w.Queue.Complete(l.ID, results)
+	return nil
+}

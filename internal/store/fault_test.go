@@ -1,0 +1,212 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestAppendFaultIsTypedAndRecoverable: an injected append error must
+// surface as a *WriteError with Op "append", leave the log untouched,
+// and the same Put must succeed once the fault clears — the retry path
+// the cluster layer leans on for transient store faults.
+func TestAppendFaultIsTypedAndRecoverable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("disk on fire")
+	s.SetFault(func(op string) error {
+		if op == "append" {
+			return boom
+		}
+		return nil
+	})
+	err = s.Put(rec(1))
+	var we *WriteError
+	if !errors.As(err, &we) || we.Op != "append" || !errors.Is(err, boom) {
+		t.Fatalf("faulted Put = %v, want *WriteError{Op: append} wrapping cause", err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("failed append mutated the index: %d cells", s.Len())
+	}
+
+	s.SetFault(nil)
+	if err := s.Put(rec(1)); err != nil {
+		t.Fatalf("Put after fault cleared: %v", err)
+	}
+	got, ok, err := s.Get(rec(1).Key())
+	if err != nil || !ok {
+		t.Fatalf("Get after recovery = %v, %v", ok, err)
+	}
+	want := rec(1)
+	want.V = recordVersion
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered record differs:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestSyncFaultThenReopen: a fault between write and fsync means the
+// store did not acknowledge the record (typed error, not indexed), yet
+// the bytes may have reached the log — like a crash where the kernel
+// flushed anyway. Reopen must absorb the orphan line cleanly: the
+// record is complete and valid, so the scan legitimately adopts it.
+func TestSyncFaultThenReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(rec(0)); err != nil {
+		t.Fatal(err)
+	}
+	s.SetFault(func(op string) error {
+		if op == "sync" {
+			return errors.New("fsync lost power")
+		}
+		return nil
+	})
+	err = s.Put(rec(1))
+	var we *WriteError
+	if !errors.As(err, &we) || we.Op != "sync" {
+		t.Fatalf("sync-faulted Put = %v, want *WriteError{Op: sync}", err)
+	}
+	if s.Has(rec(1).Key()) {
+		t.Fatal("unacknowledged record is visible before reopen")
+	}
+	s.SetFault(nil)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after sync fault: %v", err)
+	}
+	defer s2.Close()
+	if s2.RecoveredBytes() != 0 {
+		t.Fatalf("complete orphan line reported as torn: %d bytes", s2.RecoveredBytes())
+	}
+	if !s2.Has(rec(0).Key()) || !s2.Has(rec(1).Key()) {
+		t.Fatalf("reopen lost records: len=%d", s2.Len())
+	}
+	if err := s2.Put(rec(2)); err != nil {
+		t.Fatalf("Put on reopened store: %v", err)
+	}
+}
+
+// TestIndexFaultIsTypedAndLogSurvives: an injected index-checkpoint
+// error must be a *WriteError with Op "index", and because the log is
+// the source of truth, every record must still survive a reopen that
+// rebuilds the index from scratch.
+func TestIndexFaultIsTypedAndLogSurvives(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.SetFault(func(op string) error {
+		if op == "index" {
+			return errors.New("index partition read-only")
+		}
+		return nil
+	})
+	err = s.Flush()
+	var we *WriteError
+	if !errors.As(err, &we) || we.Op != "index" {
+		t.Fatalf("faulted Flush = %v, want *WriteError{Op: index}", err)
+	}
+	// Close reports the same typed failure but still releases the file.
+	if err := s.Close(); err == nil || !errors.As(err, &we) {
+		t.Fatalf("faulted Close = %v, want *WriteError", err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("reopen after index fault: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 5 {
+		t.Fatalf("reopen holds %d cells, want 5", s2.Len())
+	}
+	for i := 0; i < 5; i++ {
+		if !s2.Has(rec(i).Key()) {
+			t.Fatalf("record %d lost after index fault", i)
+		}
+	}
+}
+
+// TestMidAppendCrashRecovery extends the torn-tail suite: a writer that
+// dies mid-append leaves a partial line (no terminating newline, or
+// truncated JSON); reopen must drop exactly the torn bytes, keep every
+// earlier record, and accept new appends — and a second crash at the
+// same spot must recover just as cleanly.
+func TestMidAppendCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate dying mid-append twice in a row: each reopen must truncate
+	// the torn bytes and leave a log the next writer can extend.
+	for crash := 0; crash < 2; crash++ {
+		f, err := os.OpenFile(filepath.Join(dir, dataFile), os.O_APPEND|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		torn := fmt.Sprintf(`{"v":1,"campaign":"test","hash":"deadbeef","scenario":"node-churn","protocol":"p","seed":%d,"summ`, 90+crash)
+		if _, err := f.WriteString(torn); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		s, err = Open(dir)
+		if err != nil {
+			t.Fatalf("crash %d: reopen: %v", crash, err)
+		}
+		if got := s.RecoveredBytes(); got != int64(len(torn)) {
+			t.Fatalf("crash %d: recovered %d bytes, want %d", crash, got, len(torn))
+		}
+		if s.Len() != 3+crash {
+			t.Fatalf("crash %d: %d cells survive, want %d", crash, s.Len(), 3+crash)
+		}
+		if err := s.Put(rec(10 + crash)); err != nil {
+			t.Fatalf("crash %d: append after recovery: %v", crash, err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 5 {
+		t.Fatalf("final store holds %d cells, want 5", s.Len())
+	}
+}

@@ -25,6 +25,18 @@ const (
 	indexFlushEvery = 64
 )
 
+// WriteError wraps a failure to make stored data durable: appending a
+// record line ("append"), fsyncing the log ("sync"), or checkpointing
+// the index ("index"). Callers that retry transient storage faults can
+// detect it with errors.As; Unwrap exposes the underlying cause.
+type WriteError struct {
+	Op  string // "append" | "sync" | "index"
+	Err error
+}
+
+func (e *WriteError) Error() string { return fmt.Sprintf("store: %s: %v", e.Op, e.Err) }
+func (e *WriteError) Unwrap() error { return e.Err }
+
 // Key identifies one stored campaign cell. Hash is the caller-computed
 // content hash of everything that determines the cell's result besides
 // (Scenario, Protocol, Seed) — for caem campaigns, the normalized base
@@ -133,6 +145,35 @@ type Store struct {
 	order     []Key                 // first-Put order, deduplicated
 	dirty     int                   // records appended since last index flush
 	recovered int64                 // torn-tail bytes dropped by Open
+	fault     func(op string) error // injected write fault (tests)
+}
+
+// SetFault installs a write-fault injector consulted before each log
+// append ("append"), log fsync ("sync"), and index checkpoint ("index").
+// A non-nil return surfaces from Put/Flush/Close as a *WriteError with
+// that Op. Fault-injection instrumentation for tests; pass nil to clear.
+//
+// The injection points model real partial-failure windows: an "append"
+// fault fails before any byte is written (the log is untouched); a
+// "sync" fault fails after the line hit the page cache but before the
+// store acknowledged it, so the record is not indexed in this process
+// but — exactly like a crash between write and fsync that the kernel
+// nevertheless flushed — may legitimately reappear on reopen.
+func (s *Store) SetFault(f func(op string) error) {
+	s.mu.Lock()
+	s.fault = f
+	s.mu.Unlock()
+}
+
+// faultAt reports the injected fault for op, if any. Caller holds mu.
+func (s *Store) faultAt(op string) error {
+	if s.fault == nil {
+		return nil
+	}
+	if err := s.fault(op); err != nil {
+		return &WriteError{Op: op, Err: err}
+	}
+	return nil
 }
 
 // Open opens (creating if needed) the store rooted at dir, loading the
@@ -322,11 +363,17 @@ func (s *Store) Put(r Record) error {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.faultAt("append"); err != nil {
+		return err
+	}
 	if _, err := s.f.WriteAt(line, s.size); err != nil {
-		return fmt.Errorf("store: appending record: %w", err)
+		return &WriteError{Op: "append", Err: err}
+	}
+	if err := s.faultAt("sync"); err != nil {
+		return err
 	}
 	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return &WriteError{Op: "sync", Err: err}
 	}
 	k := r.Key()
 	if _, dup := s.index[k.String()]; !dup {
@@ -374,6 +421,9 @@ func (s *Store) Flush() error {
 }
 
 func (s *Store) flushIndexLocked() error {
+	if err := s.faultAt("index"); err != nil {
+		return err
+	}
 	doc := indexDoc{V: recordVersion, Size: s.size, Entries: make([]indexEntry, 0, len(s.order))}
 	for _, k := range s.order {
 		doc.Entries = append(doc.Entries, s.index[k.String()])
@@ -384,10 +434,10 @@ func (s *Store) flushIndexLocked() error {
 	}
 	tmp := filepath.Join(s.dir, indexFile+".tmp")
 	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return &WriteError{Op: "index", Err: err}
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, indexFile)); err != nil {
-		return fmt.Errorf("store: %w", err)
+		return &WriteError{Op: "index", Err: err}
 	}
 	s.dirty = 0
 	return nil
