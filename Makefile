@@ -1,17 +1,23 @@
 GO ?= go
 
-.PHONY: all build test race vet lint chaos bench bench-smoke bench-gate bench-compare profile determinism resume-check docs-check figures scenarios examples clean
+# Build version stamped into caem-serve (-version, /healthz, and the
+# caem_build_info metric) at link time. Defaults to git describe so a
+# local build is traceable to a commit; release pipelines override:
+#   make build VERSION=v1.2.3
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+
+.PHONY: all build test race vet lint chaos bench bench-smoke bench-gate bench-compare profile determinism resume-check docs-check obs-check figures scenarios examples clean
 
 all: build test vet
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags "-X main.version=$(VERSION)" ./...
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/runner/ ./internal/experiment/ ./internal/cluster/ ./caem/ ./cmd/caem-serve/
+	$(GO) test -race ./internal/runner/ ./internal/experiment/ ./internal/cluster/ ./internal/obs/ ./internal/store/ ./caem/ ./cmd/caem-serve/
 
 # Cluster fault-tolerance gate: a campaign distributed to real worker
 # processes, one of which is SIGKILLed mid-lease, must produce a
@@ -43,20 +49,25 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench BenchmarkFigure9_NodesAlive -benchtime 1x .
 
 # Bench regression guard: the gated benchmarks (hot-path ns per
-# simulated second, the scenario engine, and the Figure 9 replication
-# grid) must stay within BENCH_GATE_FACTOR x the committed BENCH_4.json
-# baseline on ns/op and BENCH_ALLOC_FACTOR x on allocs/op. The time
-# bound is loose by design: the baseline was recorded on one machine and
-# CI runners differ and are noisy, so the gate catches order-of-
-# magnitude regressions (allocation storms, accidental complexity), not
-# jitter; allocation counts are nearly deterministic, so their bound is
-# tighter. Override either factor without a code change if a runner
-# generation shifts the cross-machine ratio:
+# simulated second, the scenario engine, the Figure 9 replication grid,
+# and the obs instrument hot path) must stay within BENCH_GATE_FACTOR x
+# the committed BENCH_5.json baseline on ns/op and BENCH_ALLOC_FACTOR x
+# on allocs/op. The time bound is loose by design: the baseline was
+# recorded on one machine and CI runners differ and are noisy, so the
+# gate catches order-of-magnitude regressions (allocation storms,
+# accidental complexity), not jitter; allocation counts are nearly
+# deterministic, so their bound is tighter — and the series matched by
+# BENCH_EXACT_ALLOCS get no slack at all: the simulated-second hot path
+# must stay at exactly 4 allocs/op and the metrics update path at
+# exactly 0, proving instrumentation never leaked into the engine.
+# Override either factor without a code change if a runner generation
+# shifts the cross-machine ratio:
 #   make bench-gate BENCH_GATE_FACTOR=4
 BENCH_GATE_FACTOR ?= 2.5
 BENCH_ALLOC_FACTOR ?= 2.0
+BENCH_EXACT_ALLOCS ?= ^(BenchmarkSimulatedSecond/|BenchmarkMetricsHotPath$$)
 bench-gate:
-	$(GO) run ./scripts/benchgate -baseline BENCH_4.json -factor $(BENCH_GATE_FACTOR) -allocfactor $(BENCH_ALLOC_FACTOR)
+	$(GO) run ./scripts/benchgate -baseline BENCH_5.json -factor $(BENCH_GATE_FACTOR) -allocfactor $(BENCH_ALLOC_FACTOR) -exactallocs '$(BENCH_EXACT_ALLOCS)'
 
 # Bench comparator (CI artifact): run the gated benchmarks and print a
 # benchstat-style delta table against the committed baseline. Never
@@ -64,7 +75,7 @@ bench-gate:
 # not a gate.
 bench-compare:
 	@mkdir -p out
-	$(GO) run ./scripts/benchgate -baseline BENCH_4.json -gate=false -report out/bench-compare.txt
+	$(GO) run ./scripts/benchgate -baseline BENCH_5.json -gate=false -report out/bench-compare.txt
 
 # Capture pprof CPU + allocation profiles for the gated benchmarks into
 # out/profiles/. Inspect with `go tool pprof out/profiles/<name>.cpu`.
@@ -112,6 +123,13 @@ resume-check:
 docs-check:
 	$(GO) test -run '^Example' ./...
 	$(GO) run ./scripts/docscheck -docs README.md,ARCHITECTURE.md,scenarios/SPEC.md -scenario-docs scenarios/SPEC.md
+
+# Observability gate: the full metric catalog (coordinator + worker +
+# store + HTTP + build info, assembled from the same Register*
+# functions production uses) must pass the naming lint and its text
+# exposition must round-trip through the strict Prometheus parser.
+obs-check:
+	$(GO) run ./scripts/obscheck
 
 # Regenerate every paper artifact (tables, figures, ablations) into out/.
 figures:

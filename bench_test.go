@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/obs"
 	"repro/internal/queueing"
 	"repro/internal/scenario"
 	"repro/internal/sim"
@@ -122,6 +123,36 @@ func BenchmarkScenarioSecond(b *testing.B) {
 }
 
 func benchFloat(v float64) *float64 { return &v }
+
+// BenchmarkMetricsHotPath measures one round of the instrument updates
+// the cluster and store emit per settled cell — counter Inc/Add, gauge
+// Set, histogram Observe, and a pre-bound labeled counter — and proves
+// the whole update path allocates nothing. Together with the
+// exact-allocs entries in the committed bench baseline this is the
+// gate that observability stays off the simulation hot loop: an
+// allocation introduced anywhere in the instrument write path fails
+// benchgate at 0 allocs/op, and any collateral damage to the engine
+// itself fails BenchmarkSimulatedSecond at exactly 4.
+func BenchmarkMetricsHotPath(b *testing.B) {
+	reg := obs.NewRegistry()
+	settled := reg.Counter("caem_cells_settled_total", "Cells settled.")
+	simSecs := reg.Counter("caem_worker_simulated_seconds_total", "Simulated seconds completed.")
+	queue := reg.Gauge("caem_coordinator_queue_depth", "Ready-queue depth.")
+	batch := reg.Histogram("caem_lease_batch_cells", "Cells per lease.", obs.SizeBuckets)
+	rtt := reg.Histogram("caem_worker_heartbeat_rtt_seconds", "Heartbeat RTT.", obs.LatencyBuckets)
+	perWorker := reg.CounterVec("caem_worker_cells_completed_total",
+		"Cells executed per worker.", "worker").With("bench-worker")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		settled.Inc()
+		simSecs.Add(60)
+		queue.Set(float64(i & 1023))
+		batch.Observe(float64(i&31) + 1)
+		rtt.Observe(float64(i&15) * 0.001)
+		perWorker.Inc()
+	}
+}
 
 // BenchmarkSimulatedSecond measures the raw cost of one simulated second
 // at the paper's full scale (100 nodes, load 5), per protocol — the

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -44,6 +45,12 @@ func (cs *CampaignStore) Len() int { return cs.s.Len() }
 // RecoveredBytes reports how many torn-tail bytes OpenStore dropped to
 // restore a consistent log (0 for a clean shutdown).
 func (cs *CampaignStore) RecoveredBytes() int64 { return cs.s.RecoveredBytes() }
+
+// Observe attaches the store to a metrics registry: append, byte,
+// fsync-latency, checkpoint-latency, fault, and recovery instruments
+// register get-or-create and update on every subsequent write. A store
+// never observed skips all instrumentation.
+func (cs *CampaignStore) Observe(reg *obs.Registry) { cs.s.Observe(reg) }
 
 // Flush checkpoints the lookup index to disk.
 func (cs *CampaignStore) Flush() error { return cs.s.Flush() }

@@ -22,14 +22,25 @@ import (
 // TestMain doubles as the worker-process entry point for the chaos
 // test: when CAEM_TEST_WORKER_JOIN is set, the test binary re-executes
 // itself as a real `caem-serve -join` worker instead of running tests,
-// so the cluster test gets genuine separate processes to kill.
+// so the cluster test gets genuine separate processes to kill. When
+// CAEM_TEST_WORKER_OBSFILE also names a path, the worker serves its
+// observability endpoints on a loopback port and publishes the bound
+// address there (atomically, via rename) for the parent to scrape.
 func TestMain(m *testing.M) {
 	if join := os.Getenv("CAEM_TEST_WORKER_JOIN"); join != "" {
 		n, _ := strconv.Atoi(os.Getenv("CAEM_TEST_WORKER_N"))
 		if n < 1 {
 			n = 1
 		}
-		os.Exit(workerMode(join, n, 5*time.Second))
+		cfg := workerConfig{join: join, workers: n, drain: 5 * time.Second}
+		if f := os.Getenv("CAEM_TEST_WORKER_OBSFILE"); f != "" {
+			cfg.obsAddr = "127.0.0.1:0"
+			cfg.obsReady = func(addr string) {
+				os.WriteFile(f+".tmp", []byte(addr), 0o644)
+				os.Rename(f+".tmp", f)
+			}
+		}
+		os.Exit(workerMain(cfg))
 	}
 	os.Exit(m.Run())
 }
@@ -190,6 +201,20 @@ func TestClusterChaos(t *testing.T) {
 	}
 	if len(cst.Poisoned) != 0 {
 		t.Fatalf("worker death must not poison cells: %+v", cst.Poisoned)
+	}
+
+	// The same facts must be visible in the /metrics exposition —
+	// /cluster/status is a thin read of the registry, so the two views
+	// can never disagree.
+	exp := scrapeMetrics(t, ts.URL)
+	if v, ok := exp.Value("caem_lease_expired_total"); !ok || v <= 0 {
+		t.Fatalf("caem_lease_expired_total = %v (ok=%v), want > 0", v, ok)
+	}
+	if v, ok := exp.Value("caem_cells_poisoned_total"); ok && v != 0 {
+		t.Fatalf("caem_cells_poisoned_total = %v, want 0", v)
+	}
+	if v, ok := exp.Value("caem_cells_settled_total"); !ok || int(v) != cst.Settled {
+		t.Fatalf("caem_cells_settled_total = %v (ok=%v), status says %d", v, ok, cst.Settled)
 	}
 	chaotic := getBytes(t, ts.URL+"/campaigns/"+camp.ID+"/results")
 

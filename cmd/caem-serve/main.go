@@ -27,10 +27,16 @@
 //	                               read back from the store (works
 //	                               mid-run and after restarts)
 //	GET  /campaigns/{id}/progress  NDJSON progress stream (curl -N)
-//	GET  /healthz                  liveness + store stats
+//	GET  /healthz                  liveness + store stats + build version
+//	GET  /metrics                  Prometheus text-format exposition
+//	GET  /debug/pprof/             runtime profiling (CPU, heap, trace)
 //	GET  /cluster/status           work queue, leases, workers, poisons
 //	POST /leases/...               the worker lease protocol (see
 //	                               internal/cluster)
+//
+// Worker mode serves the same /metrics, /healthz, and /debug/pprof/
+// surface on its own observability listener (-obs-addr, loopback by
+// default), so every process of a cluster is scrapeable.
 //
 // A campaign request names library scenarios (or embeds inline specs),
 // protocols, seeds, and partial config overrides:
@@ -51,6 +57,11 @@
 // any worker of the cluster is bit-identical — so failures and recovery
 // change nothing about the answers.
 //
+// Diagnostics are structured log/slog records on stderr (text by
+// default, -log-format json for machine ingestion, -v for debug
+// detail); worker and coordinator records carry worker_id, lease_id,
+// and campaign attributes.
+//
 // On SIGTERM/SIGINT both modes drain gracefully: in-flight cells
 // finish (bounded by -drain), worker mode releases its leases back to
 // the coordinator, and the store flushes before exit.
@@ -60,6 +71,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -71,80 +84,159 @@ import (
 
 	"repro/caem"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
+
+// version is the build version, stamped at link time via
+//
+//	go build -ldflags "-X main.version=v1.2.3"
+//
+// and surfaced in -version, /healthz, and the caem_build_info metric.
+var version = "dev"
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address (coordinator mode)")
-		storeDir = flag.String("store", "caem-store", "results-store directory (created if absent)")
-		workers  = flag.Int("workers", 0, "simulation worker budget (0 = one per CPU)")
-		join     = flag.String("join", "", "coordinator URL: run as a worker of that cluster instead of serving")
-		drain    = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight cells")
-		leaseTTL = flag.Duration("lease-ttl", 0, "worker lease TTL before cells re-queue (0 = default 15s)")
+		addr        = flag.String("addr", ":8080", "listen address (coordinator mode)")
+		storeDir    = flag.String("store", "caem-store", "results-store directory (created if absent)")
+		workers     = flag.Int("workers", 0, "simulation worker budget (0 = one per CPU)")
+		join        = flag.String("join", "", "coordinator URL: run as a worker of that cluster instead of serving")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight cells")
+		leaseTTL    = flag.Duration("lease-ttl", 0, "worker lease TTL before cells re-queue (0 = default 15s)")
+		obsAddr     = flag.String("obs-addr", "127.0.0.1:0", "worker-mode observability listen address for /metrics and /debug/pprof (empty disables)")
+		logFormat   = flag.String("log-format", "text", "log output format: text or json")
+		verbose     = flag.Bool("v", false, "enable debug logging")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("caem-serve %s %s\n", version, runtime.Version())
+		os.Exit(0)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *verbose)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
+		os.Exit(2)
+	}
 
 	w := *workers
 	if w <= 0 {
 		w = runtime.NumCPU()
 	}
 	if *join != "" {
-		os.Exit(workerMode(*join, w, *drain))
+		os.Exit(workerMain(workerConfig{
+			join:    *join,
+			workers: w,
+			drain:   *drain,
+			obsAddr: *obsAddr,
+			log:     logger,
+		}))
 	}
-	os.Exit(serveMode(*addr, *storeDir, w, *drain, *leaseTTL))
+	os.Exit(serveMode(*addr, *storeDir, w, *drain, *leaseTTL, logger))
 }
 
 // serveMode runs the coordinator: store, campaign API, local workers.
-func serveMode(addr, storeDir string, workers int, drain, leaseTTL time.Duration) int {
+func serveMode(addr, storeDir string, workers int, drain, leaseTTL time.Duration, logger *slog.Logger) int {
 	st, err := caem.OpenStore(storeDir)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
+		logger.Error("opening store failed", "error", err.Error())
 		return 1
 	}
 	if n := st.RecoveredBytes(); n > 0 {
-		fmt.Fprintf(os.Stderr, "caem-serve: store recovered from a torn tail (%d bytes dropped)\n", n)
+		logger.Warn("store recovered from a torn tail", "dropped_bytes", n)
 	}
 	srv, err := newServerWith(st, serverConfig{
 		workers: workers,
 		lease:   cluster.Options{LeaseTTL: leaseTTL},
+		logger:  logger,
+		version: version,
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
+		logger.Error("starting server failed", "error", err.Error())
 		return 1
 	}
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 	done := make(chan error, 1)
 	go func() { done <- httpSrv.ListenAndServe() }()
-	fmt.Printf("caem-serve: listening on %s, store %s, %d workers, %d cells on disk\n",
-		addr, st.Dir(), workers, st.Len())
+	logger.Info("caem-serve listening",
+		"addr", addr, "store", st.Dir(), "workers", workers,
+		"cells_on_disk", st.Len(), "version", version)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	code := 0
 	select {
 	case err := <-done:
-		fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
+		logger.Error("http server failed", "error", err.Error())
 		code = 1
 	case <-sig:
-		fmt.Fprintf(os.Stderr, "caem-serve: draining (in-flight cells get %v; pending cells resume on restart)\n", drain)
+		logger.Info("draining", "deadline", drain.String())
 	}
 	httpSrv.Close()
 	if err := srv.Shutdown(drain); err != nil {
-		fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
+		logger.Error("shutdown incomplete", "error", err.Error())
 		code = 1
 	}
 	if err := st.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "caem-serve: %v\n", err)
+		logger.Error("closing store failed", "error", err.Error())
 		code = 1
 	}
 	return code
 }
 
-// workerMode joins an existing coordinator: n executor loops claim
-// leases over HTTP until interrupted, then release them and exit.
-func workerMode(join string, n int, drain time.Duration) int {
-	remote := &cluster.Remote{Base: strings.TrimRight(join, "/")}
+// workerConfig parameterizes a worker-mode process.
+type workerConfig struct {
+	// join is the coordinator base URL.
+	join string
+	// workers is the number of executor loops.
+	workers int
+	// drain is the graceful-shutdown deadline.
+	drain time.Duration
+	// obsAddr is the observability listen address serving /metrics,
+	// /healthz, and /debug/pprof for this worker process ("" disables).
+	obsAddr string
+	// log receives structured records (nil discards).
+	log *slog.Logger
+	// obsReady, when non-nil, is called with the bound observability
+	// address once the listener is up (tests use it to find the port).
+	obsReady func(addr string)
+}
+
+// workerMain joins an existing coordinator: n executor loops claim
+// leases over HTTP until interrupted, then release them and exit. The
+// process serves its own observability endpoints on cfg.obsAddr.
+func workerMain(cfg workerConfig) int {
+	logger := cfg.log
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, version)
+
+	var obsSrv *http.Server
+	if cfg.obsAddr != "" {
+		ln, err := net.Listen("tcp", cfg.obsAddr)
+		if err != nil {
+			logger.Error("observability listener failed", "addr", cfg.obsAddr, "error", err.Error())
+			return 1
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintf(w, "{\"ok\":true,\"mode\":\"worker\",\"version\":%q}\n", version)
+		})
+		registerPprof(mux)
+		obsSrv = &http.Server{Handler: mux}
+		go obsSrv.Serve(ln)
+		bound := ln.Addr().String()
+		logger.Info("worker observability listening", "addr", bound)
+		if cfg.obsReady != nil {
+			cfg.obsReady(bound)
+		}
+	}
+
+	remote := &cluster.Remote{Base: strings.TrimRight(cfg.join, "/")}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
@@ -153,10 +245,12 @@ func workerMode(join string, n int, drain time.Duration) int {
 		host = "worker"
 	}
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for i := 0; i < cfg.workers; i++ {
 		w := &cluster.Worker{
-			Queue: remote,
-			Name:  fmt.Sprintf("%s-%d-%d", host, os.Getpid(), i),
+			Queue:   remote,
+			Name:    fmt.Sprintf("%s-%d-%d", host, os.Getpid(), i),
+			Metrics: reg,
+			Logger:  logger,
 		}
 		wg.Add(1)
 		go func() {
@@ -164,20 +258,24 @@ func workerMode(join string, n int, drain time.Duration) int {
 			w.Run(ctx)
 		}()
 	}
-	fmt.Printf("caem-serve: %d workers joined %s\n", n, join)
+	logger.Info("workers joined", "count", cfg.workers, "coordinator", cfg.join, "version", version)
 
 	<-ctx.Done()
-	fmt.Fprintf(os.Stderr, "caem-serve: draining (in-flight cells get %v, leases release to the coordinator)\n", drain)
+	logger.Info("draining", "deadline", cfg.drain.String())
 	drained := make(chan struct{})
 	go func() {
 		wg.Wait()
 		close(drained)
 	}()
+	code := 0
 	select {
 	case <-drained:
-		return 0
-	case <-time.After(drain):
-		fmt.Fprintln(os.Stderr, "caem-serve: drain deadline passed; abandoning leases (they expire and re-queue)")
-		return 1
+	case <-time.After(cfg.drain):
+		logger.Warn("drain deadline passed; abandoning leases (they expire and re-queue)")
+		code = 1
 	}
+	if obsSrv != nil {
+		obsSrv.Close()
+	}
+	return code
 }

@@ -7,13 +7,15 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
-	"os"
+	"net/http/pprof"
 	"sync"
 	"time"
 
 	"repro/caem"
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // campaignRequest is the POST /campaigns body: which scenarios to run
@@ -110,6 +112,16 @@ type serverConfig struct {
 	// chaos, when non-nil, injects deterministic faults into both the
 	// local workers and the store-persistence sink.
 	chaos *cluster.Chaos
+	// metrics receives every instrument the server registers (cluster,
+	// store, HTTP). Nil gets a private per-server registry — two servers
+	// in one process (the chaos differential test) never share series.
+	metrics *obs.Registry
+	// logger receives structured records from the server, coordinator,
+	// and local workers. Nil discards.
+	logger *slog.Logger
+	// version is the build version exposed in /healthz and
+	// caem_build_info ("" reads as "dev").
+	version string
 }
 
 // server is the campaign service: an HTTP API over a persistent results
@@ -125,6 +137,9 @@ type server struct {
 	mux     *http.ServeMux
 	coord   *cluster.Coordinator
 	chaos   *cluster.Chaos
+	reg     *obs.Registry
+	log     *slog.Logger
+	version string
 	quit    chan struct{}
 	cancel  context.CancelFunc // stops the local workers
 	wg      sync.WaitGroup
@@ -148,22 +163,37 @@ func newServer(st *caem.CampaignStore, workers int) (*server, error) {
 // the store (completed ones become queryable, interrupted ones resume
 // from their stored cells), and then starts the local workers.
 func newServerWith(st *caem.CampaignStore, cfg serverConfig) (*server, error) {
+	if cfg.metrics == nil {
+		cfg.metrics = obs.NewRegistry()
+	}
+	if cfg.logger == nil {
+		cfg.logger = obs.NopLogger()
+	}
 	s := &server{
 		store:     st,
 		workers:   cfg.workers,
 		mux:       http.NewServeMux(),
 		chaos:     cfg.chaos,
+		reg:       cfg.metrics,
+		log:       cfg.logger,
+		version:   cfg.version,
 		quit:      make(chan struct{}),
 		campaigns: make(map[string]*campaign),
 	}
+	st.Observe(s.reg)
+	obs.RegisterBuildInfo(s.reg, s.version)
+	cfg.lease.Metrics = s.reg
+	cfg.lease.Logger = s.log
 	s.coord = cluster.NewCoordinator(s, cfg.lease)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("POST /campaigns", s.handleCreate)
-	s.mux.HandleFunc("GET /campaigns", s.handleList)
-	s.mux.HandleFunc("GET /campaigns/{id}", s.handleStatus)
-	s.mux.HandleFunc("GET /campaigns/{id}/results", s.handleResults)
-	s.mux.HandleFunc("GET /campaigns/{id}/progress", s.handleProgress)
-	s.coord.RegisterHTTP(s.mux)
+	s.handle("GET /healthz", s.handleHealth)
+	s.handle("POST /campaigns", s.handleCreate)
+	s.handle("GET /campaigns", s.handleList)
+	s.handle("GET /campaigns/{id}", s.handleStatus)
+	s.handle("GET /campaigns/{id}/results", s.handleResults)
+	s.handle("GET /campaigns/{id}/progress", s.handleProgress)
+	s.handle("GET /metrics", s.reg.Handler().ServeHTTP)
+	s.coord.RegisterHTTPObserved(s.mux, s.reg)
+	registerPprof(s.mux)
 
 	if err := s.recover(); err != nil {
 		s.coord.Stop()
@@ -173,10 +203,12 @@ func newServerWith(st *caem.CampaignStore, cfg serverConfig) (*server, error) {
 	s.cancel = cancel
 	for w := 0; w < cfg.workers; w++ {
 		wk := &cluster.Worker{
-			Queue: s.coord,
-			Name:  fmt.Sprintf("local-%d", w),
-			Poll:  50 * time.Millisecond,
-			Chaos: cfg.chaos,
+			Queue:   s.coord,
+			Name:    fmt.Sprintf("local-%d", w),
+			Poll:    50 * time.Millisecond,
+			Chaos:   cfg.chaos,
+			Metrics: s.reg,
+			Logger:  s.log,
 		}
 		s.wg.Add(1)
 		go func() {
@@ -185,6 +217,23 @@ func newServerWith(st *caem.CampaignStore, cfg serverConfig) (*server, error) {
 		}()
 	}
 	return s, nil
+}
+
+// handle mounts a route with per-route request and latency
+// instrumentation, labeled by the mux pattern.
+func (s *server) handle(pattern string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, obs.WrapHandler(s.reg, pattern, h))
+}
+
+// registerPprof mounts net/http/pprof under /debug/pprof/ on an
+// explicit mux (the package's init only wires http.DefaultServeMux,
+// which this server never serves).
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -479,13 +528,14 @@ func (s *server) recover() error {
 		}
 		var req campaignRequest
 		if err := json.Unmarshal(blob, &req); err != nil {
-			fmt.Fprintf(os.Stderr, "caem-serve: skipping unrecoverable campaign %s: %v\n", id, err)
+			s.log.Warn("skipping unrecoverable campaign", "campaign", id, "error", err.Error())
 			continue
 		}
 		if _, err := s.launch(id, req); err != nil {
-			fmt.Fprintf(os.Stderr, "caem-serve: skipping unrecoverable campaign %s: %v\n", id, err)
+			s.log.Warn("skipping unrecoverable campaign", "campaign", id, "error", err.Error())
 			continue
 		}
+		s.log.Info("campaign recovered", "campaign", id)
 	}
 	return nil
 }
@@ -555,8 +605,13 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	n := len(s.campaigns)
 	s.mu.Unlock()
+	v := s.version
+	if v == "" {
+		v = "dev"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":        true,
+		"version":   v,
 		"workers":   s.workers,
 		"campaigns": n,
 		"cells":     s.store.Len(),
@@ -602,6 +657,8 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.schedule(pending)
+	s.log.Info("campaign accepted",
+		"campaign", id, "cells", len(c.cells), "pending", len(pending))
 	writeJSON(w, http.StatusAccepted, c.snapshot())
 }
 

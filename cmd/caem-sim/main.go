@@ -34,11 +34,18 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 
 	"repro/caem"
+	"repro/internal/obs"
 )
+
+// log is the process-wide diagnostic logger. Simulation results print
+// to stdout via fmt (the product output, byte-compared by the resume
+// gate); everything diagnostic goes through log on stderr.
+var log *slog.Logger
 
 func main() {
 	var (
@@ -59,11 +66,20 @@ func main() {
 		scenarioName  = flag.String("scenario", "", "dynamic-world scenario: a library name (see -list-scenarios) or a JSON spec file path")
 		listScenarios = flag.Bool("list-scenarios", false, "list the curated scenario library and exit")
 
+		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
+		verbose   = flag.Bool("v", false, "enable debug logging")
+
 		storeDir  = flag.String("store", "", "persist campaign cells to this results-store directory (enables campaign mode with -scenario)")
 		resume    = flag.Bool("resume", false, "skip cells already present in -store (checkpoint/resume; output is byte-identical to an uninterrupted run)")
 		haltAfter = flag.Int("halt-after", 0, "checkpoint: stop the campaign after N freshly executed cells (requires -store; resume later with -resume)")
 	)
 	flag.Parse()
+
+	var lerr error
+	if log, lerr = obs.NewLogger(os.Stderr, *logFormat, *verbose); lerr != nil {
+		fmt.Fprintf(os.Stderr, "caem-sim: %v\n", lerr)
+		os.Exit(2)
+	}
 
 	if *listScenarios {
 		printScenarioLibrary()
@@ -80,7 +96,7 @@ func main() {
 	if !allProtocols {
 		var err error
 		if proto, err = caem.ParseProtocol(*protocol); err != nil {
-			fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+			log.Error("bad protocol", "error", err.Error())
 			os.Exit(2)
 		}
 	}
@@ -94,17 +110,17 @@ func main() {
 		var err error
 		scenario, err = loadScenario(*scenarioName)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+			log.Error("loading scenario failed", "scenario", *scenarioName, "error", err.Error())
 			os.Exit(2)
 		}
 		hasScenario = true
 		if cfg, err = caem.ScenarioConfig(scenario); err != nil {
-			fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+			log.Error("resolving scenario config failed", "scenario", scenario.Name, "error", err.Error())
 			os.Exit(2)
 		}
 	}
 	if allProtocols && !hasScenario {
-		fmt.Fprintln(os.Stderr, "caem-sim: -protocol all needs -scenario (campaign mode)")
+		log.Error("-protocol all needs -scenario (campaign mode)")
 		os.Exit(2)
 	}
 
@@ -137,11 +153,11 @@ func main() {
 	}
 
 	if (*resume || *haltAfter > 0) && *storeDir == "" {
-		fmt.Fprintln(os.Stderr, "caem-sim: -resume and -halt-after need -store")
+		log.Error("-resume and -halt-after need -store")
 		os.Exit(2)
 	}
 	if *storeDir != "" && !hasScenario {
-		fmt.Fprintln(os.Stderr, "caem-sim: -store needs -scenario (campaign mode)")
+		log.Error("-store needs -scenario (campaign mode)")
 		os.Exit(2)
 	}
 
@@ -152,11 +168,11 @@ func main() {
 	// destroy an existing trace.
 	if *seeds > 1 || campaign {
 		if *traceOut != "" {
-			fmt.Fprintln(os.Stderr, "caem-sim: -trace is incompatible with replicate/campaign runs (one trace stream per run)")
+			log.Error("-trace is incompatible with replicate/campaign runs (one trace stream per run)")
 			os.Exit(2)
 		}
 		if *perNode {
-			fmt.Fprintln(os.Stderr, "caem-sim: -per-node is incompatible with replicate/campaign runs; inspect one run at a time")
+			log.Error("-per-node is incompatible with replicate/campaign runs; inspect one run at a time")
 			os.Exit(2)
 		}
 	}
@@ -164,7 +180,7 @@ func main() {
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+			log.Error("creating trace file failed", "path", *traceOut, "error", err.Error())
 			os.Exit(1)
 		}
 		defer f.Close()
@@ -174,7 +190,7 @@ func main() {
 	}
 
 	if err := cfg.Validate(); err != nil {
-		fmt.Fprintf(os.Stderr, "caem-sim: invalid configuration: %v\n", err)
+		log.Error("invalid configuration", "error", err.Error())
 		os.Exit(2)
 	}
 
@@ -187,14 +203,14 @@ func main() {
 		fmt.Printf("scenario          %s (%d timeline events)\n", scenario.Name, scenario.EventCount())
 		res, err := caem.RunScenario(scenario, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+			log.Error("scenario run failed", "scenario", scenario.Name, "error", err.Error())
 			os.Exit(1)
 		}
 		printRun(res, *perNode)
 	default:
 		res, err := caem.Run(cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+			log.Error("run failed", "error", err.Error())
 			os.Exit(1)
 		}
 		printRun(res, *perNode)
@@ -216,7 +232,7 @@ func loadScenario(name string) (caem.Scenario, error) {
 func printScenarioLibrary() {
 	lib, err := caem.LibraryScenarios()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+		log.Error("loading scenario library failed", "error", err.Error())
 		os.Exit(1)
 	}
 	fmt.Printf("%-24s %-7s %s\n", "name", "events", "description")
@@ -260,28 +276,27 @@ func runCampaign(sc caem.Scenario, cfg caem.Config, allProtocols bool, firstSeed
 	if storeDir != "" {
 		st, err := caem.OpenStore(storeDir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+			log.Error("opening store failed", "store", storeDir, "error", err.Error())
 			os.Exit(1)
 		}
 		defer func() {
 			if err := st.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+				log.Error("closing store failed", "error", err.Error())
 			}
 		}()
 		if n := st.RecoveredBytes(); n > 0 {
-			fmt.Fprintf(os.Stderr, "caem-sim: store recovered from a torn tail (%d bytes dropped)\n", n)
+			log.Warn("store recovered from a torn tail", "dropped_bytes", n)
 		}
 		opts.Store = st
 	}
 	cells, err := caem.RunCampaignWith(cfg, []caem.Scenario{sc}, protocols, seedList, opts)
 	if errors.Is(err, caem.ErrCampaignHalted) {
-		total := len(protocols) * nSeeds
-		fmt.Fprintf(os.Stderr, "caem-sim: campaign checkpointed: %d/%d cells stored in %s; continue with -resume\n",
-			len(cells), total, storeDir)
+		log.Info("campaign checkpointed; continue with -resume",
+			"stored", len(cells), "total", len(protocols)*nSeeds, "store", storeDir)
 		return
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+		log.Error("campaign failed", "error", err.Error())
 		os.Exit(1)
 	}
 
@@ -320,7 +335,7 @@ func runReplicates(cfg caem.Config, firstSeed uint64, n, workers int) {
 	cfg.Workers = workers
 	results, err := caem.RunSeeds(cfg, seedList)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "caem-sim: %v\n", err)
+		log.Error("replicate runs failed", "error", err.Error())
 		os.Exit(1)
 	}
 

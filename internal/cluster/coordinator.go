@@ -3,9 +3,12 @@ package cluster
 import (
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Options tunes the coordinator's fault-tolerance envelope. The zero
@@ -26,6 +29,12 @@ type Options struct {
 	BackoffBase time.Duration
 	// MaxBatch caps the cells in one lease. Default 8.
 	MaxBatch int
+	// Metrics receives the coordinator's instruments. Nil gets a private
+	// registry, so instrumentation never needs nil checks; callers who
+	// want a /metrics endpoint pass the registry they expose.
+	Metrics *obs.Registry
+	// Logger receives structured lease-lifecycle records. Nil discards.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -43,6 +52,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 8
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.NewRegistry()
+	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
 	}
 	return o
 }
@@ -62,10 +77,13 @@ type delayedCell struct {
 	notBefore time.Time
 }
 
-// workerInfo is per-worker observability state.
+// workerInfo is per-worker observability state. Settlement counts
+// live in the registry (settledC is the worker's pre-bound handle on
+// caem_worker_settled_total), not here — Status reads them back from
+// the same instruments /metrics exposes.
 type workerInfo struct {
 	lastSeen time.Time
-	settled  int
+	settledC *obs.Counter
 }
 
 // PoisonReport records one terminally failed cell for /cluster/status.
@@ -86,6 +104,8 @@ type Coordinator struct {
 	opts Options
 	sink Sink
 	now  func() time.Time // injectable clock (tests)
+	met  *coordMetrics
+	log  *slog.Logger
 
 	mu       sync.Mutex
 	queue    []Cell                 // ready to lease, FIFO
@@ -96,7 +116,6 @@ type Coordinator struct {
 	workers  map[string]*workerInfo // per-worker stats
 	poisoned []PoisonReport
 	leaseSeq int
-	expired  int // leases reclaimed by the expiry sweep
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -115,6 +134,8 @@ func NewCoordinator(sink Sink, opts Options) *Coordinator {
 		workers:  make(map[string]*workerInfo),
 		stop:     make(chan struct{}),
 	}
+	c.met = newCoordMetrics(c.opts.Metrics)
+	c.log = c.opts.Logger
 	c.wg.Add(1)
 	go c.sweeper()
 	return c
@@ -155,7 +176,18 @@ func (c *Coordinator) sweeper() {
 func (c *Coordinator) Submit(cells []Cell) {
 	c.mu.Lock()
 	c.queue = append(c.queue, cells...)
+	c.syncGaugesLocked()
 	c.mu.Unlock()
+	c.log.Debug("cells submitted", "cells", len(cells))
+}
+
+// syncGaugesLocked republishes the structural depth gauges from the
+// authoritative in-memory state. Called after every mutation under mu,
+// so a /metrics scrape and a /cluster/status snapshot always agree.
+func (c *Coordinator) syncGaugesLocked() {
+	c.met.queueDepth.Set(float64(len(c.queue)))
+	c.met.delayed.Set(float64(len(c.delayed)))
+	c.met.inflight.Set(float64(len(c.leases)))
 }
 
 // Claim hands the worker a lease of at most max cells, sized by guided
@@ -168,8 +200,9 @@ func (c *Coordinator) Claim(worker string, max int) (*Lease, error) {
 	defer c.mu.Unlock()
 	w := c.workers[worker]
 	if w == nil {
-		w = &workerInfo{}
+		w = &workerInfo{settledC: c.met.workerSettled.With(worker)}
 		c.workers[worker] = w
+		c.log.Info("worker joined", "worker_id", worker)
 	}
 	w.lastSeen = now
 	c.promoteRipeLocked(now)
@@ -186,6 +219,7 @@ func (c *Coordinator) Claim(worker string, max int) (*Lease, error) {
 		c.queue = q
 	}
 	if len(c.queue) == 0 {
+		c.syncGaugesLocked()
 		return nil, nil
 	}
 
@@ -214,6 +248,11 @@ func (c *Coordinator) Claim(worker string, max int) (*Lease, error) {
 	for _, cell := range cells {
 		c.sink.CellStarted(cell)
 	}
+	c.met.claims.Inc()
+	c.met.batchCells.Observe(float64(n))
+	c.syncGaugesLocked()
+	c.log.Debug("lease granted",
+		"lease_id", l.id, "worker_id", worker, "cells", n, "queue", len(c.queue))
 	return &Lease{ID: l.id, Worker: worker, Cells: cells, TTLMillis: c.opts.LeaseTTL.Milliseconds()}, nil
 }
 
@@ -245,6 +284,7 @@ func (c *Coordinator) Renew(leaseID string) error {
 	if w := c.workers[l.worker]; w != nil {
 		w.lastSeen = now
 	}
+	c.met.renews.Inc()
 	return nil
 }
 
@@ -276,6 +316,15 @@ func (c *Coordinator) settle(leaseID string, results []CellResult, partial bool)
 	if w != nil {
 		w.lastSeen = now
 	}
+	if partial {
+		c.met.released.Inc()
+		c.log.Info("lease released",
+			"lease_id", leaseID, "worker_id", l.worker, "results", len(results), "cells", len(l.cells))
+	} else {
+		c.met.completed.Inc()
+		c.log.Debug("lease completed",
+			"lease_id", leaseID, "worker_id", l.worker, "results", len(results))
+	}
 
 	byIndex := make(map[string]CellResult, len(results))
 	for _, r := range results {
@@ -302,13 +351,15 @@ func (c *Coordinator) settle(leaseID string, results []CellResult, partial bool)
 				continue
 			}
 			c.settled[key] = true
+			c.met.cellsSettled.Inc()
 			if w != nil {
-				w.settled++
+				w.settledC.Inc()
 			}
 		default:
 			c.retryLocked(cell, now, fmt.Errorf("%s", r.Error))
 		}
 	}
+	c.syncGaugesLocked()
 	return nil
 }
 
@@ -330,9 +381,15 @@ func (c *Coordinator) retryLocked(cell Cell, now time.Time, cause error) {
 			Attempts: n,
 			Error:    cause.Error(),
 		})
+		c.met.cellsPoisoned.Inc()
+		c.log.Error("cell poisoned",
+			"campaign", cell.Campaign, "cell", cell.Index, "attempts", n, "error", cause.Error())
 		c.sink.CellFailed(cell, n, cause)
 		return
 	}
+	c.met.cellsRetried.Inc()
+	c.log.Warn("cell retry scheduled",
+		"campaign", cell.Campaign, "cell", cell.Index, "attempt", n, "error", cause.Error())
 	shift := n - 1
 	if shift > 6 {
 		shift = 6 // cap the exponent: 64× base is patient enough
@@ -366,14 +423,19 @@ func (c *Coordinator) Sweep() {
 			continue
 		}
 		delete(c.leases, id)
-		c.expired++
+		c.met.expired.Inc()
+		requeued := 0
 		for _, cell := range l.cells {
 			if !c.settled[cell.Key()] {
 				c.queue = append(c.queue, cell)
+				requeued++
 			}
 		}
+		c.log.Warn("lease expired",
+			"lease_id", id, "worker_id", l.worker, "requeued", requeued)
 	}
 	c.promoteRipeLocked(now)
+	c.syncGaugesLocked()
 }
 
 // LeaseStatus is one outstanding lease in a Status snapshot.
@@ -403,16 +465,20 @@ type Status struct {
 	Poisoned      []PoisonReport `json:"poisoned,omitempty"`
 }
 
-// Status snapshots the coordinator for observability.
+// Status snapshots the coordinator for observability. Every numeric
+// field is read back out of the registry instruments that /metrics
+// exposes — the JSON status and a scrape are two views of the same
+// counters and can never disagree.
 func (c *Coordinator) Status() Status {
 	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.syncGaugesLocked()
 	st := Status{
-		Queue:         len(c.queue),
-		Delayed:       len(c.delayed),
-		Settled:       len(c.settled) - len(c.poisoned),
-		ExpiredLeases: c.expired,
+		Queue:         int(c.met.queueDepth.Value()),
+		Delayed:       int(c.met.delayed.Value()),
+		Settled:       int(c.met.cellsSettled.Value()),
+		ExpiredLeases: int(c.met.expired.Value()),
 		Leases:        make([]LeaseStatus, 0, len(c.leases)),
 		Workers:       make([]WorkerStatus, 0, len(c.workers)),
 		Poisoned:      append([]PoisonReport(nil), c.poisoned...),
@@ -430,7 +496,7 @@ func (c *Coordinator) Status() Status {
 	for name, w := range c.workers {
 		st.Workers = append(st.Workers, WorkerStatus{
 			Name:       name,
-			Settled:    w.settled,
+			Settled:    int(w.settledC.Value()),
 			LastSeenMs: now.Sub(w.lastSeen).Milliseconds(),
 		})
 	}

@@ -8,6 +8,8 @@ import (
 	"io"
 	"net/http"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Wire bodies of the lease protocol. Leases and results reuse the Lease
@@ -33,7 +35,25 @@ type settleRequest struct {
 // 410 Gone maps to ErrLeaseGone on the Remote side: the worker drops
 // the batch and claims fresh work.
 func (c *Coordinator) RegisterHTTP(mux *http.ServeMux) {
-	mux.HandleFunc("POST /leases/claim", func(w http.ResponseWriter, r *http.Request) {
+	c.registerHTTP(mux, nil)
+}
+
+// RegisterHTTPObserved mounts the same routes as RegisterHTTP with
+// per-route request-count and latency instrumentation on reg, labeled
+// by the mux pattern.
+func (c *Coordinator) RegisterHTTPObserved(mux *http.ServeMux, reg *obs.Registry) {
+	c.registerHTTP(mux, reg)
+}
+
+func (c *Coordinator) registerHTTP(mux *http.ServeMux, reg *obs.Registry) {
+	handle := func(pattern string, h http.HandlerFunc) {
+		if reg != nil {
+			mux.Handle(pattern, obs.WrapHandler(reg, pattern, h))
+			return
+		}
+		mux.HandleFunc(pattern, h)
+	}
+	handle("POST /leases/claim", func(w http.ResponseWriter, r *http.Request) {
 		var req claimRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, fmt.Sprintf("bad claim body: %v", err), http.StatusBadRequest)
@@ -55,10 +75,10 @@ func (c *Coordinator) RegisterHTTP(mux *http.ServeMux) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(lease)
 	})
-	mux.HandleFunc("POST /leases/{id}/renew", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /leases/{id}/renew", func(w http.ResponseWriter, r *http.Request) {
 		settleHTTP(w, c.Renew(r.PathValue("id")))
 	})
-	mux.HandleFunc("POST /leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
 		var req settleRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, fmt.Sprintf("bad complete body: %v", err), http.StatusBadRequest)
@@ -66,7 +86,7 @@ func (c *Coordinator) RegisterHTTP(mux *http.ServeMux) {
 		}
 		settleHTTP(w, c.Complete(r.PathValue("id"), req.Results))
 	})
-	mux.HandleFunc("POST /leases/{id}/release", func(w http.ResponseWriter, r *http.Request) {
+	handle("POST /leases/{id}/release", func(w http.ResponseWriter, r *http.Request) {
 		var req settleRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 			http.Error(w, fmt.Sprintf("bad release body: %v", err), http.StatusBadRequest)
@@ -74,7 +94,7 @@ func (c *Coordinator) RegisterHTTP(mux *http.ServeMux) {
 		}
 		settleHTTP(w, c.Release(r.PathValue("id"), req.Results))
 	})
-	mux.HandleFunc("GET /cluster/status", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /cluster/status", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

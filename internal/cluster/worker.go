@@ -3,10 +3,12 @@ package cluster
 import (
 	"context"
 	"errors"
+	"log/slog"
 	"sync/atomic"
 	"time"
 
 	"repro/caem"
+	"repro/internal/obs"
 )
 
 // ErrWorkerKilled is returned by Worker.Run when the Chaos kill budget
@@ -34,8 +36,15 @@ type Worker struct {
 	MaxBatch int
 	// Chaos, when non-nil, injects deterministic faults.
 	Chaos *Chaos
+	// Metrics receives the worker's instruments (cells completed,
+	// simulated seconds, heartbeat RTT). Nil gets a private registry.
+	Metrics *obs.Registry
+	// Logger receives structured worker records. Nil discards.
+	Logger *slog.Logger
 
 	cellsRun int
+	met      *workerMetrics
+	log      *slog.Logger
 }
 
 // Run claims and executes leases until ctx is cancelled. Cancellation
@@ -45,6 +54,16 @@ type Worker struct {
 // unreachable) is retried at the poll interval rather than returned, so
 // a worker survives coordinator restarts.
 func (w *Worker) Run(ctx context.Context) error {
+	reg := w.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	w.met = newWorkerMetrics(reg, w.Name)
+	w.log = w.Logger
+	if w.log == nil {
+		w.log = obs.NopLogger()
+	}
+	w.log = w.log.With("worker_id", w.Name)
 	pool := caem.NewSimPool()
 	poll := w.Poll
 	if poll <= 0 {
@@ -57,6 +76,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		if w.Chaos.shouldDie(w.cellsRun) {
 			// Kill budget spent between leases: die here rather than
 			// claiming (and stranding) more work.
+			w.log.Warn("worker killed by chaos injection", "cells_run", w.cellsRun)
 			return ErrWorkerKilled
 		}
 		lease, err := w.Queue.Claim(w.Name, w.MaxBatch)
@@ -106,7 +126,11 @@ func (w *Worker) runLease(ctx context.Context, pool *caem.SimPool, l *Lease) err
 				case <-time.After(d):
 				}
 			}
-			if err := w.Queue.Renew(l.ID); errors.Is(err, ErrLeaseGone) {
+			start := time.Now()
+			err := w.Queue.Renew(l.ID)
+			w.met.hbRTT.Observe(time.Since(start).Seconds())
+			if errors.Is(err, ErrLeaseGone) {
+				w.log.Warn("lease lost mid-batch", "lease_id", l.ID)
 				gone.Store(true)
 				return
 			}
@@ -117,10 +141,13 @@ func (w *Worker) runLease(ctx context.Context, pool *caem.SimPool, l *Lease) err
 		<-hbDone
 	}
 
+	w.log.Debug("lease claimed", "lease_id", l.ID, "cells", len(l.Cells))
 	results := make([]CellResult, 0, len(l.Cells))
 	for _, cell := range l.Cells {
 		if w.Chaos.shouldDie(w.cellsRun) {
 			stopHeartbeat() // SIGKILL stand-in: heartbeats stop with the process
+			w.log.Warn("worker killed by chaos injection",
+				"lease_id", l.ID, "cells_run", w.cellsRun)
 			return ErrWorkerKilled
 		}
 		if gone.Load() {
@@ -129,10 +156,21 @@ func (w *Worker) runLease(ctx context.Context, pool *caem.SimPool, l *Lease) err
 		r := CellResult{Campaign: cell.Campaign, Index: cell.Index}
 		if err := w.Chaos.failCell(cell); err != nil {
 			r.Error = err.Error()
-		} else if res, err := pool.RunScenario(cell.Scenario, cell.Config); err != nil {
-			r.Error = err.Error()
 		} else {
-			r.Result = &res
+			w.met.poolRuns.Inc()
+			if res, err := pool.RunScenario(cell.Scenario, cell.Config); err != nil {
+				r.Error = err.Error()
+			} else {
+				r.Result = &res
+			}
+		}
+		if r.Error != "" {
+			w.met.failed.Inc()
+			w.log.Warn("cell failed",
+				"lease_id", l.ID, "campaign", cell.Campaign, "cell", cell.Index, "error", r.Error)
+		} else {
+			w.met.cells.Inc()
+			w.met.simSecs.Add(cell.Config.DurationSeconds)
 		}
 		w.cellsRun++
 		results = append(results, r)
@@ -146,11 +184,13 @@ func (w *Worker) runLease(ctx context.Context, pool *caem.SimPool, l *Lease) err
 		return nil // nothing to settle; results are recomputed elsewhere
 	}
 	if ctx.Err() != nil || len(results) < len(l.Cells) {
+		w.log.Info("lease released", "lease_id", l.ID, "results", len(results))
 		w.Queue.Release(l.ID, results)
 		return nil
 	}
 	// Complete's only failure mode that matters is a lost lease, and
 	// dropping the batch is the correct response to it either way.
+	w.log.Debug("lease completed", "lease_id", l.ID, "results", len(results))
 	w.Queue.Complete(l.ID, results)
 	return nil
 }

@@ -1,0 +1,23 @@
+package obs_test
+
+import (
+	"os"
+
+	"repro/internal/obs"
+)
+
+// Example shows the full life of a metric: register on a Registry,
+// update the instrument from the hot path, and render the Prometheus
+// text exposition.
+func Example() {
+	reg := obs.NewRegistry()
+	cells := reg.CounterVec("caem_worker_cells_completed_total",
+		"Cells completed by each worker.", "worker")
+	cells.With("w1").Add(3)
+
+	reg.WriteText(os.Stdout)
+	// Output:
+	// # HELP caem_worker_cells_completed_total Cells completed by each worker.
+	// # TYPE caem_worker_cells_completed_total counter
+	// caem_worker_cells_completed_total{worker="w1"} 3
+}

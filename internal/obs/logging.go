@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the repository's structured leveled logger: a
+// log/slog logger writing to w in the given format ("text", the
+// default, or "json"), at debug level when verbose is set and info
+// otherwise. Commands pass their -log-format and -v flags through
+// here so every binary logs the same schema: leveled records whose
+// identifying attrs (worker_id, lease_id, campaign) are structured
+// key/value pairs, machine-parseable in JSON mode.
+func NewLogger(w io.Writer, format string, verbose bool) (*slog.Logger, error) {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("obs: unknown log format %q (want text or json)", format)
+}
+
+// NopLogger returns a logger that discards every record — the default
+// for library components whose caller did not inject one, so logging
+// calls never need nil checks.
+func NopLogger() *slog.Logger { return slog.New(slog.DiscardHandler) }

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 const (
@@ -146,6 +147,7 @@ type Store struct {
 	dirty     int                   // records appended since last index flush
 	recovered int64                 // torn-tail bytes dropped by Open
 	fault     func(op string) error // injected write fault (tests)
+	met       *storeMetrics         // nil until Observe; nil is inert
 }
 
 // SetFault installs a write-fault injector consulted before each log
@@ -171,6 +173,7 @@ func (s *Store) faultAt(op string) error {
 		return nil
 	}
 	if err := s.fault(op); err != nil {
+		s.met.fault(op)
 		return &WriteError{Op: op, Err: err}
 	}
 	return nil
@@ -367,14 +370,18 @@ func (s *Store) Put(r Record) error {
 		return err
 	}
 	if _, err := s.f.WriteAt(line, s.size); err != nil {
+		s.met.fault("append")
 		return &WriteError{Op: "append", Err: err}
 	}
 	if err := s.faultAt("sync"); err != nil {
 		return err
 	}
+	syncStart := time.Now()
 	if err := s.f.Sync(); err != nil {
+		s.met.fault("sync")
 		return &WriteError{Op: "sync", Err: err}
 	}
+	s.met.observeFsync(time.Since(syncStart).Seconds())
 	k := r.Key()
 	if _, dup := s.index[k.String()]; !dup {
 		s.order = append(s.order, k)
@@ -382,6 +389,7 @@ func (s *Store) Put(r Record) error {
 	s.index[k.String()] = indexEntry{K: k.String(), Off: s.size, Len: len(line)}
 	s.size += int64(len(line))
 	s.dirty++
+	s.met.appendDone(len(line), len(s.order))
 	if s.dirty >= indexFlushEvery {
 		return s.flushIndexLocked()
 	}
@@ -424,6 +432,7 @@ func (s *Store) flushIndexLocked() error {
 	if err := s.faultAt("index"); err != nil {
 		return err
 	}
+	start := time.Now()
 	doc := indexDoc{V: recordVersion, Size: s.size, Entries: make([]indexEntry, 0, len(s.order))}
 	for _, k := range s.order {
 		doc.Entries = append(doc.Entries, s.index[k.String()])
@@ -434,12 +443,15 @@ func (s *Store) flushIndexLocked() error {
 	}
 	tmp := filepath.Join(s.dir, indexFile+".tmp")
 	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		s.met.fault("index")
 		return &WriteError{Op: "index", Err: err}
 	}
 	if err := os.Rename(tmp, filepath.Join(s.dir, indexFile)); err != nil {
+		s.met.fault("index")
 		return &WriteError{Op: "index", Err: err}
 	}
 	s.dirty = 0
+	s.met.observeIndexCheckpoint(time.Since(start).Seconds())
 	return nil
 }
 

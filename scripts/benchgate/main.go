@@ -1,17 +1,22 @@
 // Command benchgate is the CI bench-regression guard and comparator: it
 // runs the gated benchmarks (ns per simulated second for the static and
-// scenario engines, plus the Figure 9 replication grid) and checks both
-// time (ns/op) and allocation (allocs/op) results against the committed
-// baseline. The time factor is deliberately loose — CI runners are noisy
-// shared machines — so only order-of-magnitude regressions (an
-// accidentally quadratic hot path, a reintroduced per-event allocation
-// storm) trip it, not scheduler jitter. Allocation counts are nearly
-// deterministic, so their factor is tighter.
+// scenario engines, the Figure 9 replication grid, and the obs
+// instrument hot path) and checks both time (ns/op) and allocation
+// (allocs/op) results against the committed baseline. The time factor
+// is deliberately loose — CI runners are noisy shared machines — so
+// only order-of-magnitude regressions (an accidentally quadratic hot
+// path, a reintroduced per-event allocation storm) trip it, not
+// scheduler jitter. Allocation counts are nearly deterministic, so
+// their factor is tighter — and benchmarks matched by -exactallocs get
+// no factor at all: measured allocs/op must equal the baseline
+// exactly. That is how the repo pins the simulated-second hot path at
+// 4 allocs/op and the metrics update path at 0.
 //
 // Usage (from the repository root):
 //
-//	go run ./scripts/benchgate -baseline BENCH_4.json -factor 2.5 -allocfactor 2.0
-//	go run ./scripts/benchgate -baseline BENCH_4.json -gate=false -report out/bench-compare.txt
+//	go run ./scripts/benchgate -baseline BENCH_5.json -factor 2.5 -allocfactor 2.0 \
+//	    -exactallocs '^(BenchmarkSimulatedSecond/|BenchmarkMetricsHotPath$)'
+//	go run ./scripts/benchgate -baseline BENCH_5.json -gate=false -report out/bench-compare.txt
 //
 // The second form is `make bench-compare`: it never fails the build; it
 // prints (and optionally writes) a benchstat-style delta table of the
@@ -24,6 +29,7 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -37,7 +43,8 @@ type metric struct {
 
 // baseline mirrors the slice of the BENCH_*.json schema the gate
 // consumes: per-protocol numbers for the static hot path, and single
-// results for the scenario engine and the Figure 9 replication grid.
+// results for the scenario engine, the Figure 9 replication grid, and
+// the obs instrument hot path.
 type baseline struct {
 	Benchmarks struct {
 		SimulatedSecond struct {
@@ -49,6 +56,9 @@ type baseline struct {
 		Figure9 struct {
 			Result metric `json:"result"`
 		} `json:"BenchmarkFigure9_NodesAlive"`
+		MetricsHotPath struct {
+			Result metric `json:"result"`
+		} `json:"BenchmarkMetricsHotPath"`
 	} `json:"benchmarks"`
 }
 
@@ -65,17 +75,27 @@ type series struct {
 var gatedSeries = []series{
 	{pattern: "^(BenchmarkSimulatedSecond|BenchmarkScenarioSecond)$", benchtime: "1000x"},
 	{pattern: "^BenchmarkFigure9_NodesAlive$", benchtime: "3x"},
+	{pattern: "^BenchmarkMetricsHotPath$", benchtime: "100000x"},
 }
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_4.json", "committed baseline JSON with the reference values")
+		baselinePath = flag.String("baseline", "BENCH_5.json", "committed baseline JSON with the reference values")
 		factor       = flag.Float64("factor", 2.5, "fail when measured ns/op exceeds factor x baseline")
 		allocFactor  = flag.Float64("allocfactor", 2.0, "fail when measured allocs/op exceeds allocfactor x baseline (allocation counts are nearly deterministic, so this is tighter than the time factor)")
+		exactAllocs  = flag.String("exactallocs", "", "regexp of benchmark names whose measured allocs/op must equal the baseline exactly — no factor slack (empty disables)")
 		gate         = flag.Bool("gate", true, "fail on regressions; false = compare-only (always exit 0)")
 		report       = flag.String("report", "", "also write the delta table to this file (for CI artifacts)")
 	)
 	flag.Parse()
+
+	var exactRe *regexp.Regexp
+	if *exactAllocs != "" {
+		var err error
+		if exactRe, err = regexp.Compile(*exactAllocs); err != nil {
+			fatal("bad -exactallocs pattern: %v", err)
+		}
+	}
 
 	refs, err := loadBaseline(*baselinePath)
 	if err != nil {
@@ -115,7 +135,12 @@ func main() {
 			failed = true
 		}
 		allocVerdict := ""
-		if ref.AllocsOp > 0 && m.AllocsOp/ref.AllocsOp > *allocFactor {
+		if exactRe != nil && exactRe.MatchString(name) {
+			if m.AllocsOp != ref.AllocsOp {
+				allocVerdict = " ALLOC-EXACT-MISMATCH"
+				failed = true
+			}
+		} else if ref.AllocsOp > 0 && m.AllocsOp/ref.AllocsOp > *allocFactor {
 			allocVerdict = " ALLOC-REGRESSION"
 			failed = true
 		}
@@ -136,10 +161,10 @@ func main() {
 		return
 	}
 	if failed {
-		fatal("bench gate FAILED: a benchmark regressed beyond %.1fx ns/op or %.1fx allocs/op of its %s baseline (or went missing)",
+		fatal("bench gate FAILED: a benchmark regressed beyond %.1fx ns/op or %.1fx allocs/op of its %s baseline, broke an -exactallocs pin, or went missing",
 			*factor, *allocFactor, *baselinePath)
 	}
-	fmt.Printf("bench gate passed: every series within %.1fx ns/op and %.1fx allocs/op of %s\n",
+	fmt.Printf("bench gate passed: every series within %.1fx ns/op and %.1fx allocs/op of %s (exact-alloc pins held)\n",
 		*factor, *allocFactor, *baselinePath)
 }
 
@@ -171,6 +196,9 @@ func loadBaseline(path string) (map[string]metric, error) {
 	}
 	if v := b.Benchmarks.Figure9.Result; v.NsOp > 0 {
 		refs["BenchmarkFigure9_NodesAlive"] = v
+	}
+	if v := b.Benchmarks.MetricsHotPath.Result; v.NsOp > 0 {
+		refs["BenchmarkMetricsHotPath"] = v
 	}
 	return refs, nil
 }
