@@ -6,7 +6,7 @@ GO ?= go
 #   make build VERSION=v1.2.3
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 
-.PHONY: all build test race vet lint chaos bench bench-smoke bench-gate bench-compare profile determinism resume-check docs-check obs-check figures scenarios examples clean
+.PHONY: all build test race vet lint chaos bench bench-smoke bench-gate bench-compare profile determinism resume-check docs-check obs-check api-check figures scenarios examples clean
 
 all: build test vet
 
@@ -50,24 +50,26 @@ bench-smoke:
 
 # Bench regression guard: the gated benchmarks (hot-path ns per
 # simulated second, the scenario engine, the Figure 9 replication grid,
-# and the obs instrument hot path) must stay within BENCH_GATE_FACTOR x
-# the committed BENCH_5.json baseline on ns/op and BENCH_ALLOC_FACTOR x
+# the obs instrument hot path, and the store query/aggregate-cache
+# paths behind /v1 results) must stay within BENCH_GATE_FACTOR x the
+# committed BENCH_6.json baseline on ns/op and BENCH_ALLOC_FACTOR x
 # on allocs/op. The time bound is loose by design: the baseline was
 # recorded on one machine and CI runners differ and are noisy, so the
 # gate catches order-of-magnitude regressions (allocation storms,
 # accidental complexity), not jitter; allocation counts are nearly
 # deterministic, so their bound is tighter — and the series matched by
 # BENCH_EXACT_ALLOCS get no slack at all: the simulated-second hot path
-# must stay at exactly 4 allocs/op and the metrics update path at
-# exactly 0, proving instrumentation never leaked into the engine.
+# must stay at exactly 4 allocs/op and the metrics update and
+# aggregate-cache hit paths at exactly 0, proving instrumentation never
+# leaked into the engine and the cache hit path never started copying.
 # Override either factor without a code change if a runner generation
 # shifts the cross-machine ratio:
 #   make bench-gate BENCH_GATE_FACTOR=4
 BENCH_GATE_FACTOR ?= 2.5
 BENCH_ALLOC_FACTOR ?= 2.0
-BENCH_EXACT_ALLOCS ?= ^(BenchmarkSimulatedSecond/|BenchmarkMetricsHotPath$$)
+BENCH_EXACT_ALLOCS ?= ^(BenchmarkSimulatedSecond/|BenchmarkMetricsHotPath$$|BenchmarkAggregateCached$$)
 bench-gate:
-	$(GO) run ./scripts/benchgate -baseline BENCH_5.json -factor $(BENCH_GATE_FACTOR) -allocfactor $(BENCH_ALLOC_FACTOR) -exactallocs '$(BENCH_EXACT_ALLOCS)'
+	$(GO) run ./scripts/benchgate -baseline BENCH_6.json -factor $(BENCH_GATE_FACTOR) -allocfactor $(BENCH_ALLOC_FACTOR) -exactallocs '$(BENCH_EXACT_ALLOCS)'
 
 # Bench comparator (CI artifact): run the gated benchmarks and print a
 # benchstat-style delta table against the committed baseline. Never
@@ -75,7 +77,7 @@ bench-gate:
 # not a gate.
 bench-compare:
 	@mkdir -p out
-	$(GO) run ./scripts/benchgate -baseline BENCH_5.json -gate=false -report out/bench-compare.txt
+	$(GO) run ./scripts/benchgate -baseline BENCH_6.json -gate=false -report out/bench-compare.txt
 
 # Capture pprof CPU + allocation profiles for the gated benchmarks into
 # out/profiles/. Inspect with `go tool pprof out/profiles/<name>.cpu`.
@@ -130,6 +132,15 @@ docs-check:
 # exposition must round-trip through the strict Prometheus parser.
 obs-check:
 	$(GO) run ./scripts/obscheck
+
+# API-surface gate: the /v1 route table (methods, paths, legacy
+# redirect/alias policy) must match the committed golden exactly, and
+# every row must probe live — canonical path mounted, legacy GETs 301
+# with the query preserved, legacy POSTs/probes aliased. An intentional
+# surface change regenerates the golden:
+#   go test ./cmd/caem-serve -run TestAPIRouteTable -update
+api-check:
+	$(GO) test -count=1 -run 'TestAPIRouteTable|TestErrorEnvelope' ./cmd/caem-serve/
 
 # Regenerate every paper artifact (tables, figures, ablations) into out/.
 figures:

@@ -5,8 +5,10 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 
+	"repro/caem"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/obs"
@@ -151,6 +153,84 @@ func BenchmarkMetricsHotPath(b *testing.B) {
 		batch.Observe(float64(i&31) + 1)
 		rtt.Observe(float64(i&15) * 0.001)
 		perWorker.Inc()
+	}
+}
+
+// benchCampaignStore builds a store holding a settled synthetic campaign
+// grid — 4 scenarios x 3 protocols x 32 seeds = 384 cells — and returns
+// it with the refs that address every cell. Metric values are a fixed
+// function of the grid position so runs are deterministic.
+func benchCampaignStore(b *testing.B) (*caem.CampaignStore, []caem.CellRef) {
+	b.Helper()
+	cs, err := caem.OpenStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cs.Close() })
+	scenarios := []string{"static", "node-churn", "interference", "mobility"}
+	refs := make([]caem.CellRef, 0, len(scenarios)*3*32)
+	for si, sc := range scenarios {
+		hash := fmt.Sprintf("%016x", si+1)
+		for _, p := range caem.Protocols() {
+			for seed := uint64(1); seed <= 32; seed++ {
+				v := float64((seed*7 + uint64(si)*13 + uint64(p)*29) % 97)
+				cell := caem.CampaignCell{
+					Scenario: sc, Protocol: p, Seed: seed,
+					Result: caem.Result{
+						Protocol:     p,
+						MeanDelayMs:  v,
+						DeliveryRate: 1 - v/200,
+					},
+				}
+				if err := cs.PutCell("bench", hash, cell); err != nil {
+					b.Fatal(err)
+				}
+				refs = append(refs, caem.CellRef{Hash: hash, Scenario: sc, Protocol: p, Seed: seed})
+			}
+		}
+	}
+	return cs, refs
+}
+
+// BenchmarkQueryTopK measures one top-k metric query over a 384-cell
+// campaign grid: ref pruning, bloom/range-indexed point reads (never a
+// log scan — the store's FullScans counter staying flat is asserted by
+// the query tests), the metric filter, and the ordered cut.
+func BenchmarkQueryTopK(b *testing.B) {
+	cs, refs := benchCampaignStore(b)
+	q := caem.CellQuery{Metric: "meanDelayMs", Top: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cells, err := cs.QueryCells(refs, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cells) != 10 {
+			b.Fatalf("top-10 returned %d cells", len(cells))
+		}
+	}
+}
+
+// BenchmarkAggregateCached measures the CachedAggregates hit path — the
+// generation check plus a defensive copy of the materialized per-group
+// mean±CI table — which is what every results read pays once a campaign
+// stops settling cells.
+func BenchmarkAggregateCached(b *testing.B) {
+	cs, _ := benchCampaignStore(b)
+	if _, err := cs.CachedAggregates(); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		aggs, err := cs.CachedAggregates()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(aggs) == 0 {
+			b.Fatal("empty aggregate table")
+		}
 	}
 }
 

@@ -1,0 +1,359 @@
+package caem
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// qcell builds a synthetic stored cell with a controlled delay metric.
+func qcell(scen string, p Protocol, seed uint64, delay float64) CampaignCell {
+	c := CampaignCell{Scenario: scen, Protocol: p, Seed: seed}
+	c.Result.Protocol = p
+	c.Result.MeanDelayMs = delay
+	c.Result.DeliveryRate = 1 - delay/1000
+	c.Result.TotalConsumedJ = delay * 2
+	c.Result.AliveAtEnd = 100
+	return c
+}
+
+// fillQueryStore stores a 2-scenario × 2-protocol × 4-seed grid with
+// deterministic metric values and returns the full ref set in grid
+// order.
+func fillQueryStore(t *testing.T, cs *CampaignStore) []CellRef {
+	t.Helper()
+	refs := make([]CellRef, 0, 16)
+	for _, scen := range []string{"churn", "storm"} {
+		for _, p := range []Protocol{PureLEACH, Scheme1} {
+			for seed := uint64(1); seed <= 4; seed++ {
+				delay := float64(seed * 10)
+				if scen == "storm" {
+					delay += 100
+				}
+				if p == Scheme1 {
+					delay += 1
+				}
+				if err := cs.PutCell("qtest", "cafe0123cafe0123", qcell(scen, p, seed, delay)); err != nil {
+					t.Fatal(err)
+				}
+				refs = append(refs, CellRef{Hash: "cafe0123cafe0123", Scenario: scen, Protocol: p, Seed: seed})
+			}
+		}
+	}
+	return refs
+}
+
+// TestQueryCellsNoRescan is the acceptance-criteria test: filtered,
+// range-limited, and top-k queries over a segmented store return
+// correct results through point reads only — the store-level full-scan
+// counter stays at zero throughout.
+func TestQueryCellsNoRescan(t *testing.T) {
+	cs, err := OpenStoreWith(t.TempDir(), StoreOptions{SegmentBytes: 700, CompactAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	refs := fillQueryStore(t, cs)
+	if cs.Stats().Segments == 0 {
+		t.Fatal("precondition: store did not segment")
+	}
+	scansBefore := cs.Stats().FullScans
+
+	// Unfiltered: the whole grid in grid order.
+	all, err := cs.QueryCells(refs, CellQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(refs) {
+		t.Fatalf("unfiltered query returned %d cells, want %d", len(all), len(refs))
+	}
+	for i, c := range all {
+		if c.Scenario != refs[i].Scenario || c.Protocol != refs[i].Protocol || c.Seed != refs[i].Seed {
+			t.Fatalf("cell %d out of grid order: %+v", i, c)
+		}
+	}
+
+	// Scenario + protocol filter.
+	got, err := cs.QueryCells(refs, CellQuery{Scenario: "storm", Protocol: Scheme1.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("filtered query returned %d cells, want 4", len(got))
+	}
+	for _, c := range got {
+		if c.Scenario != "storm" || c.Protocol != Scheme1 {
+			t.Fatalf("filter leaked cell %+v", c)
+		}
+	}
+
+	// Metric range: delays in churn are 10..41; keep [20, 31].
+	lo, hi := 20.0, 31.0
+	got, err = cs.QueryCells(refs, CellQuery{Scenario: "churn", Metric: "meanDelayMs", Min: &lo, Max: &hi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 { // seeds 2,3 for both protocols
+		t.Fatalf("range query returned %d cells, want 4", len(got))
+	}
+	for _, c := range got {
+		if c.Result.MeanDelayMs < lo || c.Result.MeanDelayMs > hi {
+			t.Fatalf("range query leaked delay %g", c.Result.MeanDelayMs)
+		}
+	}
+
+	// Top-k by metric, descending.
+	got, err = cs.QueryCells(refs, CellQuery{Metric: "meanDelayMs", Top: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("top-k returned %d cells, want 3", len(got))
+	}
+	wantDelays := []float64{141, 140, 131} // storm/scheme1 seed4, storm/leach seed4, storm/scheme1 seed3
+	for i, c := range got {
+		if c.Result.MeanDelayMs != wantDelays[i] {
+			t.Fatalf("top-k[%d] delay = %g, want %g", i, c.Result.MeanDelayMs, wantDelays[i])
+		}
+	}
+
+	if scans := cs.Stats().FullScans; scans != scansBefore {
+		t.Fatalf("queries performed %d full scans", scans-scansBefore)
+	}
+
+	// Invalid queries are rejected, not silently misread.
+	if _, err := cs.QueryCells(refs, CellQuery{Metric: "noSuchMetric", Top: 1}); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	if _, err := cs.QueryCells(refs, CellQuery{Top: 1}); err == nil {
+		t.Fatal("top-k without metric accepted")
+	}
+	if _, err := cs.QueryCells(refs, CellQuery{Metric: "meanDelayMs", Min: &hi, Max: &lo}); err == nil {
+		t.Fatal("empty range accepted")
+	}
+}
+
+// TestQueryCellsSkipsUnstored: refs without stored cells (an in-flight
+// campaign) resolve to the settled subset.
+func TestQueryCellsSkipsUnstored(t *testing.T) {
+	cs, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	if err := cs.PutCell("q", "aa11", qcell("churn", PureLEACH, 1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	refs := []CellRef{
+		{Hash: "aa11", Scenario: "churn", Protocol: PureLEACH, Seed: 1},
+		{Hash: "aa11", Scenario: "churn", Protocol: PureLEACH, Seed: 2}, // pending
+	}
+	got, err := cs.QueryCells(refs, CellQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Seed != 1 {
+		t.Fatalf("in-flight query = %+v, want just seed 1", got)
+	}
+}
+
+// TestCachedAggregatesByteIdentical: the materialized aggregate cache
+// is byte-identical to a fresh Aggregates pass at every point — after
+// fills, after hits, and after a write invalidates it.
+func TestCachedAggregatesByteIdentical(t *testing.T) {
+	cs, err := OpenStoreWith(t.TempDir(), StoreOptions{SegmentBytes: 700, CompactAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	fillQueryStore(t, cs)
+
+	compare := func(stage string) {
+		t.Helper()
+		fresh, err := cs.Aggregates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cached, err := cs.CachedAggregates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := json.Marshal(fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cb, err := json.Marshal(cached)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(fb) != string(cb) {
+			t.Fatalf("%s: cached aggregates diverged:\n cached %s\n  fresh %s", stage, cb, fb)
+		}
+	}
+	compare("initial fill")
+
+	// A hit must not recompute: scans stay flat across repeated reads.
+	if _, err := cs.CachedAggregates(); err != nil {
+		t.Fatal(err)
+	}
+	scans := cs.Stats().FullScans
+	for i := 0; i < 5; i++ {
+		if _, err := cs.CachedAggregates(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cs.Stats().FullScans; got != scans {
+		t.Fatalf("cache hits performed %d full scans", got-scans)
+	}
+	compare("after hits")
+
+	// A write invalidates; the next read recomputes and matches again.
+	if err := cs.PutCell("qtest", "cafe0123cafe0123", qcell("churn", PureLEACH, 99, 77)); err != nil {
+		t.Fatal(err)
+	}
+	compare("after invalidating write")
+}
+
+// TestFlatLogMigrationAggregates: a v1 flat-log store opened by the
+// segmented store produces byte-identical aggregates after migration —
+// the caem-level half of the store migration contract.
+func TestFlatLogMigrationAggregates(t *testing.T) {
+	dir := t.TempDir()
+	cs, err := OpenStore(dir) // default threshold: stays a flat log
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillQueryStore(t, cs)
+	want, err := cs.Aggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBlob, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rewrite the index checkpoint as the pre-segmentation v1 document.
+	idx := filepath.Join(dir, "index.json")
+	blob, err := os.ReadFile(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["v"] = 1
+	delete(doc, "distinct")
+	if blob, err = json.Marshal(doc); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(idx, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cs2, err := OpenStoreWith(dir, StoreOptions{SegmentBytes: 700, CompactAfter: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs2.Close()
+	if cs2.Stats().Segments == 0 {
+		t.Fatal("migration open did not segment the flat log")
+	}
+	got, err := cs2.Aggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotBlob, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(gotBlob) != string(wantBlob) {
+		t.Fatalf("migrated aggregates diverged:\n got %s\nwant %s", gotBlob, wantBlob)
+	}
+	cached, err := cs2.CachedAggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedBlob, err := json.Marshal(cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cachedBlob) != string(wantBlob) {
+		t.Fatal("migrated cached aggregates diverged")
+	}
+}
+
+// TestMetricRegistry: every advertised metric extracts, unknown names
+// fail closed.
+func TestMetricRegistry(t *testing.T) {
+	names := MetricNames()
+	if len(names) < 20 {
+		t.Fatalf("only %d metrics registered", len(names))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("MetricNames not sorted at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+	r := qcell("s", PureLEACH, 1, 42).Result
+	for _, name := range names {
+		if _, ok := MetricOf(r, name); !ok {
+			t.Fatalf("advertised metric %q does not extract", name)
+		}
+	}
+	if v, ok := MetricOf(r, "meanDelayMs"); !ok || v != 42 {
+		t.Fatalf("meanDelayMs = %g ok=%v, want 42", v, ok)
+	}
+	if _, ok := MetricOf(r, "bogus"); ok {
+		t.Fatal("unknown metric extracted")
+	}
+}
+
+// TestPercentileSurface: exact order statistics per (scenario,
+// protocol) group, with linear interpolation between ranks.
+func TestPercentileSurface(t *testing.T) {
+	cells := []CampaignCell{
+		qcell("a", PureLEACH, 1, 10),
+		qcell("a", PureLEACH, 2, 20),
+		qcell("a", PureLEACH, 3, 30),
+		qcell("a", PureLEACH, 4, 40),
+		qcell("b", Scheme1, 1, 5),
+	}
+	surfaces, err := PercentileSurface(cells, "meanDelayMs", []float64{0, 50, 95, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(surfaces) != 2 {
+		t.Fatalf("%d surfaces, want 2", len(surfaces))
+	}
+	a := surfaces[0]
+	if a.Scenario != "a" || a.N != 4 || a.Metric != "meanDelayMs" {
+		t.Fatalf("surface identity: %+v", a)
+	}
+	want := []float64{10, 25, 38.5, 40}
+	for i, p := range a.Percentiles {
+		if math.Abs(p.Value-want[i]) > 1e-12 {
+			t.Fatalf("p%g = %g, want %g", p.P, p.Value, want[i])
+		}
+	}
+	b := surfaces[1]
+	if b.N != 1 || b.Percentiles[0].Value != 5 || b.Percentiles[3].Value != 5 {
+		t.Fatalf("single-replicate surface: %+v", b)
+	}
+
+	if _, err := PercentileSurface(cells, "bogus", []float64{50}); err == nil {
+		t.Fatal("unknown metric accepted")
+	}
+	if _, err := PercentileSurface(cells, "meanDelayMs", nil); err == nil {
+		t.Fatal("empty percentile list accepted")
+	}
+	if _, err := PercentileSurface(cells, "meanDelayMs", []float64{101}); err == nil {
+		t.Fatal("out-of-range percentile accepted")
+	}
+}

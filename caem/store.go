@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/obs"
 	"repro/internal/store"
@@ -24,12 +25,43 @@ import (
 // single writer per directory across processes.
 type CampaignStore struct {
 	s *store.Store
+
+	// Materialized store-wide aggregates: gen counts cell writes, and
+	// the cache is valid while aggGen == gen — any PutCell invalidates
+	// it, so CachedAggregates is always byte-identical to Aggregates.
+	aggMu    sync.Mutex
+	gen      uint64
+	aggGen   uint64
+	aggValid bool
+	aggCache []CampaignAggregate
+	cacheMet *aggCacheMetrics
+}
+
+// StoreOptions tunes the underlying segmented store. The zero value
+// picks the defaults (4 MiB segments, background compaction after 1024
+// superseded cells).
+type StoreOptions struct {
+	// SegmentBytes is the active-tail size at which the store rolls the
+	// tail into an immutable segment. <= 0 selects the default.
+	SegmentBytes int64
+	// CompactAfter schedules background compaction once this many
+	// stored cells have been superseded by re-puts; 0 selects the
+	// default, negative disables it.
+	CompactAfter int
 }
 
 // OpenStore opens (creating if needed) the results store rooted at dir,
 // recovering from a torn log tail left by a killed campaign.
 func OpenStore(dir string) (*CampaignStore, error) {
-	s, err := store.Open(dir)
+	return OpenStoreWith(dir, StoreOptions{})
+}
+
+// OpenStoreWith is OpenStore with explicit store tuning.
+func OpenStoreWith(dir string, opts StoreOptions) (*CampaignStore, error) {
+	s, err := store.OpenWith(dir, store.Options{
+		SegmentBytes: opts.SegmentBytes,
+		CompactAfter: opts.CompactAfter,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("caem: %w", err)
 	}
@@ -47,10 +79,26 @@ func (cs *CampaignStore) Len() int { return cs.s.Len() }
 func (cs *CampaignStore) RecoveredBytes() int64 { return cs.s.RecoveredBytes() }
 
 // Observe attaches the store to a metrics registry: append, byte,
-// fsync-latency, checkpoint-latency, fault, and recovery instruments
-// register get-or-create and update on every subsequent write. A store
-// never observed skips all instrumentation.
-func (cs *CampaignStore) Observe(reg *obs.Registry) { cs.s.Observe(reg) }
+// fsync-latency, checkpoint-latency, fault, recovery, segment, and
+// aggregate-cache instruments register get-or-create and update on
+// every subsequent operation. A store never observed skips all
+// instrumentation.
+func (cs *CampaignStore) Observe(reg *obs.Registry) {
+	cs.s.Observe(reg)
+	m := RegisterAggCacheMetrics(reg)
+	cs.aggMu.Lock()
+	cs.cacheMet = m
+	cs.aggMu.Unlock()
+}
+
+// Stats returns a snapshot of the underlying store's shape and access
+// counters (segments, distinct cells, scan/roll/compaction counts).
+func (cs *CampaignStore) Stats() store.Stats { return cs.s.Stats() }
+
+// Compact synchronously rewrites store segments to drop superseded
+// cells. Background compaction normally makes this unnecessary; it is
+// exposed for maintenance and tests.
+func (cs *CampaignStore) Compact() error { return cs.s.Compact() }
 
 // Flush checkpoints the lookup index to disk.
 func (cs *CampaignStore) Flush() error { return cs.s.Flush() }
@@ -87,7 +135,7 @@ func CellHash(base Config, sc Scenario) (string, error) {
 // hash (from CellHash). campaign is informative provenance — lookups go
 // by content, so any later campaign with the same hash reuses the cell.
 func (cs *CampaignStore) PutCell(campaign, hash string, cell CampaignCell) error {
-	return cs.s.Put(store.Record{
+	err := cs.s.Put(store.Record{
 		Campaign: campaign,
 		Hash:     hash,
 		Scenario: cell.Scenario,
@@ -95,6 +143,17 @@ func (cs *CampaignStore) PutCell(campaign, hash string, cell CampaignCell) error
 		Seed:     cell.Seed,
 		Summary:  summaryOf(cell.Result),
 	})
+	if err != nil {
+		return err
+	}
+	cs.aggMu.Lock()
+	cs.gen++
+	if cs.aggValid {
+		cs.aggValid = false
+		cs.cacheMet.invalidated()
+	}
+	cs.aggMu.Unlock()
+	return nil
 }
 
 // HasCell reports whether the cell is stored.
@@ -160,6 +219,45 @@ func (cs *CampaignStore) Aggregates() ([]CampaignAggregate, error) {
 		return cells[i].Seed < cells[j].Seed
 	})
 	return AggregateCampaign(cells), nil
+}
+
+// CachedAggregates is Aggregates behind a materialized cache: the
+// first read after any cell write recomputes (a miss), every read until
+// the next write returns the cached slice (a hit, no store access at
+// all). The cached value is the uncut output of Aggregates, so the two
+// are byte-identical under JSON encoding at every point in time —
+// cache-where-reads-repeat, invalidate-where-writes-land.
+//
+// Callers must not mutate the returned slice.
+func (cs *CampaignStore) CachedAggregates() ([]CampaignAggregate, error) {
+	cs.aggMu.Lock()
+	if cs.aggValid && cs.aggGen == cs.gen {
+		out := cs.aggCache
+		cs.cacheMet.hit()
+		cs.aggMu.Unlock()
+		return out, nil
+	}
+	gen := cs.gen
+	cs.cacheMet.miss()
+	cs.aggMu.Unlock()
+
+	// Recompute outside the cache lock so concurrent writers are never
+	// blocked behind an aggregation pass.
+	aggs, err := cs.Aggregates()
+	if err != nil {
+		return nil, err
+	}
+
+	cs.aggMu.Lock()
+	// Only publish if no write raced the recomputation; a racing write
+	// already bumped gen, and the next read will recompute again.
+	if cs.gen == gen {
+		cs.aggCache = aggs
+		cs.aggGen = gen
+		cs.aggValid = true
+	}
+	cs.aggMu.Unlock()
+	return aggs, nil
 }
 
 // SaveCampaignSpec persists an opaque campaign spec blob under id —

@@ -1,0 +1,411 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata goldens")
+
+// routeTableText renders the route table in the golden-file format.
+func routeTableText() string {
+	var sb strings.Builder
+	sb.WriteString("# caem-serve /v1 API surface.\n")
+	sb.WriteString("# Regenerate: go test ./cmd/caem-serve -run TestAPIRouteTable -update\n")
+	for _, rt := range routeTable {
+		fmt.Fprintf(&sb, "%-4s /v1%-33s legacy=%-9s %s\n", rt.Method, rt.Path, rt.Legacy, rt.Doc)
+	}
+	return sb.String()
+}
+
+// noRedirect is a client that surfaces 3xx responses instead of
+// following them.
+var noRedirect = &http.Client{
+	CheckRedirect: func(*http.Request, []*http.Request) error { return http.ErrUseLastResponse },
+}
+
+// isMuxMiss reports whether a response came from the mux's own
+// not-found handler rather than a mounted route.
+func isMuxMiss(resp *http.Response, body []byte) bool {
+	return resp.StatusCode == http.StatusNotFound &&
+		!strings.Contains(resp.Header.Get("Content-Type"), "json")
+}
+
+// TestAPIRouteTable is the api-check gate: the route table must match
+// the committed golden byte-for-byte, and every row must be live on a
+// real server — canonical /v1 path mounted, legacy GETs 301ing to
+// their /v1 twin with the query preserved, legacy POSTs (and the
+// probe/scrape GETs) aliased.
+func TestAPIRouteTable(t *testing.T) {
+	goldenPath := filepath.Join("testdata", "api_routes.golden")
+	got := routeTableText()
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("route table drifted from %s — update the golden if the API change is intentional.\n--- got\n%s--- want\n%s",
+			goldenPath, got, want)
+	}
+
+	srv, ts, st := startServer(t, t.TempDir())
+	defer func() { ts.Close(); srv.Close(); st.Close() }()
+
+	probe := func(method, path string) *http.Response {
+		req, err := http.NewRequest(method, ts.URL+path, strings.NewReader(""))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := noRedirect.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	for _, rt := range routeTable {
+		path := strings.ReplaceAll(rt.Path, "{id}", "zzz")
+		canonical := probe(rt.Method, "/v1"+path)
+		if isMuxMiss(canonical, nil) {
+			t.Errorf("%s /v1%s: canonical route not mounted", rt.Method, rt.Path)
+		}
+		legacy := probe(rt.Method, path+"?q=1")
+		switch rt.Legacy {
+		case "redirect":
+			if legacy.StatusCode != http.StatusMovedPermanently {
+				t.Errorf("%s %s: legacy = %d, want 301", rt.Method, path, legacy.StatusCode)
+				continue
+			}
+			if loc := legacy.Header.Get("Location"); loc != "/v1"+path+"?q=1" {
+				t.Errorf("%s %s: Location = %q, want %q", rt.Method, path, loc, "/v1"+path+"?q=1")
+			}
+		case "alias":
+			if isMuxMiss(legacy, nil) || legacy.StatusCode == http.StatusMovedPermanently {
+				t.Errorf("%s %s: legacy alias = %d, want the canonical handler", rt.Method, path, legacy.StatusCode)
+			}
+		default:
+			t.Errorf("%s %s: unknown legacy mode %q", rt.Method, rt.Path, rt.Legacy)
+		}
+	}
+}
+
+// errorEnvelope decodes the uniform error body.
+func errorEnvelope(t *testing.T, resp *http.Response) api.Error {
+	t.Helper()
+	defer resp.Body.Close()
+	var body struct {
+		Error api.Error `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("response is not the error envelope: %v", err)
+	}
+	if body.Error.Code == "" || body.Error.Message == "" {
+		t.Fatalf("envelope missing code or message: %+v", body.Error)
+	}
+	return body.Error
+}
+
+// TestErrorEnvelope: every failure mode answers with
+// {"error":{"code","message","details"}} and a stable code.
+func TestErrorEnvelope(t *testing.T) {
+	srv, ts, st := startServer(t, t.TempDir())
+	defer func() { ts.Close(); srv.Close(); st.Close() }()
+
+	for _, tc := range []struct {
+		name, method, path, body string
+		status                   int
+		code                     string
+	}{
+		{"unknown campaign", "GET", "/v1/campaigns/nope", "", 404, api.CodeNotFound},
+		{"bad request body", "POST", "/v1/campaigns", "{", 400, api.CodeInvalidRequest},
+		{"bad page_size", "GET", "/v1/campaigns?page_size=-1", "", 400, api.CodeInvalidRequest},
+		{"bad page_token", "GET", "/v1/campaigns?page_token=%21%21", "", 400, api.CodeInvalidRequest},
+		{"bad claim body", "POST", "/v1/leases/claim", "{", 400, api.CodeInvalidRequest},
+		{"lease gone", "POST", "/v1/leases/zzz/renew", "", 410, api.CodeGone},
+	} {
+		req, err := http.NewRequest(tc.method, ts.URL+tc.path, strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.status {
+			t.Fatalf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.status)
+		}
+		if env := errorEnvelope(t, resp); env.Code != tc.code {
+			t.Errorf("%s: code = %q, want %q", tc.name, env.Code, tc.code)
+		}
+	}
+}
+
+// listPage fetches one page of the campaign listing.
+func listPage(t *testing.T, url string) (listResponse, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	var page listResponse
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	return page, resp.Header
+}
+
+// TestListPagination: cursor pagination over GET /v1/campaigns with
+// Link rel="next" headers, stable across pages in submission order.
+func TestListPagination(t *testing.T) {
+	srv, ts, st := startServer(t, t.TempDir())
+	defer func() { ts.Close(); srv.Close(); st.Close() }()
+
+	var ids []string
+	for seed := 1; seed <= 3; seed++ {
+		body := fmt.Sprintf(`{"scenarios":["node-churn"],"protocols":["leach"],"seeds":[%d],"config":{"durationSeconds":5}}`, seed)
+		ids = append(ids, postCampaign(t, ts.URL, body).ID)
+	}
+
+	page1, hdr := listPage(t, ts.URL+"/v1/campaigns?page_size=2")
+	if len(page1.Campaigns) != 2 || page1.NextPageToken == "" {
+		t.Fatalf("page 1 = %d campaigns, token %q", len(page1.Campaigns), page1.NextPageToken)
+	}
+	link := hdr.Get("Link")
+	if !strings.Contains(link, `rel="next"`) || !strings.Contains(link, "/v1/campaigns?") {
+		t.Fatalf("Link header = %q", link)
+	}
+	page2, hdr2 := listPage(t, ts.URL+"/v1/campaigns?page_size=2&page_token="+page1.NextPageToken)
+	if len(page2.Campaigns) != 1 || page2.NextPageToken != "" {
+		t.Fatalf("page 2 = %d campaigns, token %q", len(page2.Campaigns), page2.NextPageToken)
+	}
+	if hdr2.Get("Link") != "" {
+		t.Fatalf("last page advertises a next link: %q", hdr2.Get("Link"))
+	}
+	var got []string
+	for _, c := range append(page1.Campaigns, page2.Campaigns...) {
+		got = append(got, c.ID)
+	}
+	if strings.Join(got, ",") != strings.Join(ids, ",") {
+		t.Fatalf("paged ids %v, want submission order %v", got, ids)
+	}
+
+	// The legacy path 301s into the same paginated surface.
+	legacy, _ := listPage(t, ts.URL+"/campaigns?page_size=2")
+	if len(legacy.Campaigns) != 2 || legacy.NextPageToken != page1.NextPageToken {
+		t.Fatalf("legacy redirect lost pagination: %+v", legacy)
+	}
+
+	for _, id := range ids {
+		waitDone(t, ts.URL, id)
+	}
+}
+
+// queryDoc fetches a results document.
+func queryDoc(t *testing.T, url string) (resultsResponse, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	var doc resultsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc, resp.Header
+}
+
+// TestResultsQuery drives the query surface end to end: filters,
+// metric ranges, top-k, percentile surfaces, and cell pagination —
+// all served from the materialized snapshot with zero store rescans.
+func TestResultsQuery(t *testing.T) {
+	srv, ts, st := startServer(t, t.TempDir())
+	defer func() { ts.Close(); srv.Close(); st.Close() }()
+
+	camp := postCampaign(t, ts.URL, testRequest)
+	if got := waitDone(t, ts.URL, camp.ID); got.State != "done" {
+		t.Fatalf("campaign = %+v", got)
+	}
+	base := ts.URL + "/v1/campaigns/" + camp.ID + "/results"
+
+	full, _ := queryDoc(t, base)
+	if len(full.Cells) != 4 || len(full.Aggregates) != 2 || full.NextPageToken != "" {
+		t.Fatalf("unfiltered doc = %d cells, %d aggregates, token %q",
+			len(full.Cells), len(full.Aggregates), full.NextPageToken)
+	}
+	scans := st.Stats().FullScans
+
+	// Protocol filter narrows cells AND aggregates.
+	leach, _ := queryDoc(t, base+"?protocol=leach")
+	if len(leach.Cells) != 2 || len(leach.Aggregates) != 1 {
+		t.Fatalf("protocol filter = %d cells, %d aggregates", len(leach.Cells), len(leach.Aggregates))
+	}
+	for _, c := range leach.Cells {
+		if c.Protocol != "pure-LEACH" { // any ParseProtocol spelling selects the canonical protocol
+			t.Fatalf("protocol filter leaked %q", c.Protocol)
+		}
+	}
+	if leach.Completed != 4 {
+		t.Fatalf("completed = %d, want the campaign-wide 4", leach.Completed)
+	}
+
+	// Top-k returns the cells with the largest metric values.
+	delays := make([]float64, 0, 4)
+	for _, c := range full.Cells {
+		delays = append(delays, c.MeanDelayMs)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(delays)))
+	top2, _ := queryDoc(t, base+"?metric=meanDelayMs&top=2")
+	if len(top2.Cells) != 2 || top2.Cells[0].MeanDelayMs != delays[0] || top2.Cells[1].MeanDelayMs != delays[1] {
+		t.Fatalf("top-2 by meanDelayMs = %+v, want values %v", top2.Cells, delays[:2])
+	}
+
+	// Metric range keeps the half-open slice the bounds describe.
+	ranged, _ := queryDoc(t, fmt.Sprintf("%s?metric=meanDelayMs&min=%g", base, delays[1]))
+	if len(ranged.Cells) != 2 {
+		t.Fatalf("min filter kept %d cells, want 2", len(ranged.Cells))
+	}
+
+	// Percentile surfaces: exact order statistics per group.
+	surf, _ := queryDoc(t, base+"?protocol=leach&metric=meanDelayMs&percentiles=0,100")
+	if len(surf.Surfaces) != 1 || surf.Surfaces[0].N != 2 {
+		t.Fatalf("surfaces = %+v", surf.Surfaces)
+	}
+	pts := surf.Surfaces[0].Percentiles
+	lo, hi := leach.Cells[0].MeanDelayMs, leach.Cells[1].MeanDelayMs
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if pts[0].Value != lo || pts[1].Value != hi {
+		t.Fatalf("p0/p100 = %v, want %g/%g", pts, lo, hi)
+	}
+
+	// Cell pagination with a filter-bound cursor.
+	page1, hdr := queryDoc(t, base+"?page_size=3")
+	if len(page1.Cells) != 3 || page1.NextPageToken == "" {
+		t.Fatalf("page 1 = %d cells, token %q", len(page1.Cells), page1.NextPageToken)
+	}
+	if len(page1.Aggregates) != 2 {
+		t.Fatalf("aggregates must cover the whole filtered set, got %d groups", len(page1.Aggregates))
+	}
+	if !strings.Contains(hdr.Get("Link"), `rel="next"`) {
+		t.Fatalf("Link header = %q", hdr.Get("Link"))
+	}
+	page2, _ := queryDoc(t, base+"?page_size=3&page_token="+page1.NextPageToken)
+	if len(page2.Cells) != 1 || page2.NextPageToken != "" {
+		t.Fatalf("page 2 = %d cells, token %q", len(page2.Cells), page2.NextPageToken)
+	}
+	if got := append(page1.Cells, page2.Cells...); fmt.Sprint(got) != fmt.Sprint(full.Cells) {
+		t.Fatal("paged cells diverge from the unpaginated document")
+	}
+
+	// A cursor replayed under different filters is rejected, as are
+	// unknown metrics — both through the error envelope.
+	for _, path := range []string{
+		base + "?protocol=leach&page_token=" + page1.NextPageToken,
+		base + "?metric=bogus&top=1",
+	} {
+		resp, err := http.Get(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: status %d, want 400", path, resp.StatusCode)
+		}
+		if env := errorEnvelope(t, resp); env.Code != api.CodeInvalidRequest {
+			t.Fatalf("GET %s: code %q", path, env.Code)
+		}
+	}
+
+	// None of the queries above rescanned the store log.
+	if got := st.Stats().FullScans; got != scans {
+		t.Fatalf("queries performed %d full scans", got-scans)
+	}
+}
+
+// TestResultReadsDoNotBlockSettlement is the regression gate for the
+// materialized results cache: a storm of concurrent result reads
+// against an ACTIVE campaign must not block cell settlement (reads
+// rebuild their snapshot outside the campaign lock), the campaign must
+// finish on time, and every observed document must be monotonic.
+func TestResultReadsDoNotBlockSettlement(t *testing.T) {
+	srv, ts, st := startServer(t, t.TempDir())
+	defer func() { ts.Close(); srv.Close(); st.Close() }()
+
+	camp := postCampaign(t, ts.URL, chaosRequest) // 8 cells
+	url := ts.URL + "/v1/campaigns/" + camp.ID + "/results"
+
+	done := make(chan struct{})
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			last := -1
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := http.Get(url)
+				if err != nil {
+					return // server shutting down after test failure
+				}
+				var doc resultsResponse
+				derr := json.NewDecoder(resp.Body).Decode(&doc)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK || derr != nil {
+					t.Errorf("mid-run read: status %d, decode %v", resp.StatusCode, derr)
+					return
+				}
+				if doc.Completed < last {
+					t.Errorf("completed went backwards: %d after %d", doc.Completed, last)
+					return
+				}
+				last = doc.Completed
+				reads.Add(1)
+			}
+		}()
+	}
+
+	start := time.Now()
+	final := waitDone(t, ts.URL, camp.ID)
+	close(done)
+	wg.Wait()
+	if final.State != "done" || final.Completed != final.Total {
+		t.Fatalf("campaign under read load settled as %+v", final)
+	}
+	if n := reads.Load(); n == 0 {
+		t.Fatal("readers never completed a request — the regression scenario did not run")
+	}
+	t.Logf("campaign finished in %v under %d concurrent result reads", time.Since(start), reads.Load())
+}

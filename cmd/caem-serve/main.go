@@ -17,22 +17,37 @@
 // worker was holding, and determinism makes the recomputed results
 // bit-identical.
 //
-// API:
+// API (canonical paths live under /v1; see routes.go for the full
+// table and testdata/api_routes.golden for the locked surface):
 //
-//	POST /campaigns                submit a campaign (idempotent: equal
-//	                               requests map to the same campaign id)
-//	GET  /campaigns                list campaigns
-//	GET  /campaigns/{id}           status: per-cell states + counters
-//	GET  /campaigns/{id}/results   completed cells + mean±CI aggregates,
-//	                               read back from the store (works
-//	                               mid-run and after restarts)
-//	GET  /campaigns/{id}/progress  NDJSON progress stream (curl -N)
-//	GET  /healthz                  liveness + store stats + build version
-//	GET  /metrics                  Prometheus text-format exposition
-//	GET  /debug/pprof/             runtime profiling (CPU, heap, trace)
-//	GET  /cluster/status           work queue, leases, workers, poisons
-//	POST /leases/...               the worker lease protocol (see
-//	                               internal/cluster)
+//	POST /v1/campaigns                submit a campaign (idempotent: equal
+//	                                  requests map to the same campaign id)
+//	GET  /v1/campaigns                list campaigns (cursor pagination:
+//	                                  page_size, page_token)
+//	GET  /v1/campaigns/{id}           status: per-cell states + counters
+//	GET  /v1/campaigns/{id}/results   completed cells + mean±CI aggregates,
+//	                                  read back from the store (works
+//	                                  mid-run and after restarts);
+//	                                  filterable (scenario, protocol,
+//	                                  metric, min, max), orderable (top),
+//	                                  percentile surfaces (percentiles),
+//	                                  paginated (page_size, page_token)
+//	GET  /v1/campaigns/{id}/progress  NDJSON progress stream (curl -N)
+//	GET  /v1/healthz                  liveness + store stats + build version
+//	GET  /v1/metrics                  Prometheus text-format exposition
+//	GET  /v1/cluster/status           work queue, leases, workers, poisons
+//	POST /v1/leases/...               the worker lease protocol (see
+//	                                  internal/cluster)
+//	GET  /debug/pprof/                runtime profiling (unversioned by Go
+//	                                  convention)
+//
+// Legacy unversioned paths remain mounted for one release: GETs answer
+// 301 to their /v1 twin (query string preserved); POSTs, /healthz, and
+// /metrics are served at both paths (redirecting a POST would make
+// net/http clients replay it as a bodyless GET, and probes/scrapers
+// commonly treat redirects as failures). Every non-2xx response bodies
+// the uniform envelope {"error":{"code","message","details"}} with a
+// stable machine-readable code.
 //
 // Worker mode serves the same /metrics, /healthz, and /debug/pprof/
 // surface on its own observability listener (-obs-addr, loopback by
@@ -41,7 +56,7 @@
 // A campaign request names library scenarios (or embeds inline specs),
 // protocols, seeds, and partial config overrides:
 //
-//	curl -s localhost:8080/campaigns -d '{
+//	curl -s localhost:8080/v1/campaigns -d '{
 //	  "scenarios": ["node-churn"],
 //	  "protocols": ["leach", "scheme1"],
 //	  "seeds": [1, 2, 3],

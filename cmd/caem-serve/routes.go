@@ -1,0 +1,81 @@
+package main
+
+import (
+	"net/http"
+
+	"repro/internal/api"
+)
+
+// apiRoute is one row of the service's route table: the canonical
+// path (always mounted under /v1), how the legacy unversioned path is
+// kept alive for one release, and the one-line contract recorded in
+// the api-check golden.
+//
+// Legacy modes:
+//
+//	redirect — 301 to the /v1 twin, query string preserved (GETs a
+//	           generic client can follow)
+//	alias    — served directly at both paths. POSTs must alias: a
+//	           301 makes net/http clients replay the request as a
+//	           bodyless GET. /healthz and /metrics also alias, since
+//	           liveness probes and metric scrapers are commonly
+//	           configured to treat any redirect as a failure.
+type apiRoute struct {
+	Method string
+	Path   string
+	Legacy string // "redirect" | "alias"
+	Doc    string
+}
+
+// routeTable is the single source of truth for the /v1 API surface.
+// mountAPI wires the campaign rows; the lease and cluster rows are
+// mounted by cluster.RegisterHTTPObserved under the same conventions
+// and are listed here so the golden covers the whole surface.
+// TestAPIRouteTable locks this table against testdata/api_routes.golden
+// and probes every row against a live server — changing the API
+// without updating the golden fails `make api-check`.
+//
+// /debug/pprof/ stays unversioned by Go convention (tooling hardcodes
+// the path), as does the worker-mode observability listener.
+var routeTable = []apiRoute{
+	{"GET", "/healthz", "alias", "liveness + store stats + build version"},
+	{"POST", "/campaigns", "alias", "submit a campaign (idempotent: equal requests map to one id)"},
+	{"GET", "/campaigns", "redirect", "list campaigns; page_size, page_token"},
+	{"GET", "/campaigns/{id}", "redirect", "status: per-cell states + counters"},
+	{"GET", "/campaigns/{id}/results", "redirect", "queryable results; scenario, protocol, metric, min, max, top, percentiles, page_size, page_token"},
+	{"GET", "/campaigns/{id}/progress", "redirect", "NDJSON progress stream"},
+	{"GET", "/metrics", "alias", "Prometheus text-format exposition"},
+	{"GET", "/cluster/status", "redirect", "work queue, leases, workers, poisons"},
+	{"POST", "/leases/claim", "alias", "lease protocol: claim a cell batch"},
+	{"POST", "/leases/{id}/renew", "alias", "lease protocol: heartbeat"},
+	{"POST", "/leases/{id}/complete", "alias", "lease protocol: settle results"},
+	{"POST", "/leases/{id}/release", "alias", "lease protocol: return unfinished cells"},
+}
+
+// mountAPI wires the campaign-service rows of the route table. Rows
+// without a handler here belong to the coordinator, which mounts them
+// itself (cluster.RegisterHTTPObserved).
+func (s *server) mountAPI() {
+	handlers := map[string]http.HandlerFunc{
+		"GET /healthz":                 s.handleHealth,
+		"POST /campaigns":              s.handleCreate,
+		"GET /campaigns":               s.handleList,
+		"GET /campaigns/{id}":          s.handleStatus,
+		"GET /campaigns/{id}/results":  s.handleResults,
+		"GET /campaigns/{id}/progress": s.handleProgress,
+		"GET /metrics":                 s.reg.Handler().ServeHTTP,
+	}
+	for _, rt := range routeTable {
+		key := rt.Method + " " + rt.Path
+		h, ok := handlers[key]
+		if !ok {
+			continue // coordinator-owned row
+		}
+		s.handle(rt.Method+" /v1"+rt.Path, h)
+		if rt.Legacy == "alias" {
+			s.handle(key, h)
+		} else {
+			s.handle(key, api.RedirectV1)
+		}
+	}
+}

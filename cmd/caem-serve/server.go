@@ -10,10 +10,13 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/caem"
+	"repro/internal/api"
 	"repro/internal/cluster"
 	"repro/internal/obs"
 )
@@ -65,6 +68,26 @@ type campaign struct {
 	failed    int
 	state     string // running | done | failed
 	subs      []chan []byte
+	// resGen counts settlements (guarded by mu). The materialized
+	// results snapshot is stamped with the generation it was built at;
+	// a stale stamp means a cell settled since and the next read
+	// rebuilds.
+	resGen uint64
+
+	// resMu guards resCache only. It is never held while computing a
+	// snapshot — rebuilds run outside every lock, so a storm of result
+	// reads cannot block cell settlement (which takes mu).
+	resMu    sync.Mutex
+	resCache *resultsCache
+}
+
+// resultsCache is a campaign's materialized results snapshot: the
+// settled cells in grid order plus their wire-form aggregates, built
+// once per settlement generation instead of once per request.
+type resultsCache struct {
+	gen   uint64
+	cells []caem.CampaignCell
+	aggs  []resultAggregate
 }
 
 // progressEvent is one NDJSON line of GET /campaigns/{id}/progress.
@@ -185,13 +208,7 @@ func newServerWith(st *caem.CampaignStore, cfg serverConfig) (*server, error) {
 	cfg.lease.Metrics = s.reg
 	cfg.lease.Logger = s.log
 	s.coord = cluster.NewCoordinator(s, cfg.lease)
-	s.handle("GET /healthz", s.handleHealth)
-	s.handle("POST /campaigns", s.handleCreate)
-	s.handle("GET /campaigns", s.handleList)
-	s.handle("GET /campaigns/{id}", s.handleStatus)
-	s.handle("GET /campaigns/{id}/results", s.handleResults)
-	s.handle("GET /campaigns/{id}/progress", s.handleProgress)
-	s.handle("GET /metrics", s.reg.Handler().ServeHTTP)
+	s.mountAPI()
 	s.coord.RegisterHTTPObserved(s.mux, s.reg)
 	registerPprof(s.mux)
 
@@ -355,6 +372,7 @@ func (s *server) CellFailed(cell cluster.Cell, attempts int, err error) {
 // finishLocked updates campaign state after a cell settles and emits
 // the progress event. Caller holds c.mu; it is released here.
 func (s *server) finishLocked(c *campaign, idx int) {
+	c.resGen++ // invalidate the materialized results snapshot
 	cell := c.cells[idx]
 	final := c.completed+c.failed == len(c.cells)
 	if final {
@@ -597,8 +615,18 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// writeError writes the uniform /v1 error envelope
+// {"error":{"code","message","details"}} with a stable machine-readable
+// code (api.Code*).
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	api.WriteError(w, status, code, err.Error(), nil)
+}
+
+// writeInvalid rejects a request with invalid_request and the
+// offending parameter in details.
+func writeInvalid(w http.ResponseWriter, err error, param, value string) {
+	api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest, err.Error(),
+		map[string]string{param: value})
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -624,12 +652,12 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	dec.DisallowUnknownFields()
 	var req campaignRequest
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		writeError(w, http.StatusBadRequest, api.CodeInvalidRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
 	id, canonical, err := campaignID(req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, api.CodeInvalidRequest, err)
 		return
 	}
 
@@ -640,12 +668,12 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	// runs, so a crash mid-campaign can always recover it.
 	c, pending, err := s.plan(id, req)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, api.CodeInvalidRequest, err)
 		return
 	}
 	existing, err := s.register(c)
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
+		writeError(w, http.StatusServiceUnavailable, api.CodeUnavailable, err)
 		return
 	}
 	if existing != nil { // idempotent re-POST
@@ -653,7 +681,7 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.store.SaveCampaignSpec(id, canonical); err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
 		return
 	}
 	s.schedule(pending)
@@ -662,16 +690,86 @@ func (s *server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, c.snapshot())
 }
 
+// pageParams parses page_size and page_token, writing the 400 itself
+// on failure. queryHash binds tokens to the rest of the query string —
+// a token replayed under different filters is rejected.
+func pageParams(w http.ResponseWriter, r *http.Request, queryHash string) (size int, cur api.Cursor, ok bool) {
+	q := r.URL.Query()
+	if v := q.Get("page_size"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeInvalid(w, fmt.Errorf("page_size must be a non-negative integer"), "page_size", v)
+			return 0, api.Cursor{}, false
+		}
+		size = n
+	}
+	if tok := q.Get("page_token"); tok != "" {
+		c, err := api.DecodeCursor(tok, queryHash)
+		if err != nil {
+			writeInvalid(w, err, "page_token", tok)
+			return 0, api.Cursor{}, false
+		}
+		cur = c
+	}
+	return size, cur, true
+}
+
+// pageBounds clips one page [start, end) out of total items. size 0
+// means everything after the cursor.
+func pageBounds(total, size int, cur api.Cursor) (start, end int) {
+	start = min(cur.Off, total)
+	end = total
+	if size > 0 && start+size < total {
+		end = start + size
+	}
+	return start, end
+}
+
+// setNextLink advertises the next page as a Link header on the
+// canonical /v1 path, regardless of which alias served the request.
+func setNextLink(w http.ResponseWriter, r *http.Request, token string) {
+	u := *r.URL
+	if !strings.HasPrefix(u.Path, "/v1/") {
+		u.Path = "/v1" + u.Path
+	}
+	q := u.Query()
+	q.Set("page_token", token)
+	u.RawQuery = q.Encode()
+	w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", u.RequestURI(), "next"))
+}
+
+// listResponse is the GET /v1/campaigns wire doc. NextPageToken is
+// omitted on the last (or only) page, so an unpaginated listing is
+// byte-identical to the pre-/v1 response.
+type listResponse struct {
+	Campaigns     []campaignStatus `json:"campaigns"`
+	NextPageToken string           `json:"nextPageToken,omitempty"`
+}
+
 func (s *server) handleList(w http.ResponseWriter, r *http.Request) {
+	size, cur, ok := pageParams(w, r, "") // the listing has no filters to bind
+	if !ok {
+		return
+	}
 	s.mu.Lock()
-	out := make([]campaignStatus, 0, len(s.order))
+	all := make([]*campaign, 0, len(s.order))
 	for _, id := range s.order {
-		st := s.campaigns[id].snapshot()
-		st.Cells = nil // list view stays small
-		out = append(out, st)
+		all = append(all, s.campaigns[id])
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]any{"campaigns": out})
+
+	start, end := pageBounds(len(all), size, cur)
+	out := listResponse{Campaigns: make([]campaignStatus, 0, end-start)}
+	for _, c := range all[start:end] {
+		st := c.snapshot()
+		st.Cells = nil // list view stays small
+		out.Campaigns = append(out.Campaigns, st)
+	}
+	if end < len(all) {
+		out.NextPageToken = api.EncodeCursor(end, "")
+		setNextLink(w, r, out.NextPageToken)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *server) campaignFor(w http.ResponseWriter, r *http.Request) *campaign {
@@ -679,7 +777,7 @@ func (s *server) campaignFor(w http.ResponseWriter, r *http.Request) *campaign {
 	c := s.campaigns[r.PathValue("id")]
 	s.mu.Unlock()
 	if c == nil {
-		writeError(w, http.StatusNotFound, fmt.Errorf("no campaign %q", r.PathValue("id")))
+		writeError(w, http.StatusNotFound, api.CodeNotFound, fmt.Errorf("no campaign %q", r.PathValue("id")))
 	}
 	return c
 }
@@ -721,44 +819,58 @@ type resultAggregate struct {
 	AliveAtEnd            caem.Aggregate `json:"aliveAtEnd"`
 }
 
-// handleResults reads the campaign's completed cells back from the
-// persistent store — it works mid-run (partial results), after
-// completion, and after a process restart, because the store is the
-// source of truth, not server memory.
-func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
-	c := s.campaignFor(w, r)
-	if c == nil {
-		return
-	}
-	var cells []caem.CampaignCell
+// cellRefs expands the campaign grid into store refs in submission
+// order. Everything read here is immutable after launch, so no lock is
+// needed.
+func (c *campaign) cellRefs() []caem.CellRef {
+	refs := make([]caem.CellRef, 0, len(c.cells))
 	for si, sc := range c.scenarios {
 		for _, p := range c.protocols {
 			for _, seed := range c.seeds {
-				cell, ok, err := s.store.LookupCell(c.hashes[si], sc.Name, p, seed)
-				if err != nil {
-					writeError(w, http.StatusInternalServerError, err)
-					return
-				}
-				if ok {
-					cells = append(cells, cell)
-				}
+				refs = append(refs, caem.CellRef{
+					Hash: c.hashes[si], Scenario: sc.Name, Protocol: p, Seed: seed,
+				})
 			}
 		}
 	}
-	out := struct {
-		ID         string            `json:"id"`
-		State      string            `json:"state"`
-		Total      int               `json:"total"`
-		Completed  int               `json:"completed"`
-		Cells      []resultCell      `json:"cells"`
-		Aggregates []resultAggregate `json:"aggregates"`
-	}{ID: c.id, Total: len(c.cells), Completed: len(cells)}
+	return refs
+}
+
+// cachedResults returns the campaign's materialized results snapshot,
+// rebuilding it when a cell settled since the last build. The rebuild
+// resolves the grid with indexed point reads (caem.QueryCells — never
+// a log rescan) and runs outside every lock: settlement, which holds
+// c.mu, is never blocked behind a read, and a snapshot that races a
+// settling cell is simply stamped stale so the next read rebuilds.
+func (s *server) cachedResults(c *campaign) (*resultsCache, error) {
 	c.mu.Lock()
-	out.State = c.state
+	gen := c.resGen
 	c.mu.Unlock()
+	c.resMu.Lock()
+	if rc := c.resCache; rc != nil && rc.gen == gen {
+		c.resMu.Unlock()
+		return rc, nil
+	}
+	c.resMu.Unlock()
+
+	cells, err := s.store.QueryCells(c.cellRefs(), caem.CellQuery{})
+	if err != nil {
+		return nil, err
+	}
+	rc := &resultsCache{gen: gen, cells: cells, aggs: wireAggregates(caem.AggregateCampaign(cells))}
+	c.resMu.Lock()
+	if c.resCache == nil || c.resCache.gen <= gen {
+		c.resCache = rc
+	}
+	c.resMu.Unlock()
+	return rc, nil
+}
+
+func wireCells(cells []caem.CampaignCell) []resultCell {
+	var out []resultCell
 	for _, cell := range cells {
 		res := cell.Result
-		out.Cells = append(out.Cells, resultCell{
+		out = append(out, resultCell{
 			Scenario: cell.Scenario, Protocol: cell.Protocol.String(), Seed: cell.Seed,
 			DurationSeconds: res.DurationSeconds, TotalConsumedJ: res.TotalConsumedJ,
 			DeliveryRate: res.DeliveryRate, MeanDelayMs: res.MeanDelayMs,
@@ -766,14 +878,142 @@ func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
 			AliveAtEnd: res.AliveAtEnd, Delivered: res.Delivered, Generated: res.Generated,
 		})
 	}
-	for _, a := range caem.AggregateCampaign(cells) {
-		out.Aggregates = append(out.Aggregates, resultAggregate{
+	return out
+}
+
+func wireAggregates(aggs []caem.CampaignAggregate) []resultAggregate {
+	var out []resultAggregate
+	for _, a := range aggs {
+		out = append(out, resultAggregate{
 			Scenario: a.Scenario, Protocol: a.Protocol.String(), Seeds: a.Seeds,
 			ConsumedJ: a.ConsumedJ, DeliveryRate: a.DeliveryRate,
 			MeanDelayMs: a.MeanDelayMs, P95DelayMs: a.P95DelayMs,
 			EnergyPerPacketMilliJ: a.EnergyPerPacketMilliJ, AliveAtEnd: a.AliveAtEnd,
 		})
 	}
+	return out
+}
+
+// resultsResponse is the GET /v1/campaigns/{id}/results wire doc. The
+// extension fields are omitted when unused, so the default
+// (unfiltered, unpaginated) document is byte-identical to the pre-/v1
+// response.
+type resultsResponse struct {
+	ID         string               `json:"id"`
+	State      string               `json:"state"`
+	Total      int                  `json:"total"`
+	Completed  int                  `json:"completed"`
+	Cells      []resultCell         `json:"cells"`
+	Aggregates []resultAggregate    `json:"aggregates"`
+	Surfaces   []caem.MetricSurface `json:"surfaces,omitempty"`
+	// NextPageToken resumes cell pagination; aggregates and surfaces
+	// always cover the whole filtered set, not just this page.
+	NextPageToken string `json:"nextPageToken,omitempty"`
+}
+
+// resultsQuery parses the filter parameters of a results request into
+// a cell query plus requested percentiles, and derives the hash that
+// page tokens bind to. Parse errors are written as invalid_request.
+func resultsQuery(w http.ResponseWriter, r *http.Request) (q caem.CellQuery, ps []float64, qhash string, ok bool) {
+	v := r.URL.Query()
+	q = caem.CellQuery{
+		Scenario: v.Get("scenario"),
+		Protocol: v.Get("protocol"),
+		Metric:   v.Get("metric"),
+	}
+	for _, bound := range []struct {
+		name string
+		dst  **float64
+	}{{"min", &q.Min}, {"max", &q.Max}} {
+		raw := v.Get(bound.name)
+		if raw == "" {
+			continue
+		}
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			writeInvalid(w, fmt.Errorf("%s must be a number", bound.name), bound.name, raw)
+			return q, nil, "", false
+		}
+		*bound.dst = &f
+	}
+	if raw := v.Get("top"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeInvalid(w, fmt.Errorf("top must be a non-negative integer"), "top", raw)
+			return q, nil, "", false
+		}
+		q.Top = n
+	}
+	if raw := v.Get("percentiles"); raw != "" {
+		if q.Metric == "" {
+			writeInvalid(w, fmt.Errorf("percentiles needs a metric"), "percentiles", raw)
+			return q, nil, "", false
+		}
+		for _, part := range strings.Split(raw, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				writeInvalid(w, fmt.Errorf("percentiles must be comma-separated numbers"), "percentiles", raw)
+				return q, nil, "", false
+			}
+			ps = append(ps, f)
+		}
+	}
+	qhash = api.QueryHash(q.Scenario, q.Protocol, q.Metric,
+		v.Get("min"), v.Get("max"), v.Get("top"), v.Get("percentiles"))
+	return q, ps, qhash, true
+}
+
+// handleResults serves the campaign's completed cells from its
+// materialized snapshot — built from the persistent store, so it works
+// mid-run (partial results), after completion, and after a process
+// restart — filtered, ordered, and paginated by the query parameters.
+func (s *server) handleResults(w http.ResponseWriter, r *http.Request) {
+	c := s.campaignFor(w, r)
+	if c == nil {
+		return
+	}
+	q, ps, qhash, ok := resultsQuery(w, r)
+	if !ok {
+		return
+	}
+	size, cur, ok := pageParams(w, r, qhash)
+	if !ok {
+		return
+	}
+	rc, err := s.cachedResults(c)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, api.CodeInternal, err)
+		return
+	}
+
+	cells := rc.cells
+	aggs := rc.aggs
+	if q != (caem.CellQuery{}) {
+		if cells, err = caem.FilterCells(cells, q); err != nil {
+			writeError(w, http.StatusBadRequest, api.CodeInvalidRequest, err)
+			return
+		}
+		aggs = wireAggregates(caem.AggregateCampaign(cells))
+	}
+	out := resultsResponse{
+		ID: c.id, Total: len(c.cells), Completed: len(rc.cells),
+		Aggregates: aggs,
+	}
+	if len(ps) > 0 {
+		if out.Surfaces, err = caem.PercentileSurface(cells, q.Metric, ps); err != nil {
+			writeError(w, http.StatusBadRequest, api.CodeInvalidRequest, err)
+			return
+		}
+	}
+	start, end := pageBounds(len(cells), size, cur)
+	out.Cells = wireCells(cells[start:end])
+	if end < len(cells) {
+		out.NextPageToken = api.EncodeCursor(end, qhash)
+		setNextLink(w, r, out.NextPageToken)
+	}
+	c.mu.Lock()
+	out.State = c.state
+	c.mu.Unlock()
 	writeJSON(w, http.StatusOK, out)
 }
 

@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
@@ -26,14 +27,18 @@ type settleRequest struct {
 // RegisterHTTP mounts the lease protocol and cluster observability on
 // mux:
 //
-//	POST /leases/claim         {"worker","max"} → 200 Lease | 204 no work
-//	POST /leases/{id}/renew    → 204 | 410 lease gone
-//	POST /leases/{id}/complete {"results":[...]} → 204 | 410
-//	POST /leases/{id}/release  {"results":[...]} → 204 | 410
-//	GET  /cluster/status       → Status
+//	POST /v1/leases/claim         {"worker","max"} → 200 Lease | 204 no work
+//	POST /v1/leases/{id}/renew    → 204 | 410 lease gone
+//	POST /v1/leases/{id}/complete {"results":[...]} → 204 | 410
+//	POST /v1/leases/{id}/release  {"results":[...]} → 204 | 410
+//	GET  /v1/cluster/status       → Status
 //
-// 410 Gone maps to ErrLeaseGone on the Remote side: the worker drops
-// the batch and claims fresh work.
+// The legacy unversioned paths stay mounted for one release: the POST
+// routes as aliases (a 301 would make net/http clients replay the
+// request as a bodyless GET), the status GET as a 301 to its /v1
+// twin. Errors use the uniform api envelope; 410 Gone maps to
+// ErrLeaseGone on the Remote side, where the worker drops the batch
+// and claims fresh work.
 func (c *Coordinator) RegisterHTTP(mux *http.ServeMux) {
 	c.registerHTTP(mux, nil)
 }
@@ -53,19 +58,27 @@ func (c *Coordinator) registerHTTP(mux *http.ServeMux, reg *obs.Registry) {
 		}
 		mux.HandleFunc(pattern, h)
 	}
-	handle("POST /leases/claim", func(w http.ResponseWriter, r *http.Request) {
+	// post mounts a POST route at its canonical /v1 path and, for one
+	// release, at the legacy unversioned path.
+	post := func(path string, h http.HandlerFunc) {
+		handle("POST /v1"+path, h)
+		handle("POST "+path, h)
+	}
+	post("/leases/claim", func(w http.ResponseWriter, r *http.Request) {
 		var req claimRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, fmt.Sprintf("bad claim body: %v", err), http.StatusBadRequest)
+			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest,
+				fmt.Sprintf("bad claim body: %v", err), nil)
 			return
 		}
 		if req.Worker == "" {
-			http.Error(w, "claim needs a worker name", http.StatusBadRequest)
+			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest,
+				"claim needs a worker name", nil)
 			return
 		}
 		lease, err := c.Claim(req.Worker, req.Max)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
+			api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, err.Error(), nil)
 			return
 		}
 		if lease == nil {
@@ -75,46 +88,52 @@ func (c *Coordinator) registerHTTP(mux *http.ServeMux, reg *obs.Registry) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(lease)
 	})
-	handle("POST /leases/{id}/renew", func(w http.ResponseWriter, r *http.Request) {
+	post("/leases/{id}/renew", func(w http.ResponseWriter, r *http.Request) {
 		settleHTTP(w, c.Renew(r.PathValue("id")))
 	})
-	handle("POST /leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
+	post("/leases/{id}/complete", func(w http.ResponseWriter, r *http.Request) {
 		var req settleRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, fmt.Sprintf("bad complete body: %v", err), http.StatusBadRequest)
+			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest,
+				fmt.Sprintf("bad complete body: %v", err), nil)
 			return
 		}
 		settleHTTP(w, c.Complete(r.PathValue("id"), req.Results))
 	})
-	handle("POST /leases/{id}/release", func(w http.ResponseWriter, r *http.Request) {
+	post("/leases/{id}/release", func(w http.ResponseWriter, r *http.Request) {
 		var req settleRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(w, fmt.Sprintf("bad release body: %v", err), http.StatusBadRequest)
+			api.WriteError(w, http.StatusBadRequest, api.CodeInvalidRequest,
+				fmt.Sprintf("bad release body: %v", err), nil)
 			return
 		}
 		settleHTTP(w, c.Release(r.PathValue("id"), req.Results))
 	})
-	handle("GET /cluster/status", func(w http.ResponseWriter, r *http.Request) {
+	handle("GET /v1/cluster/status", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(c.Status())
 	})
+	handle("GET /cluster/status", api.RedirectV1)
 }
 
 func settleHTTP(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrLeaseGone):
-		http.Error(w, err.Error(), http.StatusGone)
+		api.WriteError(w, http.StatusGone, api.CodeGone, err.Error(), nil)
 	case err != nil:
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, err.Error(), nil)
 	default:
 		w.WriteHeader(http.StatusNoContent)
 	}
 }
 
 // Remote is the worker-side Queue over HTTP: the client half of
-// RegisterHTTP, used by cmd/caem-serve -join.
+// RegisterHTTP, used by cmd/caem-serve -join. It targets the /v1
+// paths; joining a pre-/v1 coordinator is not supported (the reverse
+// — a pre-/v1 worker joining this coordinator — works through the
+// legacy aliases).
 type Remote struct {
 	// Base is the coordinator's base URL (no trailing slash needed).
 	Base string
@@ -163,7 +182,7 @@ func (r *Remote) Claim(worker string, max int) (*Lease, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	resp, err := r.client().Post(r.Base+"/leases/claim", "application/json", bytes.NewReader(blob))
+	resp, err := r.client().Post(r.Base+"/v1/leases/claim", "application/json", bytes.NewReader(blob))
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
@@ -184,17 +203,17 @@ func (r *Remote) Claim(worker string, max int) (*Lease, error) {
 
 // Renew implements Queue.
 func (r *Remote) Renew(leaseID string) error {
-	return r.post("/leases/"+leaseID+"/renew", struct{}{}, nil)
+	return r.post("/v1/leases/"+leaseID+"/renew", struct{}{}, nil)
 }
 
 // Complete implements Queue.
 func (r *Remote) Complete(leaseID string, results []CellResult) error {
-	return r.post("/leases/"+leaseID+"/complete", settleRequest{Results: results}, nil)
+	return r.post("/v1/leases/"+leaseID+"/complete", settleRequest{Results: results}, nil)
 }
 
 // Release implements Queue.
 func (r *Remote) Release(leaseID string, results []CellResult) error {
-	return r.post("/leases/"+leaseID+"/release", settleRequest{Results: results}, nil)
+	return r.post("/v1/leases/"+leaseID+"/release", settleRequest{Results: results}, nil)
 }
 
 // WaitIdle polls the coordinator until it reports no queued, delayed,
@@ -203,7 +222,7 @@ func (r *Remote) Release(leaseID string, results []CellResult) error {
 func (r *Remote) WaitIdle(timeout, poll time.Duration) (Status, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		resp, err := r.client().Get(r.Base + "/cluster/status")
+		resp, err := r.client().Get(r.Base + "/v1/cluster/status")
 		if err == nil {
 			var st Status
 			derr := json.NewDecoder(resp.Body).Decode(&st)

@@ -15,6 +15,13 @@ const (
 	metricIndexCkpt   = "caem_store_index_checkpoint_seconds"
 	metricRecovered   = "caem_store_recovered_bytes"
 	metricCellsStored = "caem_store_cells"
+
+	metricSegments     = "caem_store_segments"
+	metricRolls        = "caem_store_segment_rolls_total"
+	metricSegmentLoads = "caem_store_segment_loads_total"
+	metricFullScans    = "caem_store_full_scans_total"
+	metricCompactions  = "caem_store_compactions_total"
+	metricCompacted    = "caem_store_compacted_records_total"
 )
 
 // storeMetrics holds the store's instrument handles. A nil
@@ -28,6 +35,13 @@ type storeMetrics struct {
 	indexCkpt *obs.Histogram
 	recovered *obs.Gauge
 	cells     *obs.Gauge
+
+	segments     *obs.Gauge
+	rolls        *obs.Counter
+	segmentLoads *obs.Counter
+	fullScans    *obs.Counter
+	compactions  *obs.Counter
+	compacted    *obs.Counter
 }
 
 // RegisterMetrics registers the store's metric families on reg and
@@ -36,11 +50,11 @@ type storeMetrics struct {
 func RegisterMetrics(reg *obs.Registry) *storeMetrics {
 	return &storeMetrics{
 		appends: reg.Counter(metricAppends,
-			"Record lines appended to results.jsonl."),
+			"Record lines appended to the active results tail."),
 		bytes: reg.Counter(metricBytes,
-			"Bytes appended to results.jsonl."),
+			"Bytes appended to the active results tail."),
 		faults: reg.CounterVec(metricFaults,
-			"Write failures by operation (append, sync, index), including injected faults.",
+			"Write failures by operation (append, sync, index, roll, compact), including injected faults.",
 			"op"),
 		fsync: reg.Histogram(metricFsync,
 			"Latency of the per-append log fsync in seconds.", obs.LatencyBuckets),
@@ -50,7 +64,19 @@ func RegisterMetrics(reg *obs.Registry) *storeMetrics {
 		recovered: reg.Gauge(metricRecovered,
 			"Torn-tail bytes dropped during recovery when this store was opened."),
 		cells: reg.Gauge(metricCellsStored,
-			"Distinct cell results currently stored."),
+			"Distinct cell results currently stored (segments plus active tail)."),
+		segments: reg.Gauge(metricSegments,
+			"Immutable segment files currently in the store."),
+		rolls: reg.Counter(metricRolls,
+			"Active-tail rolls into immutable segments."),
+		segmentLoads: reg.Counter(metricSegmentLoads,
+			"Lazy segment index loads (bloom/range pruning misses land here)."),
+		fullScans: reg.Counter(metricFullScans,
+			"Global-order materializations touching every segment (Records/Keys/index rebuild)."),
+		compactions: reg.Counter(metricCompactions,
+			"Completed compaction passes over the segment set."),
+		compacted: reg.Counter(metricCompacted,
+			"Superseded record lines dropped by compaction."),
 	}
 }
 
@@ -63,7 +89,8 @@ func (s *Store) Observe(reg *obs.Registry) {
 	s.mu.Lock()
 	s.met = m
 	m.recovered.Set(float64(s.recovered))
-	m.cells.Set(float64(len(s.order)))
+	m.cells.Set(float64(s.distinct))
+	m.segments.Set(float64(len(s.segs)))
 	s.mu.Unlock()
 }
 
@@ -95,4 +122,35 @@ func (m *storeMetrics) observeIndexCheckpoint(seconds float64) {
 		return
 	}
 	m.indexCkpt.Observe(seconds)
+}
+
+func (m *storeMetrics) rollDone(segments int) {
+	if m == nil {
+		return
+	}
+	m.rolls.Inc()
+	m.segments.Set(float64(segments))
+}
+
+func (m *storeMetrics) segmentLoad() {
+	if m == nil {
+		return
+	}
+	m.segmentLoads.Inc()
+}
+
+func (m *storeMetrics) fullScan() {
+	if m == nil {
+		return
+	}
+	m.fullScans.Inc()
+}
+
+func (m *storeMetrics) compactionDone(dropped int, segments int) {
+	if m == nil {
+		return
+	}
+	m.compactions.Inc()
+	m.compacted.Add(float64(dropped))
+	m.segments.Set(float64(segments))
 }

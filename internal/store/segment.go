@@ -1,0 +1,337 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	segmentsDir = "segments"
+	segmentExt  = ".jsonl"
+	// footerVersion is the on-disk segment footer format version.
+	footerVersion = 2
+	// segTrailerLen is the fixed length of the final trailer line: a
+	// zero-padded decimal byte offset of the footer line plus "\n". A
+	// fixed-width trailer lets Open find the footer by reading the last
+	// 21 bytes instead of scanning the records.
+	segTrailerLen = 21
+)
+
+// segFooter is the self-describing metadata appended after a segment's
+// record lines: enough to route lookups (bloom + key ranges) and to
+// validate the record region, without decoding a single record. Open
+// reads only footers, which is what makes startup O(segments) + active
+// tail instead of O(cells).
+type segFooter struct {
+	V        int    `json:"v"`
+	Records  int    `json:"records"`  // record lines (one per distinct key)
+	DataSize int64  `json:"dataSize"` // bytes of the record region
+	MinScen  string `json:"minScenario"`
+	MaxScen  string `json:"maxScenario"`
+	MinProto string `json:"minProtocol"`
+	MaxProto string `json:"maxProtocol"`
+	MinSeed  uint64 `json:"minSeed"`
+	MaxSeed  uint64 `json:"maxSeed"`
+	Bloom    *bloom `json:"bloom"`
+}
+
+// segEntry locates one record line inside a segment's record region.
+type segEntry struct {
+	Off int64
+	Len int
+}
+
+// segment is one immutable segment file: record lines in first-put
+// order (deduplicated — a roll keeps only the latest version of each
+// key), then a footer line, then the fixed-width trailer. The footer is
+// resident from Open; the per-key index is loaded lazily on the first
+// lookup that the bloom filter cannot rule out, and cached.
+type segment struct {
+	path   string
+	seq    int
+	footer segFooter
+	f      *os.File            // lazily opened read handle
+	index  map[string]segEntry // lazily built key index
+	order  []Key               // keys in record order
+}
+
+// segName renders the canonical file name for a sequence number.
+func segName(seq int) string {
+	return fmt.Sprintf("seg-%06d%s", seq, segmentExt)
+}
+
+// parseSegSeq extracts the sequence number from a segment file name.
+func parseSegSeq(name string) (int, bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, segmentExt) {
+		return 0, false
+	}
+	seq, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), segmentExt))
+	if err != nil || seq < 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// mayContain reports whether the segment could hold the key: the bloom
+// filter plus the footer's scenario/protocol/seed ranges. False means
+// definitely absent, so the lookup skips the segment entirely.
+func (g *segment) mayContain(k Key, ks string) bool {
+	ft := &g.footer
+	if k.Scenario < ft.MinScen || k.Scenario > ft.MaxScen {
+		return false
+	}
+	if k.Protocol < ft.MinProto || k.Protocol > ft.MaxProto {
+		return false
+	}
+	if k.Seed < ft.MinSeed || k.Seed > ft.MaxSeed {
+		return false
+	}
+	return ft.Bloom.has(ks)
+}
+
+// open returns the segment's read handle, opening it on first use.
+func (g *segment) open() (*os.File, error) {
+	if g.f != nil {
+		return g.f, nil
+	}
+	f, err := os.Open(g.path)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening segment: %w", err)
+	}
+	g.f = f
+	return f, nil
+}
+
+// closeHandle drops the cached read handle (after a compaction swapped
+// the file underneath it, or on store close).
+func (g *segment) closeHandle() {
+	if g.f != nil {
+		g.f.Close()
+		g.f = nil
+	}
+}
+
+// ensureIndex loads the segment's key index on first use: one read of
+// the record region, one JSON key-decode per line. The caller holds the
+// store lock.
+func (g *segment) ensureIndex() error {
+	if g.index != nil {
+		return nil
+	}
+	f, err := g.open()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, g.footer.DataSize)
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return fmt.Errorf("store: reading segment %s records: %w", filepath.Base(g.path), err)
+	}
+	index := make(map[string]segEntry, g.footer.Records)
+	order := make([]Key, 0, g.footer.Records)
+	off := int64(0)
+	for len(buf) > 0 {
+		nl := bytes.IndexByte(buf, '\n')
+		if nl < 0 {
+			return fmt.Errorf("store: segment %s record region is not line-terminated", filepath.Base(g.path))
+		}
+		var r Record
+		if err := json.Unmarshal(buf[:nl], &r); err != nil {
+			return fmt.Errorf("store: segment %s holds a corrupt record at %d: %w", filepath.Base(g.path), off, err)
+		}
+		ks := r.Key().String()
+		if _, dup := index[ks]; !dup {
+			order = append(order, r.Key())
+		}
+		index[ks] = segEntry{Off: off, Len: nl + 1}
+		off += int64(nl + 1)
+		buf = buf[nl+1:]
+	}
+	g.index, g.order = index, order
+	return nil
+}
+
+// readAt decodes the record at a segment entry.
+func (g *segment) readAt(e segEntry, r *Record) error {
+	f, err := g.open()
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, e.Len)
+	if _, err := f.ReadAt(buf, e.Off); err != nil {
+		return fmt.Errorf("store: reading segment record at %d: %w", e.Off, err)
+	}
+	if err := json.Unmarshal(bytes.TrimSuffix(buf, []byte{'\n'}), r); err != nil {
+		return fmt.Errorf("store: corrupt segment record at %d: %w", e.Off, err)
+	}
+	return nil
+}
+
+// rawAt returns the raw line bytes (newline included) at a segment entry.
+func (g *segment) rawAt(e segEntry) ([]byte, error) {
+	f, err := g.open()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, e.Len)
+	if _, err := f.ReadAt(buf, e.Off); err != nil {
+		return nil, fmt.Errorf("store: reading segment record at %d: %w", e.Off, err)
+	}
+	return buf, nil
+}
+
+// footerOf builds the footer for a set of record lines about to become
+// a segment.
+func footerOf(keys []Key, dataSize int64) segFooter {
+	ft := segFooter{V: footerVersion, Records: len(keys), DataSize: dataSize, Bloom: newBloom(len(keys))}
+	for i, k := range keys {
+		if i == 0 {
+			ft.MinScen, ft.MaxScen = k.Scenario, k.Scenario
+			ft.MinProto, ft.MaxProto = k.Protocol, k.Protocol
+			ft.MinSeed, ft.MaxSeed = k.Seed, k.Seed
+		} else {
+			ft.MinScen = min(ft.MinScen, k.Scenario)
+			ft.MaxScen = max(ft.MaxScen, k.Scenario)
+			ft.MinProto = min(ft.MinProto, k.Protocol)
+			ft.MaxProto = max(ft.MaxProto, k.Protocol)
+			ft.MinSeed = min(ft.MinSeed, k.Seed)
+			ft.MaxSeed = max(ft.MaxSeed, k.Seed)
+		}
+		ft.Bloom.add(k.String())
+	}
+	return ft
+}
+
+// writeSegmentFile writes record lines + footer + trailer to path via a
+// temp file and atomic rename. A crash at any point leaves either no
+// segment (ignored .tmp) or the complete one — never a partial segment.
+func writeSegmentFile(path string, lines [][]byte, footer segFooter) error {
+	ftBlob, err := json.Marshal(footer)
+	if err != nil {
+		return fmt.Errorf("store: marshaling segment footer: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	defer os.Remove(tmp) // no-op after a successful rename
+	off := int64(0)
+	for _, line := range lines {
+		if _, err := f.Write(line); err != nil {
+			f.Close()
+			return fmt.Errorf("store: writing segment: %w", err)
+		}
+		off += int64(len(line))
+	}
+	if off != footer.DataSize {
+		f.Close()
+		return fmt.Errorf("store: segment data size mismatch (%d written, footer says %d)", off, footer.DataSize)
+	}
+	if _, err := f.Write(append(ftBlob, '\n')); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing segment footer: %w", err)
+	}
+	trailer := fmt.Sprintf("%0*d\n", segTrailerLen-1, off)
+	if _, err := f.WriteString(trailer); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing segment trailer: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing segment: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("store: publishing segment: %w", err)
+	}
+	return nil
+}
+
+// openSegment loads a segment's footer (not its records): read the
+// fixed-width trailer, seek to the footer line, decode it, and validate
+// it against the file size.
+func openSegment(path string, seq int) (*segment, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	size := fi.Size()
+	if size < segTrailerLen {
+		return nil, fmt.Errorf("store: segment %s is too short (%d bytes)", filepath.Base(path), size)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+	trailer := make([]byte, segTrailerLen)
+	if _, err := f.ReadAt(trailer, size-segTrailerLen); err != nil {
+		return nil, fmt.Errorf("store: reading segment trailer: %w", err)
+	}
+	footerOff, err := strconv.ParseInt(strings.TrimLeft(strings.TrimSuffix(string(trailer), "\n"), "0"), 10, 64)
+	if err != nil {
+		if strings.Trim(string(trailer), "0\n") == "" {
+			footerOff = 0 // all-zero trailer: footer at offset 0 (empty segment)
+		} else {
+			return nil, fmt.Errorf("store: segment %s trailer is corrupt: %w", filepath.Base(path), err)
+		}
+	}
+	if footerOff < 0 || footerOff > size-segTrailerLen {
+		return nil, fmt.Errorf("store: segment %s footer offset %d out of range", filepath.Base(path), footerOff)
+	}
+	ftBlob := make([]byte, size-segTrailerLen-footerOff)
+	if _, err := f.ReadAt(ftBlob, footerOff); err != nil {
+		return nil, fmt.Errorf("store: reading segment footer: %w", err)
+	}
+	var ft segFooter
+	if err := json.Unmarshal(ftBlob, &ft); err != nil {
+		return nil, fmt.Errorf("store: segment %s footer is corrupt: %w", filepath.Base(path), err)
+	}
+	if ft.V != footerVersion || ft.DataSize != footerOff || ft.Records < 0 || ft.Bloom == nil {
+		return nil, fmt.Errorf("store: segment %s footer is inconsistent (v=%d dataSize=%d off=%d)",
+			filepath.Base(path), ft.V, ft.DataSize, footerOff)
+	}
+	return &segment{path: path, seq: seq, footer: ft}, nil
+}
+
+// loadSegments enumerates dir's segment files in sequence order,
+// loading footers only. Stray .tmp files from a crashed roll or
+// compaction are removed — their contents either never became durable
+// (roll republishes from the still-intact active log) or are an
+// abandoned rewrite of a segment that still exists in full.
+func loadSegments(dir string) ([]*segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var segs []*segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		seq, ok := parseSegSeq(name)
+		if !ok {
+			continue
+		}
+		seg, err := openSegment(filepath.Join(dir, name), seq)
+		if err != nil {
+			return nil, err
+		}
+		segs = append(segs, seg)
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	return segs, nil
+}

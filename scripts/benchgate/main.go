@@ -1,7 +1,8 @@
 // Command benchgate is the CI bench-regression guard and comparator: it
 // runs the gated benchmarks (ns per simulated second for the static and
-// scenario engines, the Figure 9 replication grid, and the obs
-// instrument hot path) and checks both time (ns/op) and allocation
+// scenario engines, the Figure 9 replication grid, the obs instrument
+// hot path, and the store query/aggregate-cache paths behind the /v1
+// results API) and checks both time (ns/op) and allocation
 // (allocs/op) results against the committed baseline. The time factor
 // is deliberately loose — CI runners are noisy shared machines — so
 // only order-of-magnitude regressions (an accidentally quadratic hot
@@ -14,9 +15,9 @@
 //
 // Usage (from the repository root):
 //
-//	go run ./scripts/benchgate -baseline BENCH_5.json -factor 2.5 -allocfactor 2.0 \
-//	    -exactallocs '^(BenchmarkSimulatedSecond/|BenchmarkMetricsHotPath$)'
-//	go run ./scripts/benchgate -baseline BENCH_5.json -gate=false -report out/bench-compare.txt
+//	go run ./scripts/benchgate -baseline BENCH_6.json -factor 2.5 -allocfactor 2.0 \
+//	    -exactallocs '^(BenchmarkSimulatedSecond/|BenchmarkMetricsHotPath$|BenchmarkAggregateCached$)'
+//	go run ./scripts/benchgate -baseline BENCH_6.json -gate=false -report out/bench-compare.txt
 //
 // The second form is `make bench-compare`: it never fails the build; it
 // prints (and optionally writes) a benchstat-style delta table of the
@@ -43,8 +44,8 @@ type metric struct {
 
 // baseline mirrors the slice of the BENCH_*.json schema the gate
 // consumes: per-protocol numbers for the static hot path, and single
-// results for the scenario engine, the Figure 9 replication grid, and
-// the obs instrument hot path.
+// results for the scenario engine, the Figure 9 replication grid, the
+// obs instrument hot path, and the store query/aggregate-cache paths.
 type baseline struct {
 	Benchmarks struct {
 		SimulatedSecond struct {
@@ -59,6 +60,12 @@ type baseline struct {
 		MetricsHotPath struct {
 			Result metric `json:"result"`
 		} `json:"BenchmarkMetricsHotPath"`
+		QueryTopK struct {
+			Result metric `json:"result"`
+		} `json:"BenchmarkQueryTopK"`
+		AggregateCached struct {
+			Result metric `json:"result"`
+		} `json:"BenchmarkAggregateCached"`
 	} `json:"benchmarks"`
 }
 
@@ -76,11 +83,13 @@ var gatedSeries = []series{
 	{pattern: "^(BenchmarkSimulatedSecond|BenchmarkScenarioSecond)$", benchtime: "1000x"},
 	{pattern: "^BenchmarkFigure9_NodesAlive$", benchtime: "3x"},
 	{pattern: "^BenchmarkMetricsHotPath$", benchtime: "100000x"},
+	{pattern: "^BenchmarkQueryTopK$", benchtime: "100x"},
+	{pattern: "^BenchmarkAggregateCached$", benchtime: "100000x"},
 }
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_5.json", "committed baseline JSON with the reference values")
+		baselinePath = flag.String("baseline", "BENCH_6.json", "committed baseline JSON with the reference values")
 		factor       = flag.Float64("factor", 2.5, "fail when measured ns/op exceeds factor x baseline")
 		allocFactor  = flag.Float64("allocfactor", 2.0, "fail when measured allocs/op exceeds allocfactor x baseline (allocation counts are nearly deterministic, so this is tighter than the time factor)")
 		exactAllocs  = flag.String("exactallocs", "", "regexp of benchmark names whose measured allocs/op must equal the baseline exactly — no factor slack (empty disables)")
@@ -199,6 +208,12 @@ func loadBaseline(path string) (map[string]metric, error) {
 	}
 	if v := b.Benchmarks.MetricsHotPath.Result; v.NsOp > 0 {
 		refs["BenchmarkMetricsHotPath"] = v
+	}
+	if v := b.Benchmarks.QueryTopK.Result; v.NsOp > 0 {
+		refs["BenchmarkQueryTopK"] = v
+	}
+	if v := b.Benchmarks.AggregateCached.Result; v.NsOp > 0 {
+		refs["BenchmarkAggregateCached"] = v
 	}
 	return refs, nil
 }

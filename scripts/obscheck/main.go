@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/caem"
 	"repro/internal/cluster"
 	"repro/internal/obs"
 	"repro/internal/store"
@@ -28,6 +29,7 @@ func main() {
 	reg := obs.NewRegistry()
 	cluster.RegisterMetrics(reg)
 	store.RegisterMetrics(reg)
+	caem.RegisterAggCacheMetrics(reg)
 	obs.RegisterBuildInfo(reg, "obscheck")
 
 	if errs := reg.Lint("caem_"); len(errs) > 0 {
