@@ -6,7 +6,7 @@ GO ?= go
 #   make build VERSION=v1.2.3
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 
-.PHONY: all build test race vet lint chaos bench bench-smoke bench-gate bench-compare profile determinism resume-check docs-check obs-check api-check figures scenarios examples clean
+.PHONY: all build test race vet lint chaos failover bench bench-smoke bench-gate bench-compare profile determinism resume-check docs-check obs-check api-check figures scenarios examples clean
 
 all: build test vet
 
@@ -26,6 +26,17 @@ race:
 # the settlement sink are exactly where concurrency bugs would hide.
 chaos:
 	$(GO) test -race -count=1 -v -timeout 300s -run 'TestClusterChaos|TestTransientStoreFaultHealsInvisibly|TestChaos|TestDroppedHeartbeats' ./cmd/caem-serve/ ./internal/cluster/
+
+# Coordinator fault-tolerance gate: the leader is SIGKILLed mid-campaign
+# with two live worker processes; the hot standby must take over within
+# 2x the lock TTL (replaying the coordinator journal), fence the dead
+# epoch's writes (410 + "fenced", observed via the scraped
+# caem_cluster_fenced_total), and finish the campaign with a results
+# document byte-identical to a fault-free run. Race-enabled for the same
+# reason as chaos: election, journal replay, and the handler swap are
+# exactly where concurrency bugs would hide.
+failover:
+	$(GO) test -race -count=1 -v -timeout 300s -run 'TestCoordinatorFailover|TestLeaderLock|TestCoordinatorFencing|TestJournalFailoverRoundTrip' ./cmd/caem-serve/ ./internal/cluster/
 
 vet:
 	$(GO) vet ./...

@@ -42,6 +42,10 @@ func TestMain(m *testing.M) {
 		}
 		os.Exit(workerMain(cfg))
 	}
+	if role := os.Getenv("CAEM_TEST_SERVE_ROLE"); role != "" {
+		// Failover-test coordinator processes (see failover_test.go).
+		os.Exit(serveFromEnv(role))
+	}
 	os.Exit(m.Run())
 }
 

@@ -1,0 +1,288 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/caem"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+// serveFromEnv is the coordinator-process entry point for the failover
+// test: TestMain re-executes the test binary as a real caem-serve
+// primary or standby so the test can SIGKILL a genuine leader process.
+func serveFromEnv(role string) int {
+	logger, _ := obs.NewLogger(os.Stderr, "text", false)
+	lockTTL, _ := time.ParseDuration(os.Getenv("CAEM_TEST_SERVE_LOCKTTL"))
+	leaseTTL, _ := time.ParseDuration(os.Getenv("CAEM_TEST_SERVE_LEASETTL"))
+	maxBatch, _ := strconv.Atoi(os.Getenv("CAEM_TEST_SERVE_MAXBATCH"))
+	addrFile := os.Getenv("CAEM_TEST_SERVE_ADDRFILE")
+	return serveMode(serveOptions{
+		addr:     "127.0.0.1:0",
+		storeDir: os.Getenv("CAEM_TEST_SERVE_STORE"),
+		workers:  0, // every cell must flow through the HTTP lease protocol
+		drain:    5 * time.Second,
+		leaseTTL: leaseTTL,
+		maxBatch: maxBatch,
+		lockTTL:  lockTTL,
+		standby:  role == "standby",
+		primary:  os.Getenv("CAEM_TEST_SERVE_HINT"),
+		log:      logger,
+		addrReady: func(addr string) {
+			os.WriteFile(addrFile+".tmp", []byte(addr), 0o644)
+			os.Rename(addrFile+".tmp", addrFile)
+		},
+	})
+}
+
+// spawnServe re-executes the test binary as a coordinator process and
+// waits for it to publish its bound address.
+func spawnServe(t *testing.T, role, storeDir, hint string, lockTTL, leaseTTL time.Duration) (*exec.Cmd, string) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		"CAEM_TEST_SERVE_ROLE="+role,
+		"CAEM_TEST_SERVE_STORE="+storeDir,
+		"CAEM_TEST_SERVE_ADDRFILE="+addrFile,
+		"CAEM_TEST_SERVE_LOCKTTL="+lockTTL.String(),
+		"CAEM_TEST_SERVE_LEASETTL="+leaseTTL.String(),
+		"CAEM_TEST_SERVE_MAXBATCH=2", // small batches spread cells across workers
+		"CAEM_TEST_SERVE_HINT="+hint,
+	)
+	cmd.Stdout = io.Discard
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if blob, err := os.ReadFile(addrFile); err == nil {
+			return cmd, "http://" + string(blob)
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatalf("%s never published its address", role)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// healthDoc fetches /healthz; any transport error reads as "not up yet"
+// (nil map), so callers can poll across a takeover window.
+func healthDoc(base string) map[string]any {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if jsonDecode(resp.Body, &doc) != nil {
+		return nil
+	}
+	return doc
+}
+
+// waitRole polls /healthz until the process reports the role, returning
+// the health document that matched.
+func waitRole(t *testing.T, base, role string, timeout time.Duration) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if doc := healthDoc(base); doc != nil && doc["role"] == role {
+			return doc
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never reported role %q", base, role)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// failoverRequest is a grid long enough that the coordinator dies with
+// work still in flight: 2 protocols × 4 seeds = 8 cells of a few
+// hundred simulated seconds.
+const failoverRequest = `{
+  "scenarios": ["node-churn"],
+  "protocols": ["leach", "scheme1"],
+  "seeds": [1, 2, 3, 4],
+  "config": {"durationSeconds": 120}
+}`
+
+// TestCoordinatorFailover is the coordinator fault-tolerance gate: the
+// leader is SIGKILLed mid-campaign with two live worker processes; the
+// standby must take over within 2× the lock TTL (replaying the journal
+// the dead leader wrote), fence the dead epoch's writes, and finish the
+// campaign with a results document byte-identical to a fault-free run.
+func TestCoordinatorFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess failover test skipped in -short mode")
+	}
+	const lockTTL, leaseTTL = time.Second, time.Second
+	storeDir := t.TempDir()
+
+	primary, purl := spawnServe(t, "primary", storeDir, "", lockTTL, leaseTTL)
+	primaryDead := false
+	defer func() {
+		if !primaryDead {
+			primary.Process.Kill()
+			primary.Wait()
+		}
+	}()
+	if doc := waitRole(t, purl, "leader", 30*time.Second); doc["ready"] != true {
+		t.Fatalf("primary /healthz = %v, want ready=true", doc)
+	}
+
+	standby, surl := spawnServe(t, "standby", storeDir, purl, lockTTL, leaseTTL)
+	defer func() {
+		standby.Process.Signal(os.Interrupt)
+		standby.Wait()
+	}()
+	// Satellite contract: a standby is alive but not ready until it
+	// holds the lock.
+	if doc := waitRole(t, surl, "standby", 30*time.Second); doc["ready"] != false || doc["ok"] != true {
+		t.Fatalf("standby /healthz = %v, want ok=true ready=false", doc)
+	}
+
+	camp := postCampaign(t, purl, failoverRequest)
+	if camp.State != "running" || camp.Total != 8 {
+		t.Fatalf("campaign did not start fresh: %+v", camp)
+	}
+
+	// Workers join with both coordinator URLs so they can re-target.
+	for i := 0; i < 2; i++ {
+		wk := spawnWorker(t, purl+","+surl, 2)
+		defer func() {
+			wk.Process.Signal(os.Interrupt)
+			wk.Wait()
+		}()
+	}
+
+	// Wait until the primary has granted a lease, and record one of its
+	// epoch-1 lease IDs: replaying it against the successor is the
+	// deterministic fenced write (workers may or may not race one in
+	// naturally during the takeover window).
+	var victimLease string
+	holdBy := time.Now().Add(60 * time.Second)
+	for victimLease == "" {
+		var cst cluster.Status
+		if err := jsonDecode(bytes.NewReader(getBytes(t, purl+"/cluster/status")), &cst); err != nil {
+			t.Fatal(err)
+		}
+		if len(cst.Leases) > 0 {
+			victimLease = cst.Leases[0].ID
+		}
+		if time.Now().After(holdBy) {
+			t.Fatal("primary never granted a lease")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !strings.HasPrefix(victimLease, "lease-1-") {
+		t.Fatalf("primary lease ID %q does not carry epoch 1", victimLease)
+	}
+
+	// SIGKILL the leader mid-campaign: no drain, no release, no lock
+	// handoff — the standby must notice the lock expire on its own.
+	if err := primary.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	primary.Wait()
+	primaryDead = true
+	killedAt := time.Now()
+
+	doc := waitRole(t, surl, "leader", 30*time.Second)
+	took := time.Since(killedAt)
+	if doc["ready"] != true {
+		t.Fatalf("new leader /healthz = %v, want ready=true", doc)
+	}
+	if took > 2*lockTTL {
+		t.Fatalf("takeover took %v, want <= %v (2x lock TTL)", took, 2*lockTTL)
+	}
+
+	// The dead epoch is fenced: renewing the victim's epoch-1 lease
+	// against the new leader answers 410 with the "fenced" code, not
+	// plain "gone" — the worker-visible signal to re-resolve the leader.
+	resp, err := http.Post(surl+"/v1/leases/"+victimLease+"/renew", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var envelope struct {
+		Error struct {
+			Code string `json:"code"`
+		} `json:"error"`
+	}
+	derr := jsonDecode(resp.Body, &envelope)
+	resp.Body.Close()
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if resp.StatusCode != http.StatusGone || envelope.Error.Code != "fenced" {
+		t.Fatalf("ghost renew = %s code %q, want 410 code \"fenced\"", resp.Status, envelope.Error.Code)
+	}
+
+	final := waitDone(t, surl, camp.ID)
+	if final.State != "done" || final.Completed != final.Total || final.Failed != 0 {
+		t.Fatalf("campaign did not survive the coordinator kill: %+v", final)
+	}
+	var cst cluster.Status
+	if err := jsonDecode(bytes.NewReader(getBytes(t, surl+"/cluster/status")), &cst); err != nil {
+		t.Fatal(err)
+	}
+	if cst.Epoch < 2 {
+		t.Fatalf("successor epoch = %d, want >= 2", cst.Epoch)
+	}
+	if len(cst.Poisoned) != 0 {
+		t.Fatalf("coordinator death must not poison cells: %+v", cst.Poisoned)
+	}
+
+	exp := scrapeMetrics(t, surl)
+	if v, ok := exp.Value("caem_cluster_fenced_total"); !ok || v < 1 {
+		t.Fatalf("caem_cluster_fenced_total = %v (ok=%v), want >= 1", v, ok)
+	}
+	if v, ok := exp.Value("caem_cluster_epoch"); !ok || v < 2 {
+		t.Fatalf("caem_cluster_epoch = %v (ok=%v), want >= 2", v, ok)
+	}
+	if v, ok := exp.Value("caem_cluster_takeovers_total"); !ok || v < 1 {
+		t.Fatalf("caem_cluster_takeovers_total = %v (ok=%v), want >= 1", v, ok)
+	}
+	if v, ok := exp.Value("caem_cells_poisoned_total"); ok && v != 0 {
+		t.Fatalf("caem_cells_poisoned_total = %v, want 0", v)
+	}
+	failedOver := getBytes(t, surl+"/campaigns/"+camp.ID+"/results")
+
+	// Reference: the same campaign, single process, no faults. The
+	// failover must be invisible in the results document, byte for byte.
+	refStore, err := caem.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refStore.Close()
+	refSrv, err := newServer(refStore, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refSrv.Close()
+	refTS := httptest.NewServer(refSrv)
+	defer refTS.Close()
+	refCamp := postCampaign(t, refTS.URL, failoverRequest)
+	if got := waitDone(t, refTS.URL, refCamp.ID); got.State != "done" {
+		t.Fatalf("reference run failed: %+v", got)
+	}
+	reference := getBytes(t, refTS.URL+"/campaigns/"+refCamp.ID+"/results")
+
+	if !bytes.Equal(failedOver, reference) {
+		t.Fatalf("failed-over run is not byte-identical to the fault-free run:\n--- failover (%d bytes)\n%s\n--- fault-free (%d bytes)\n%s",
+			len(failedOver), failedOver, len(reference), reference)
+	}
+}

@@ -5,17 +5,22 @@
 // Usage:
 //
 //	caem-serve -addr :8080 -store ./caem-store -workers 0
-//	caem-serve -join http://coordinator:8080 -workers 0
+//	caem-serve -addr :8081 -store ./caem-store -standby http://primary:8080
+//	caem-serve -join http://primary:8080,http://standby:8081 -workers 0
 //
 // The first form runs a coordinator: it owns the store, serves the
 // campaign API, and executes cells on its local worker budget. The
-// second form runs a worker process that joins an existing coordinator
-// over HTTP: it claims leases of campaign cells, executes them on its
-// own simulation pools, and pushes the results back. Workers hold no
-// state — they can be added, removed, or killed at any point; the
-// coordinator's lease/heartbeat protocol re-queues whatever a dead
-// worker was holding, and determinism makes the recomputed results
-// bit-identical.
+// second runs a hot standby over the same store directory: it watches
+// the coordinator's leader lock and takes over — replaying the
+// coordinator journal, fencing the dead leader's epoch — the moment the
+// lock expires. The third form runs a worker process that joins the
+// cluster over HTTP (list every coordinator, comma-separated, so the
+// worker can re-target across a failover): it claims leases of campaign
+// cells, executes them on its own simulation pools, and pushes the
+// results back. Workers hold no state — they can be added, removed, or
+// killed at any point; the coordinator's lease/heartbeat protocol
+// re-queues whatever a dead worker was holding, and determinism makes
+// the recomputed results bit-identical.
 //
 // API (canonical paths live under /v1; see routes.go for the full
 // table and testdata/api_routes.golden for the locked surface):
@@ -36,6 +41,7 @@
 //	GET  /v1/healthz                  liveness + store stats + build version
 //	GET  /v1/metrics                  Prometheus text-format exposition
 //	GET  /v1/cluster/status           work queue, leases, workers, poisons
+//	GET  /v1/cluster/leader           current leader URL, epoch, role
 //	POST /v1/leases/...               the worker lease protocol (see
 //	                                  internal/cluster)
 //	GET  /debug/pprof/                runtime profiling (unversioned by Go
@@ -84,6 +90,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log/slog"
@@ -91,14 +98,18 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/caem"
+	"repro/internal/api"
 	"repro/internal/cluster"
+	"repro/internal/cluster/journal"
 	"repro/internal/obs"
 )
 
@@ -114,9 +125,12 @@ func main() {
 		addr        = flag.String("addr", ":8080", "listen address (coordinator mode)")
 		storeDir    = flag.String("store", "caem-store", "results-store directory (created if absent)")
 		workers     = flag.Int("workers", 0, "simulation worker budget (0 = one per CPU)")
-		join        = flag.String("join", "", "coordinator URL: run as a worker of that cluster instead of serving")
+		join        = flag.String("join", "", "coordinator URL(s), comma-separated: run as a worker of that cluster instead of serving")
+		standby     = flag.String("standby", "", "primary coordinator URL: run as a hot standby over the same store, taking over when its leader lock expires")
+		advertise   = flag.String("advertise", "", "base URL workers should use to reach this coordinator (default http://<bound addr>)")
 		drain       = flag.Duration("drain", 30*time.Second, "graceful-shutdown deadline for in-flight cells")
 		leaseTTL    = flag.Duration("lease-ttl", 0, "worker lease TTL before cells re-queue (0 = default 15s)")
+		lockTTL     = flag.Duration("lock-ttl", 3*time.Second, "leader-lock TTL before a standby may take over")
 		obsAddr     = flag.String("obs-addr", "127.0.0.1:0", "worker-mode observability listen address for /metrics and /debug/pprof (empty disables)")
 		logFormat   = flag.String("log-format", "text", "log output format: text or json")
 		verbose     = flag.Bool("v", false, "enable debug logging")
@@ -147,12 +161,169 @@ func main() {
 			log:     logger,
 		}))
 	}
-	os.Exit(serveMode(*addr, *storeDir, w, *drain, *leaseTTL, logger))
+	os.Exit(serveMode(serveOptions{
+		addr:      *addr,
+		storeDir:  *storeDir,
+		workers:   w,
+		drain:     *drain,
+		leaseTTL:  *leaseTTL,
+		lockTTL:   *lockTTL,
+		advertise: *advertise,
+		standby:   *standby != "",
+		primary:   *standby,
+		log:       logger,
+	}))
 }
 
-// serveMode runs the coordinator: store, campaign API, local workers.
-func serveMode(addr, storeDir string, workers int, drain, leaseTTL time.Duration, logger *slog.Logger) int {
-	st, err := caem.OpenStore(storeDir)
+// serveOptions parameterizes a coordinator-mode (or standby-mode)
+// process.
+type serveOptions struct {
+	// addr is the listen address.
+	addr string
+	// storeDir is the results-store directory; the leader lock and the
+	// coordinator journal live in its cluster/ subdirectory, so a primary
+	// and its standbys must share it.
+	storeDir string
+	// workers is the local executor-loop budget.
+	workers int
+	// drain is the graceful-shutdown deadline.
+	drain time.Duration
+	// leaseTTL is the worker lease TTL (0 = coordinator default).
+	leaseTTL time.Duration
+	// maxBatch caps cells per lease (0 = coordinator default).
+	maxBatch int
+	// lockTTL is the leader-lock TTL (0 = lock default).
+	lockTTL time.Duration
+	// advertise is the URL published to workers via /v1/cluster/leader
+	// ("" derives http://<bound addr>).
+	advertise string
+	// standby starts the process watching the leader lock instead of
+	// claiming it; primary is the current leader's URL hint served to
+	// workers until the lock file says otherwise.
+	standby bool
+	primary string
+	// log receives structured records (nil discards).
+	log *slog.Logger
+	// addrReady, when non-nil, is called with the bound listen address
+	// once the listener is up (tests use it to find the port).
+	addrReady func(addr string)
+}
+
+// serveMode runs a coordinator: leader election, journal replay, store,
+// campaign API, local workers. A primary claims the leader lock
+// immediately and refuses to start if another coordinator holds it; a
+// standby (-standby) serves only health/metrics/leader-lookup until the
+// lock expires, then takes over at a higher epoch — replaying the
+// journal the dead leader wrote — and fences everything the old epoch
+// granted.
+func serveMode(opts serveOptions) int {
+	logger := opts.log
+	if logger == nil {
+		logger = obs.NopLogger()
+	}
+	ln, err := net.Listen("tcp", opts.addr)
+	if err != nil {
+		logger.Error("listen failed", "addr", opts.addr, "error", err.Error())
+		return 1
+	}
+	bound := ln.Addr().String()
+	advertise := strings.TrimRight(opts.advertise, "/")
+	if advertise == "" {
+		advertise = "http://" + bound
+	}
+
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, version)
+	takeovers := cluster.TakeoverCounter(reg)
+
+	clusterDir := filepath.Join(opts.storeDir, "cluster")
+	if err := os.MkdirAll(clusterDir, 0o755); err != nil {
+		logger.Error("creating cluster dir failed", "error", err.Error())
+		return 1
+	}
+	host, _ := os.Hostname()
+	if host == "" {
+		host = "caem-serve"
+	}
+	lock := &cluster.LeaderLock{
+		Path:   filepath.Join(clusterDir, "leader.lock"),
+		TTL:    opts.lockTTL,
+		Holder: fmt.Sprintf("%s-%d", host, os.Getpid()),
+		URL:    advertise,
+	}
+
+	// The handler starts as the standby surface (health, metrics, leader
+	// lookup, 503 for everything else) and is swapped for the full
+	// campaign server once this process holds the lock. Atomic, so the
+	// listener can come up before leadership is settled.
+	var handler atomic.Pointer[http.Handler]
+	var sb http.Handler = standbyMux(reg, lock.Path, opts.primary)
+	handler.Store(&sb)
+	httpSrv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		(*handler.Load()).ServeHTTP(w, r)
+	})}
+	done := make(chan error, 1)
+	go func() { done <- httpSrv.Serve(ln) }()
+	if opts.addrReady != nil {
+		opts.addrReady(bound)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	var epoch int64
+	if opts.standby {
+		logger.Info("standing by", "addr", bound, "primary", opts.primary,
+			"lock", lock.Path, "version", version)
+		poll := opts.lockTTL / 3
+		if poll <= 0 {
+			poll = time.Second
+		}
+		if poll < 50*time.Millisecond {
+			poll = 50 * time.Millisecond
+		}
+		t := time.NewTicker(poll)
+		defer t.Stop()
+	standbyWait:
+		for {
+			select {
+			case err := <-done:
+				logger.Error("http server failed", "error", err.Error())
+				return 1
+			case <-sig:
+				logger.Info("standby interrupted before taking over")
+				httpSrv.Close()
+				return 0
+			case <-t.C:
+			}
+			epoch, err = lock.TryAcquire()
+			if errors.Is(err, cluster.ErrLockHeld) {
+				continue
+			}
+			if err != nil {
+				logger.Error("leader lock acquisition failed", "error", err.Error())
+				return 1
+			}
+			takeovers.Inc()
+			logger.Warn("leader lock expired; taking over", "epoch", epoch)
+			break standbyWait
+		}
+	} else {
+		epoch, err = lock.TryAcquire()
+		if errors.Is(err, cluster.ErrLockHeld) {
+			info, _ := cluster.ReadLockFile(lock.Path)
+			logger.Error("another coordinator holds the leader lock; start this one with -standby",
+				"holder", info.Holder, "url", info.URL, "epoch", info.Epoch)
+			return 1
+		}
+		if err != nil {
+			logger.Error("leader lock acquisition failed", "error", err.Error())
+			return 1
+		}
+	}
+
+	// Leadership held at epoch. Open the store, replay the predecessor's
+	// journal, and start journaling our own epoch before any scheduling.
+	st, err := caem.OpenStore(opts.storeDir)
 	if err != nil {
 		logger.Error("opening store failed", "error", err.Error())
 		return 1
@@ -160,37 +331,87 @@ func serveMode(addr, storeDir string, workers int, drain, leaseTTL time.Duration
 	if n := st.RecoveredBytes(); n > 0 {
 		logger.Warn("store recovered from a torn tail", "dropped_bytes", n)
 	}
+	jnl, jstate, err := journal.Open(clusterDir)
+	if err != nil {
+		logger.Error("opening coordinator journal failed", "error", err.Error())
+		return 1
+	}
+	jnl.Observe(reg)
+	if n := jnl.ReplayedRecords(); n > 0 {
+		logger.Info("coordinator journal replayed",
+			"records", n, "epoch", jstate.Epoch, "queued", len(jstate.Queue))
+	}
+	if n := jnl.RecoveredBytes(); n > 0 {
+		logger.Warn("journal recovered from a torn tail", "dropped_bytes", n)
+	}
+	if err := jnl.Begin(epoch, jstate); err != nil {
+		logger.Error("starting journal epoch failed", "error", err.Error())
+		return 1
+	}
 	srv, err := newServerWith(st, serverConfig{
-		workers: workers,
-		lease:   cluster.Options{LeaseTTL: leaseTTL},
-		logger:  logger,
-		version: version,
+		workers:   opts.workers,
+		lease:     cluster.Options{LeaseTTL: opts.leaseTTL, MaxBatch: opts.maxBatch, Epoch: epoch, Journal: jnl},
+		metrics:   reg,
+		logger:    logger,
+		version:   version,
+		jstate:    &jstate,
+		advertise: advertise,
 	})
 	if err != nil {
 		logger.Error("starting server failed", "error", err.Error())
 		return 1
 	}
+	var full http.Handler = srv
+	handler.Store(&full)
+	logger.Info("caem-serve leading",
+		"addr", bound, "store", st.Dir(), "workers", opts.workers,
+		"epoch", epoch, "cells_on_disk", st.Len(), "version", version)
 
-	httpSrv := &http.Server{Addr: addr, Handler: srv}
-	done := make(chan error, 1)
-	go func() { done <- httpSrv.ListenAndServe() }()
-	logger.Info("caem-serve listening",
-		"addr", addr, "store", st.Dir(), "workers", workers,
-		"cells_on_disk", st.Len(), "version", version)
+	// Renew the lock at TTL/3. Losing it (a standby legitimately deposed
+	// us after a long stall) fences the coordinator: every write carrying
+	// our epoch answers 410 from here on, and workers re-target.
+	renewStop := make(chan struct{})
+	renewDone := make(chan struct{})
+	go func() {
+		defer close(renewDone)
+		period := opts.lockTTL / 3
+		if period <= 0 {
+			period = time.Second
+		}
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-renewStop:
+				return
+			case <-t.C:
+			}
+			if err := lock.Renew(epoch); err != nil {
+				logger.Error("leader lock lost; fencing", "epoch", epoch, "error", err.Error())
+				srv.coord.Fence()
+				return
+			}
+		}
+	}()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	code := 0
 	select {
 	case err := <-done:
 		logger.Error("http server failed", "error", err.Error())
 		code = 1
 	case <-sig:
-		logger.Info("draining", "deadline", drain.String())
+		logger.Info("draining", "deadline", opts.drain.String())
 	}
+	close(renewStop)
+	<-renewDone
 	httpSrv.Close()
-	if err := srv.Shutdown(drain); err != nil {
+	if err := srv.Shutdown(opts.drain); err != nil {
 		logger.Error("shutdown incomplete", "error", err.Error())
+		code = 1
+	}
+	lock.Release(epoch) // best-effort: a deposed leader has nothing to release
+	if err := jnl.Close(); err != nil {
+		logger.Error("closing journal failed", "error", err.Error())
 		code = 1
 	}
 	if err := st.Close(); err != nil {
@@ -200,9 +421,48 @@ func serveMode(addr, storeDir string, workers int, drain, leaseTTL time.Duration
 	return code
 }
 
+// standbyMux is the HTTP surface of a coordinator that is not (yet)
+// leading: health that says so, metrics, and the leader lookup workers
+// use to re-target. Everything else answers 503 + Retry-After — never
+// 410, which would make workers abandon leases that are still live
+// under the real leader.
+func standbyMux(reg *obs.Registry, lockPath, primaryHint string) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /v1/metrics", reg.Handler())
+	health := func(w http.ResponseWriter, _ *http.Request) {
+		v := version
+		if v == "" {
+			v = "dev"
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok": true, "role": "standby", "ready": false, "version": v,
+		})
+	}
+	mux.HandleFunc("GET /healthz", health)
+	mux.HandleFunc("GET /v1/healthz", health)
+	leader := func(w http.ResponseWriter, _ *http.Request) {
+		out := cluster.LeaderInfo{LeaderURL: primaryHint, Role: "standby"}
+		if info, err := cluster.ReadLockFile(lockPath); err == nil {
+			out.LeaderURL, out.Epoch = info.URL, info.Epoch
+		}
+		writeJSON(w, http.StatusOK, out)
+	}
+	mux.HandleFunc("GET /v1/cluster/leader", leader)
+	mux.HandleFunc("GET /cluster/leader", api.RedirectV1)
+	mux.HandleFunc("/", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		api.WriteError(w, http.StatusServiceUnavailable, api.CodeUnavailable,
+			"standby: not leading yet", nil)
+	})
+	return mux
+}
+
 // workerConfig parameterizes a worker-mode process.
 type workerConfig struct {
-	// join is the coordinator base URL.
+	// join lists coordinator base URLs, comma-separated. Workers rotate
+	// through them on transport errors and fencing, and re-resolve the
+	// leader via /v1/cluster/leader, so a failover needs no restart.
 	join string
 	// workers is the number of executor loops.
 	workers int
@@ -251,7 +511,17 @@ func workerMain(cfg workerConfig) int {
 		}
 	}
 
-	remote := &cluster.Remote{Base: strings.TrimRight(cfg.join, "/")}
+	var bases []string
+	for _, b := range strings.Split(cfg.join, ",") {
+		if b = strings.TrimRight(strings.TrimSpace(b), "/"); b != "" {
+			bases = append(bases, b)
+		}
+	}
+	if len(bases) == 0 {
+		logger.Error("no coordinator URL in -join")
+		return 1
+	}
+	remote := &cluster.Remote{Bases: bases}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 

@@ -46,6 +46,7 @@ var routeTable = []apiRoute{
 	{"GET", "/campaigns/{id}/progress", "redirect", "NDJSON progress stream"},
 	{"GET", "/metrics", "alias", "Prometheus text-format exposition"},
 	{"GET", "/cluster/status", "redirect", "work queue, leases, workers, poisons"},
+	{"GET", "/cluster/leader", "redirect", "leadership: current leader URL, epoch, role"},
 	{"POST", "/leases/claim", "alias", "lease protocol: claim a cell batch"},
 	{"POST", "/leases/{id}/renew", "alias", "lease protocol: heartbeat"},
 	{"POST", "/leases/{id}/complete", "alias", "lease protocol: settle results"},
@@ -63,6 +64,7 @@ func (s *server) mountAPI() {
 		"GET /campaigns/{id}":          s.handleStatus,
 		"GET /campaigns/{id}/results":  s.handleResults,
 		"GET /campaigns/{id}/progress": s.handleProgress,
+		"GET /cluster/leader":          s.handleLeader,
 		"GET /metrics":                 s.reg.Handler().ServeHTTP,
 	}
 	for _, rt := range routeTable {

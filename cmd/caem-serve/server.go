@@ -18,6 +18,7 @@ import (
 	"repro/caem"
 	"repro/internal/api"
 	"repro/internal/cluster"
+	"repro/internal/cluster/journal"
 	"repro/internal/obs"
 )
 
@@ -145,6 +146,14 @@ type serverConfig struct {
 	// version is the build version exposed in /healthz and
 	// caem_build_info ("" reads as "dev").
 	version string
+	// jstate, when non-nil, is the replayed coordinator journal of a
+	// predecessor: the coordinator restores it (adopting cells whose
+	// results the store already holds) before campaign recovery replans.
+	jstate *journal.State
+	// advertise is the base URL workers use to reach this server,
+	// published by GET /v1/cluster/leader ("" falls back to the request
+	// host).
+	advertise string
 }
 
 // server is the campaign service: an HTTP API over a persistent results
@@ -155,17 +164,18 @@ type serverConfig struct {
 // and folding it back into campaign progress. The store makes completed
 // work durable, and restart recovery re-schedules whatever is missing.
 type server struct {
-	store   *caem.CampaignStore
-	workers int
-	mux     *http.ServeMux
-	coord   *cluster.Coordinator
-	chaos   *cluster.Chaos
-	reg     *obs.Registry
-	log     *slog.Logger
-	version string
-	quit    chan struct{}
-	cancel  context.CancelFunc // stops the local workers
-	wg      sync.WaitGroup
+	store     *caem.CampaignStore
+	workers   int
+	mux       *http.ServeMux
+	coord     *cluster.Coordinator
+	chaos     *cluster.Chaos
+	reg       *obs.Registry
+	log       *slog.Logger
+	version   string
+	advertise string
+	quit      chan struct{}
+	cancel    context.CancelFunc // stops the local workers
+	wg        sync.WaitGroup
 
 	mu        sync.Mutex
 	campaigns map[string]*campaign
@@ -200,6 +210,7 @@ func newServerWith(st *caem.CampaignStore, cfg serverConfig) (*server, error) {
 		reg:       cfg.metrics,
 		log:       cfg.logger,
 		version:   cfg.version,
+		advertise: cfg.advertise,
 		quit:      make(chan struct{}),
 		campaigns: make(map[string]*campaign),
 	}
@@ -212,6 +223,19 @@ func newServerWith(st *caem.CampaignStore, cfg serverConfig) (*server, error) {
 	s.coord.RegisterHTTPObserved(s.mux, s.reg)
 	registerPprof(s.mux)
 
+	if cfg.jstate != nil {
+		// Replay the predecessor's journal before recovery replans: cells
+		// whose results already landed in the store are adopted as settled
+		// (the crash window between PutCell and the journal settle record),
+		// everything else resumes with its attempt counts intact.
+		adopt := func(cell cluster.Cell) bool {
+			return st.HasCell(cell.Hash, cell.Scenario.Name, cell.Config.Protocol, cell.Config.Seed)
+		}
+		if err := s.coord.Restore(*cfg.jstate, adopt); err != nil {
+			s.coord.Stop()
+			return nil, err
+		}
+	}
 	if err := s.recover(); err != nil {
 		s.coord.Stop()
 		return nil, err
@@ -273,6 +297,7 @@ func (s *server) Shutdown(drain time.Duration) error {
 	s.closed = true
 	s.mu.Unlock()
 	close(s.quit)
+	s.coord.Drain() // claims now answer 503 + Retry-After instead of handing out work
 	s.cancel()
 
 	drained := make(chan struct{})
@@ -639,11 +664,29 @@ func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"ok":        true,
+		"role":      "leader",
+		"ready":     true,
+		"epoch":     s.coord.Epoch(),
 		"version":   v,
 		"workers":   s.workers,
 		"campaigns": n,
 		"cells":     s.store.Len(),
 		"store":     s.store.Dir(),
+	})
+}
+
+// handleLeader answers the worker re-targeting probe: who is leading,
+// at which epoch. A standby answers the same route from its lock-file
+// view; here the server itself is the leader.
+func (s *server) handleLeader(w http.ResponseWriter, r *http.Request) {
+	url := s.advertise
+	if url == "" {
+		url = "http://" + r.Host
+	}
+	writeJSON(w, http.StatusOK, cluster.LeaderInfo{
+		LeaderURL: url,
+		Epoch:     s.coord.Epoch(),
+		Role:      "leader",
 	})
 }
 

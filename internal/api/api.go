@@ -20,6 +20,7 @@ const (
 	CodeInvalidRequest = "invalid_request"
 	CodeNotFound       = "not_found"
 	CodeGone           = "gone"
+	CodeFenced         = "fenced"
 	CodeUnavailable    = "unavailable"
 	CodeInternal       = "internal"
 )

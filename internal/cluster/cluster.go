@@ -42,6 +42,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/caem"
 )
@@ -78,12 +79,15 @@ type CellResult struct {
 
 // Lease is a batch of cells granted to one worker under a heartbeat
 // deadline. The worker must renew within TTLMillis or the coordinator
-// presumes it dead and re-queues the cells.
+// presumes it dead and re-queues the cells. Epoch is the leadership
+// epoch the lease was granted under (also embedded in the ID); leases
+// from a dead epoch are fenced by the successor coordinator.
 type Lease struct {
 	ID        string `json:"id"`
 	Worker    string `json:"worker"`
 	Cells     []Cell `json:"cells"`
 	TTLMillis int64  `json:"ttlMs"`
+	Epoch     int64  `json:"epoch,omitempty"`
 }
 
 // ErrLeaseGone reports a renew/complete/release against a lease the
@@ -92,6 +96,39 @@ type Lease struct {
 // any results it computed are safely discarded because the re-queued
 // cells will reproduce them bit-identically.
 var ErrLeaseGone = errors.New("cluster: lease expired or unknown")
+
+// ErrFenced reports an operation carrying a dead leadership epoch: a
+// lease granted by a deposed coordinator arriving at its successor, or
+// any write reaching a coordinator that has fenced itself after losing
+// the leader lock. Like ErrLeaseGone the correct response is to drop
+// the batch — but also to re-resolve the leader, because the caller is
+// evidently talking across an epoch boundary.
+var ErrFenced = errors.New("cluster: operation fenced (dead leadership epoch)")
+
+// ErrDraining reports a Claim against a coordinator that has stopped
+// granting work because it is shutting down. Workers should back off
+// and retry — over HTTP this maps to 503 with a Retry-After header.
+var ErrDraining = errors.New("cluster: coordinator is draining; no new leases")
+
+// UnavailableError is the client-side form of a 503 from the
+// coordinator: temporarily out of service, retry after the hint.
+type UnavailableError struct {
+	RetryAfter time.Duration
+}
+
+func (e *UnavailableError) Error() string {
+	return fmt.Sprintf("cluster: coordinator unavailable (retry after %v)", e.RetryAfter)
+}
+
+// LeaderInfo is the GET /v1/cluster/leader document: where the current
+// leader is reachable and at which epoch. Standbys serve it too, so a
+// worker pointed at any member of the cluster can re-resolve the
+// leader after a failover.
+type LeaderInfo struct {
+	LeaderURL string `json:"leaderUrl"`
+	Epoch     int64  `json:"epoch"`
+	Role      string `json:"role"` // leader | standby
+}
 
 // Queue is the work-distribution surface between workers and the
 // coordinator. The Coordinator implements it in-process; Remote

@@ -1,13 +1,18 @@
 package cluster
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"log/slog"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/cluster/journal"
 	"repro/internal/obs"
 )
 
@@ -29,6 +34,16 @@ type Options struct {
 	BackoffBase time.Duration
 	// MaxBatch caps the cells in one lease. Default 8.
 	MaxBatch int
+	// Epoch is the leadership epoch this coordinator was elected at.
+	// Every lease ID embeds it, so a successor coordinator can fence
+	// operations carrying a dead epoch. Default 1 (a standalone
+	// coordinator with no election behaves exactly as before).
+	Epoch int64
+	// Journal, when non-nil, receives a write-ahead record of every
+	// scheduling decision so a successor coordinator can rebuild the
+	// queue, lease, retry, and poison state after this one dies. The
+	// caller must have called Journal.Begin for this epoch.
+	Journal *journal.Journal
 	// Metrics receives the coordinator's instruments. Nil gets a private
 	// registry, so instrumentation never needs nil checks; callers who
 	// want a /metrics endpoint pass the registry they expose.
@@ -52,6 +67,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxBatch <= 0 {
 		o.MaxBatch = 8
+	}
+	if o.Epoch <= 0 {
+		o.Epoch = 1
 	}
 	if o.Metrics == nil {
 		o.Metrics = obs.NewRegistry()
@@ -116,6 +134,8 @@ type Coordinator struct {
 	workers  map[string]*workerInfo // per-worker stats
 	poisoned []PoisonReport
 	leaseSeq int
+	draining bool // shutting down: Claim answers ErrDraining
+	fenced   bool // deposed: every operation answers ErrFenced
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -135,11 +155,84 @@ func NewCoordinator(sink Sink, opts Options) *Coordinator {
 		stop:     make(chan struct{}),
 	}
 	c.met = newCoordMetrics(c.opts.Metrics)
+	c.met.epoch.Set(float64(c.opts.Epoch))
 	c.log = c.opts.Logger
 	c.wg.Add(1)
 	go c.sweeper()
 	return c
 }
+
+// journal appends one write-ahead record, if a journal is attached. A
+// journal write failure is logged and survived: stalling the cluster
+// on a full disk would cost more than the degraded failover fidelity.
+func (c *Coordinator) journal(op string, fn func(j *journal.Journal) error) {
+	if c.opts.Journal == nil {
+		return
+	}
+	if err := fn(c.opts.Journal); err != nil {
+		c.log.Error("journal append failed", "op", op, "error", err.Error())
+	}
+}
+
+// leaseEpoch extracts the epoch embedded in a lease ID
+// ("lease-<epoch>-<seq>").
+func leaseEpoch(id string) (int64, bool) {
+	parts := strings.Split(id, "-")
+	if len(parts) != 3 || parts[0] != "lease" {
+		return 0, false
+	}
+	e, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil || e <= 0 {
+		return 0, false
+	}
+	return e, true
+}
+
+// fenceCheckLocked rejects operations that must not mutate state: any
+// at all once this coordinator is deposed, and any carrying a lease
+// from a different epoch. Caller holds mu.
+func (c *Coordinator) fenceCheckLocked(leaseID string) error {
+	if c.fenced {
+		c.met.fenced.Inc()
+		return ErrFenced
+	}
+	if leaseID != "" {
+		if e, ok := leaseEpoch(leaseID); ok && e != c.opts.Epoch {
+			c.met.fenced.Inc()
+			c.log.Warn("fenced dead-epoch lease operation",
+				"lease_id", leaseID, "lease_epoch", e, "epoch", c.opts.Epoch)
+			return ErrFenced
+		}
+	}
+	return nil
+}
+
+// Drain stops granting new leases: every subsequent Claim answers
+// ErrDraining (503 + Retry-After over HTTP) so workers back off
+// instead of tight-looping against a shutting-down coordinator.
+// Outstanding leases still settle normally.
+func (c *Coordinator) Drain() {
+	c.mu.Lock()
+	c.draining = true
+	c.mu.Unlock()
+	c.log.Info("coordinator draining: claims now answer unavailable")
+}
+
+// Fence permanently rejects every operation with ErrFenced — called on
+// a coordinator that lost the leader lock, so a zombie leader cannot
+// accept or settle work its successor now owns.
+func (c *Coordinator) Fence() {
+	c.mu.Lock()
+	already := c.fenced
+	c.fenced = true
+	c.mu.Unlock()
+	if !already {
+		c.log.Error("coordinator fenced: leadership lost", "epoch", c.opts.Epoch)
+	}
+}
+
+// Epoch returns the leadership epoch this coordinator was created at.
+func (c *Coordinator) Epoch() int64 { return c.opts.Epoch }
 
 // Stop halts the expiry sweeper. Outstanding leases stay claimable to
 // completion by in-flight workers; no new expiry reclaims happen.
@@ -170,15 +263,151 @@ func (c *Coordinator) sweeper() {
 	}
 }
 
-// Submit enqueues cells for distribution. Cells re-submitted after
-// already settling (a campaign re-planned across a coordinator restart)
-// are filtered out by the caller; the coordinator trusts its input.
+// Submit enqueues cells for distribution, deduplicating against
+// everything the coordinator already tracks, so replaying a campaign
+// plan over journal-restored state never double-queues a cell. Two
+// reconciliations handle the journal/store crash windows — callers
+// only submit cells whose results are absent from the store, which is
+// evidence the journal and store disagree:
+//
+//   - a submitted cell the journal recorded as settled lost its result
+//     to a torn store tail: it is un-settled and queued to re-run;
+//   - a submitted cell the journal recorded as poisoned is re-reported
+//     to the Sink as terminally failed, so the re-planned campaign
+//     folds the poison in instead of waiting forever.
 func (c *Coordinator) Submit(cells []Cell) {
 	c.mu.Lock()
-	c.queue = append(c.queue, cells...)
+	if c.fenced {
+		c.mu.Unlock()
+		c.log.Warn("submit dropped: coordinator is fenced", "cells", len(cells))
+		return
+	}
+	known := make(map[string]bool, len(c.queue)+len(c.delayed)+len(c.leases))
+	for _, cell := range c.queue {
+		known[cell.Key()] = true
+	}
+	for _, d := range c.delayed {
+		known[d.cell.Key()] = true
+	}
+	for _, l := range c.leases {
+		for _, cell := range l.cells {
+			known[cell.Key()] = true
+		}
+	}
+	var fresh []Cell
+	var repoison []Cell
+	for _, cell := range cells {
+		key := cell.Key()
+		if known[key] {
+			continue
+		}
+		if c.settled[key] {
+			if c.poisonReportLocked(key) != nil {
+				repoison = append(repoison, cell)
+				continue
+			}
+			delete(c.settled, key) // journal settled it, the store lost it
+			c.log.Warn("re-running journal-settled cell missing from the store", "cell", key)
+		}
+		known[key] = true
+		fresh = append(fresh, cell)
+	}
+	c.queue = append(c.queue, fresh...)
+	if len(fresh) > 0 {
+		c.journal("submit", func(j *journal.Journal) error {
+			sub := make([]journal.SubmitCell, len(fresh))
+			for i, cell := range fresh {
+				blob, err := json.Marshal(cell)
+				if err != nil {
+					return err
+				}
+				sub[i] = journal.SubmitCell{Key: cell.Key(), Cell: blob}
+			}
+			return j.Submit(sub)
+		})
+	}
+	// Re-deliver poisons under mu like every other Sink callback,
+	// serialized with settlement.
+	for _, cell := range repoison {
+		rep := c.poisonReportLocked(cell.Key())
+		c.sink.CellFailed(cell, rep.Attempts, errors.New(rep.Error))
+	}
 	c.syncGaugesLocked()
 	c.mu.Unlock()
-	c.log.Debug("cells submitted", "cells", len(cells))
+	c.log.Debug("cells submitted",
+		"cells", len(cells), "queued", len(fresh), "repoisoned", len(repoison))
+}
+
+// poisonReportLocked finds the poison report for a key. Caller holds
+// mu; poisons are rare, so the scan is fine.
+func (c *Coordinator) poisonReportLocked(key string) *PoisonReport {
+	for i := range c.poisoned {
+		if fmt.Sprintf("%s/%d", c.poisoned[i].Campaign, c.poisoned[i].Index) == key {
+			return &c.poisoned[i]
+		}
+	}
+	return nil
+}
+
+// Restore rebuilds the coordinator from a replayed journal: queued and
+// reclaimed cells, settled keys, absolute attempt counts, and poison
+// reports. adopt, when non-nil, is consulted per queued cell; true
+// means the cell's result is already durable (the predecessor crashed
+// between persisting the result and journaling the settlement), so the
+// cell is settled instead of re-queued — "adopted on replay". Call
+// before submitting new work.
+func (c *Coordinator) Restore(st journal.State, adopt func(Cell) bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k, n := range st.Attempts {
+		if n > c.attempts[k] {
+			c.attempts[k] = n
+		}
+	}
+	for k := range st.Settled {
+		c.settled[k] = true
+	}
+	for key, blob := range st.Poisoned {
+		var rep PoisonReport
+		if err := json.Unmarshal(blob, &rep); err != nil {
+			c.log.Warn("undecodable poison report in journal", "cell", key, "error", err.Error())
+			continue
+		}
+		c.poisoned = append(c.poisoned, rep)
+	}
+	sort.Slice(c.poisoned, func(i, j int) bool {
+		if c.poisoned[i].Campaign != c.poisoned[j].Campaign {
+			return c.poisoned[i].Campaign < c.poisoned[j].Campaign
+		}
+		return c.poisoned[i].Index < c.poisoned[j].Index
+	})
+	var adopted []string
+	restored := 0
+	for _, q := range st.Queue {
+		var cell Cell
+		if err := json.Unmarshal(q.Cell, &cell); err != nil {
+			return fmt.Errorf("cluster: journal cell %s does not decode: %w", q.Key, err)
+		}
+		if c.settled[q.Key] {
+			continue
+		}
+		if adopt != nil && adopt(cell) {
+			c.settled[q.Key] = true
+			adopted = append(adopted, q.Key)
+			c.met.cellsSettled.Inc()
+			continue
+		}
+		c.queue = append(c.queue, cell)
+		restored++
+	}
+	if len(adopted) > 0 {
+		c.journal("settle", func(j *journal.Journal) error { return j.Settle(adopted) })
+	}
+	c.syncGaugesLocked()
+	c.log.Info("coordinator state restored from journal",
+		"queued", restored, "adopted", len(adopted),
+		"settled", len(st.Settled), "poisoned", len(st.Poisoned))
+	return nil
 }
 
 // syncGaugesLocked republishes the structural depth gauges from the
@@ -195,9 +424,15 @@ func (c *Coordinator) syncGaugesLocked() {
 // is deep and shrinking toward 1 as it drains, so a slow irregular cell
 // near the end cannot strand a big batch behind one worker.
 func (c *Coordinator) Claim(worker string, max int) (*Lease, error) {
-	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := c.now()
+	if err := c.fenceCheckLocked(""); err != nil {
+		return nil, err
+	}
+	if c.draining {
+		return nil, ErrDraining
+	}
 	w := c.workers[worker]
 	if w == nil {
 		w = &workerInfo{settledC: c.met.workerSettled.With(worker)}
@@ -239,12 +474,19 @@ func (c *Coordinator) Claim(worker string, max int) (*Lease, error) {
 
 	c.leaseSeq++
 	l := &lease{
-		id:       fmt.Sprintf("lease-%d", c.leaseSeq),
+		id:       fmt.Sprintf("lease-%d-%d", c.opts.Epoch, c.leaseSeq),
 		worker:   worker,
 		cells:    cells,
 		deadline: now.Add(c.opts.LeaseTTL),
 	}
 	c.leases[l.id] = l
+	c.journal("grant", func(j *journal.Journal) error {
+		keys := make([]string, len(cells))
+		for i, cell := range cells {
+			keys[i] = cell.Key()
+		}
+		return j.Grant(l.id, keys)
+	})
 	for _, cell := range cells {
 		c.sink.CellStarted(cell)
 	}
@@ -253,7 +495,10 @@ func (c *Coordinator) Claim(worker string, max int) (*Lease, error) {
 	c.syncGaugesLocked()
 	c.log.Debug("lease granted",
 		"lease_id", l.id, "worker_id", worker, "cells", n, "queue", len(c.queue))
-	return &Lease{ID: l.id, Worker: worker, Cells: cells, TTLMillis: c.opts.LeaseTTL.Milliseconds()}, nil
+	return &Lease{
+		ID: l.id, Worker: worker, Cells: cells,
+		TTLMillis: c.opts.LeaseTTL.Milliseconds(), Epoch: c.opts.Epoch,
+	}, nil
 }
 
 // promoteRipeLocked moves delayed cells whose backoff elapsed back onto
@@ -272,9 +517,12 @@ func (c *Coordinator) promoteRipeLocked(now time.Time) {
 
 // Renew extends the lease's heartbeat deadline.
 func (c *Coordinator) Renew(leaseID string) error {
-	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := c.now()
+	if err := c.fenceCheckLocked(leaseID); err != nil {
+		return err
+	}
 	l, ok := c.leases[leaseID]
 	if !ok {
 		return ErrLeaseGone
@@ -284,6 +532,7 @@ func (c *Coordinator) Renew(leaseID string) error {
 	if w := c.workers[l.worker]; w != nil {
 		w.lastSeen = now
 	}
+	c.journal("renew", func(j *journal.Journal) error { return j.Renew(leaseID) })
 	c.met.renews.Inc()
 	return nil
 }
@@ -304,9 +553,12 @@ func (c *Coordinator) Release(leaseID string, results []CellResult) error {
 }
 
 func (c *Coordinator) settle(leaseID string, results []CellResult, partial bool) error {
-	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := c.now()
+	if err := c.fenceCheckLocked(leaseID); err != nil {
+		return err
+	}
 	l, ok := c.leases[leaseID]
 	if !ok {
 		return ErrLeaseGone
@@ -330,6 +582,7 @@ func (c *Coordinator) settle(leaseID string, results []CellResult, partial bool)
 	for _, r := range results {
 		byIndex[fmt.Sprintf("%s/%d", r.Campaign, r.Index)] = r
 	}
+	var settledKeys []string
 	for _, cell := range l.cells {
 		key := cell.Key()
 		if c.settled[key] {
@@ -351,6 +604,7 @@ func (c *Coordinator) settle(leaseID string, results []CellResult, partial bool)
 				continue
 			}
 			c.settled[key] = true
+			settledKeys = append(settledKeys, key)
 			c.met.cellsSettled.Inc()
 			if w != nil {
 				w.settledC.Inc()
@@ -358,6 +612,12 @@ func (c *Coordinator) settle(leaseID string, results []CellResult, partial bool)
 		default:
 			c.retryLocked(cell, now, fmt.Errorf("%s", r.Error))
 		}
+	}
+	if len(settledKeys) > 0 {
+		// Journaled after the Sink persisted the results: a crash between
+		// PutCell and this settle record re-runs nothing — the successor
+		// adopts the already-stored result on replay.
+		c.journal("settle", func(j *journal.Journal) error { return j.Settle(settledKeys) })
 	}
 	c.syncGaugesLocked()
 	return nil
@@ -372,7 +632,7 @@ func (c *Coordinator) retryLocked(cell Cell, now time.Time, cause error) {
 	n := c.attempts[key]
 	if n >= c.opts.MaxAttempts {
 		c.settled[key] = true
-		c.poisoned = append(c.poisoned, PoisonReport{
+		rep := PoisonReport{
 			Campaign: cell.Campaign,
 			Index:    cell.Index,
 			Scenario: cell.Scenario.Name,
@@ -380,6 +640,14 @@ func (c *Coordinator) retryLocked(cell Cell, now time.Time, cause error) {
 			Seed:     cell.Config.Seed,
 			Attempts: n,
 			Error:    cause.Error(),
+		}
+		c.poisoned = append(c.poisoned, rep)
+		c.journal("poison", func(j *journal.Journal) error {
+			blob, err := json.Marshal(rep)
+			if err != nil {
+				return err
+			}
+			return j.Poison(key, n, blob)
 		})
 		c.met.cellsPoisoned.Inc()
 		c.log.Error("cell poisoned",
@@ -387,6 +655,7 @@ func (c *Coordinator) retryLocked(cell Cell, now time.Time, cause error) {
 		c.sink.CellFailed(cell, n, cause)
 		return
 	}
+	c.journal("retry", func(j *journal.Journal) error { return j.Retry(key, n) })
 	c.met.cellsRetried.Inc()
 	c.log.Warn("cell retry scheduled",
 		"campaign", cell.Campaign, "cell", cell.Index, "attempt", n, "error", cause.Error())
@@ -415,9 +684,9 @@ func jitter(key string, attempt int, span time.Duration) time.Duration {
 // deadline passed re-queues immediately. Runs on the sweeper ticker;
 // exposed for deterministic tests.
 func (c *Coordinator) Sweep() {
-	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := c.now()
 	for id, l := range c.leases {
 		if l.deadline.After(now) {
 			continue
@@ -456,6 +725,7 @@ type WorkerStatus struct {
 
 // Status is the /cluster/status observability snapshot.
 type Status struct {
+	Epoch         int64          `json:"epoch"`
 	Queue         int            `json:"queue"`
 	Delayed       int            `json:"delayed"`
 	Settled       int            `json:"settled"`
@@ -470,11 +740,12 @@ type Status struct {
 // exposes — the JSON status and a scrape are two views of the same
 // counters and can never disagree.
 func (c *Coordinator) Status() Status {
-	now := c.now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := c.now()
 	c.syncGaugesLocked()
 	st := Status{
+		Epoch:         c.opts.Epoch,
 		Queue:         int(c.met.queueDepth.Value()),
 		Delayed:       int(c.met.delayed.Value()),
 		Settled:       int(c.met.cellsSettled.Value()),

@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// LockInfo is the decoded leader lock: who leads, at which monotonic
+// epoch, where workers reach them, and until when the claim holds
+// without a renewal.
+type LockInfo struct {
+	Epoch    int64  `json:"epoch"`
+	Holder   string `json:"holder"`
+	URL      string `json:"url"`
+	Deadline int64  `json:"deadlineUnixMs"`
+}
+
+// Expired reports whether the lock's deadline has passed at now.
+func (l LockInfo) Expired(now time.Time) bool {
+	return now.UnixMilli() > l.Deadline
+}
+
+// ErrLockHeld reports a TryAcquire against a live lock owned by
+// someone else.
+var ErrLockHeld = errors.New("cluster: leader lock held by another process")
+
+// ErrLockLost reports a Renew after the lock moved to a new holder or
+// epoch — the caller has been deposed and must fence itself: its epoch
+// is dead, and any write it still performs would race the successor.
+var ErrLockLost = errors.New("cluster: leader lock lost (deposed)")
+
+// LeaderLock is a store-backed leadership lease with a TTL and a
+// monotonic epoch. One process holds it at a time; a standby acquires
+// it when the holder's deadline lapses without a renewal, bumping the
+// epoch. Every lease the coordinator grants carries the epoch, so a
+// deposed leader's writes are detectable (and fenced) forever.
+//
+// Atomicity without flock: all read-validate-write cycles serialize
+// through an O_CREATE|O_EXCL sidecar (<path>.claim). A claimer that
+// dies inside the critical section leaves the sidecar behind; claim
+// files older than the TTL are presumed abandoned and are removed.
+// The lock document itself is replaced via write-to-temp + rename, so
+// readers never observe a torn lock.
+type LeaderLock struct {
+	// Path is the lock file location, conventionally
+	// <store>/cluster/leader.lock, shared by primary and standby.
+	Path string
+	// TTL is how long an acquisition or renewal holds without another
+	// renewal. Default 3s.
+	TTL time.Duration
+	// Holder identifies this process in the lock (host-pid style).
+	Holder string
+	// URL is the base URL workers should target while this process
+	// leads; published in the lock for /v1/cluster/leader.
+	URL string
+
+	now func() time.Time // injectable clock (tests)
+}
+
+func (l *LeaderLock) clock() time.Time {
+	if l.now != nil {
+		return l.now()
+	}
+	return time.Now()
+}
+
+func (l *LeaderLock) ttl() time.Duration {
+	if l.TTL > 0 {
+		return l.TTL
+	}
+	return 3 * time.Second
+}
+
+// ReadLockFile decodes the lock at path. A missing file returns
+// os.ErrNotExist; a torn or undecodable file is an error.
+func ReadLockFile(path string) (LockInfo, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return LockInfo{}, err
+	}
+	var info LockInfo
+	if err := json.Unmarshal(blob, &info); err != nil {
+		return LockInfo{}, fmt.Errorf("cluster: corrupt leader lock: %w", err)
+	}
+	return info, nil
+}
+
+// withClaim runs fn while holding the claim sidecar — the mutual
+// exclusion for every read-validate-write of the lock document.
+func (l *LeaderLock) withClaim(fn func() error) error {
+	claim := l.Path + ".claim"
+	if err := os.MkdirAll(filepath.Dir(l.Path), 0o755); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	for attempt := 0; ; attempt++ {
+		f, err := os.OpenFile(claim, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			break
+		}
+		if !os.IsExist(err) {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		// A claimer died mid-claim if the sidecar outlived a TTL; remove
+		// it and retry once. A younger sidecar is live contention — the
+		// caller polls again on its own schedule.
+		st, serr := os.Stat(claim)
+		if serr == nil && l.clock().Sub(st.ModTime()) <= l.ttl() {
+			return ErrLockHeld
+		}
+		if attempt > 0 {
+			return ErrLockHeld
+		}
+		os.Remove(claim)
+	}
+	defer os.Remove(claim)
+	return fn()
+}
+
+// writeLocked atomically replaces the lock document. Caller holds the
+// claim sidecar.
+func (l *LeaderLock) writeLocked(info LockInfo) error {
+	blob, err := json.Marshal(info)
+	if err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	tmp := l.Path + ".tmp"
+	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	if err := os.Rename(tmp, l.Path); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	return nil
+}
+
+// TryAcquire takes leadership if the lock is free, expired, or already
+// ours, bumping the epoch past every predecessor. It returns the new
+// epoch, or ErrLockHeld while another holder's claim is live.
+func (l *LeaderLock) TryAcquire() (int64, error) {
+	var epoch int64
+	err := l.withClaim(func() error {
+		now := l.clock()
+		cur, err := ReadLockFile(l.Path)
+		switch {
+		case err == nil:
+			if cur.Holder != l.Holder && !cur.Expired(now) {
+				return ErrLockHeld
+			}
+			epoch = cur.Epoch + 1
+		case os.IsNotExist(err):
+			epoch = 1
+		default:
+			return err
+		}
+		return l.writeLocked(LockInfo{
+			Epoch:    epoch,
+			Holder:   l.Holder,
+			URL:      l.URL,
+			Deadline: now.Add(l.ttl()).UnixMilli(),
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+	return epoch, nil
+}
+
+// Renew extends the deadline of an acquisition at the given epoch. It
+// returns ErrLockLost when the lock has moved to another holder or
+// epoch — the caller is deposed and must fence itself immediately.
+func (l *LeaderLock) Renew(epoch int64) error {
+	return l.withClaim(func() error {
+		cur, err := ReadLockFile(l.Path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return ErrLockLost
+			}
+			return err
+		}
+		if cur.Holder != l.Holder || cur.Epoch != epoch {
+			return ErrLockLost
+		}
+		cur.Deadline = l.clock().Add(l.ttl()).UnixMilli()
+		cur.URL = l.URL
+		return l.writeLocked(cur)
+	})
+}
+
+// Release expires the lock immediately if still held at the given
+// epoch, letting a standby take over without waiting out the TTL.
+func (l *LeaderLock) Release(epoch int64) error {
+	return l.withClaim(func() error {
+		cur, err := ReadLockFile(l.Path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if cur.Holder != l.Holder || cur.Epoch != epoch {
+			return nil // already someone else's; nothing to release
+		}
+		cur.Deadline = 0
+		return l.writeLocked(cur)
+	})
+}

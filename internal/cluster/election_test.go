@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fakeClock is a settable time source shared by contending locks.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1700000000, 0)} }
+func lockAt(path, holder string, c *fakeClock) *LeaderLock {
+	return &LeaderLock{Path: path, TTL: time.Second, Holder: holder, URL: "http://" + holder, now: c.now}
+}
+
+// TestLeaderLockHandoff walks the full leadership lifecycle: acquire,
+// contention, renewal, voluntary release, takeover with an epoch bump,
+// and fencing of the deposed holder's renewals.
+func TestLeaderLockHandoff(t *testing.T) {
+	clk := newFakeClock()
+	path := filepath.Join(t.TempDir(), "leader.lock")
+	primary := lockAt(path, "primary", clk)
+	standby := lockAt(path, "standby", clk)
+
+	epoch, err := primary.TryAcquire()
+	if err != nil || epoch != 1 {
+		t.Fatalf("TryAcquire = %d, %v; want 1, nil", epoch, err)
+	}
+	if _, err := standby.TryAcquire(); !errors.Is(err, ErrLockHeld) {
+		t.Fatalf("standby acquired a live lock: %v", err)
+	}
+	clk.advance(600 * time.Millisecond)
+	if err := primary.Renew(epoch); err != nil {
+		t.Fatalf("Renew: %v", err)
+	}
+	// The renewal pushed the deadline out; the standby still loses.
+	clk.advance(600 * time.Millisecond)
+	if _, err := standby.TryAcquire(); !errors.Is(err, ErrLockHeld) {
+		t.Fatalf("standby acquired a renewed lock: %v", err)
+	}
+
+	// Voluntary release: the standby takes over immediately at epoch 2.
+	if err := primary.Release(epoch); err != nil {
+		t.Fatal(err)
+	}
+	e2, err := standby.TryAcquire()
+	if err != nil || e2 != 2 {
+		t.Fatalf("standby TryAcquire after release = %d, %v; want 2, nil", e2, err)
+	}
+	// The deposed primary's renewals are rejected — it must fence.
+	if err := primary.Renew(epoch); !errors.Is(err, ErrLockLost) {
+		t.Fatalf("deposed primary Renew = %v, want ErrLockLost", err)
+	}
+	info, err := ReadLockFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Holder != "standby" || info.Epoch != 2 || info.URL != "http://standby" {
+		t.Fatalf("lock = %+v, want standby at epoch 2", info)
+	}
+}
+
+// TestLeaderLockExpiry: a holder that stops renewing is deposed once
+// its deadline lapses, and re-acquiring after deposition bumps the
+// epoch past the usurper's.
+func TestLeaderLockExpiry(t *testing.T) {
+	clk := newFakeClock()
+	path := filepath.Join(t.TempDir(), "leader.lock")
+	primary := lockAt(path, "primary", clk)
+	standby := lockAt(path, "standby", clk)
+
+	if _, err := primary.TryAcquire(); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(1100 * time.Millisecond) // past the 1s TTL: primary presumed dead
+	e2, err := standby.TryAcquire()
+	if err != nil || e2 != 2 {
+		t.Fatalf("standby TryAcquire after expiry = %d, %v; want 2, nil", e2, err)
+	}
+	// The resurrected primary cannot renew epoch 1, but can rejoin the
+	// rotation and win epoch 3 after the standby in turn goes silent.
+	if err := primary.Renew(1); !errors.Is(err, ErrLockLost) {
+		t.Fatalf("zombie Renew = %v, want ErrLockLost", err)
+	}
+	clk.advance(1100 * time.Millisecond)
+	e3, err := primary.TryAcquire()
+	if err != nil || e3 != 3 {
+		t.Fatalf("primary re-acquire = %d, %v; want 3, nil", e3, err)
+	}
+}
+
+// TestLeaderLockStaleClaim: a claim sidecar abandoned by a crashed
+// claimer (older than the TTL) is swept aside; a fresh one blocks.
+func TestLeaderLockStaleClaim(t *testing.T) {
+	clk := newFakeClock()
+	path := filepath.Join(t.TempDir(), "leader.lock")
+	lock := lockAt(path, "primary", clk)
+
+	claim := path + ".claim"
+	if err := os.MkdirAll(filepath.Dir(claim), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(claim, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A live sidecar (age < TTL) means real contention.
+	if err := os.Chtimes(claim, clk.t, clk.t); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lock.TryAcquire(); !errors.Is(err, ErrLockHeld) {
+		t.Fatalf("acquired through a live claim sidecar: %v", err)
+	}
+	// Age it past the TTL: presumed abandoned, removed, acquisition wins.
+	old := clk.t.Add(-2 * time.Second)
+	if err := os.Chtimes(claim, old, old); err != nil {
+		t.Fatal(err)
+	}
+	if epoch, err := lock.TryAcquire(); err != nil || epoch != 1 {
+		t.Fatalf("TryAcquire over stale claim = %d, %v; want 1, nil", epoch, err)
+	}
+}

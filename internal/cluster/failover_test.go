@@ -1,0 +1,392 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/caem"
+	"repro/internal/api"
+	"repro/internal/cluster/journal"
+)
+
+// countingSink wraps testSink to count CellFailed deliveries — the map
+// in testSink dedups by key, which hides re-deliveries.
+type countingSink struct {
+	*testSink
+	failedN atomic.Int64
+}
+
+func (s *countingSink) CellFailed(c Cell, attempts int, err error) {
+	s.failedN.Add(1)
+	s.testSink.CellFailed(c, attempts, err)
+}
+
+// TestCoordinatorFencing: leases carry the coordinator's epoch;
+// operations with a dead epoch's lease are rejected with ErrFenced,
+// and a Fence()d coordinator rejects everything.
+func TestCoordinatorFencing(t *testing.T) {
+	sink := newTestSink()
+	c := NewCoordinator(sink, Options{Epoch: 2, LeaseTTL: time.Minute})
+	defer c.Stop()
+	c.Submit(testCells(t, 4))
+
+	lease, err := c.Claim("w1", 0)
+	if err != nil || lease == nil {
+		t.Fatalf("Claim: %v, %v", lease, err)
+	}
+	if lease.Epoch != 2 || !strings.HasPrefix(lease.ID, "lease-2-") {
+		t.Fatalf("lease %q epoch %d, want epoch 2 embedded", lease.ID, lease.Epoch)
+	}
+	// A lease granted by the dead epoch-1 coordinator is fenced on every
+	// verb, not answered with a plain "gone".
+	for _, op := range []func() error{
+		func() error { return c.Renew("lease-1-7") },
+		func() error { return c.Complete("lease-1-7", nil) },
+		func() error { return c.Release("lease-1-7", nil) },
+	} {
+		if err := op(); !errors.Is(err, ErrFenced) {
+			t.Fatalf("dead-epoch lease op = %v, want ErrFenced", err)
+		}
+	}
+	// An unknown lease of the *current* epoch is still just gone.
+	if err := c.Renew("lease-2-999"); !errors.Is(err, ErrLeaseGone) {
+		t.Fatalf("unknown current-epoch lease = %v, want ErrLeaseGone", err)
+	}
+
+	// Deposed: everything fences, including the worker's own live lease.
+	c.Fence()
+	if _, err := c.Claim("w1", 0); !errors.Is(err, ErrFenced) {
+		t.Fatalf("Claim on fenced coordinator = %v, want ErrFenced", err)
+	}
+	if err := c.Renew(lease.ID); !errors.Is(err, ErrFenced) {
+		t.Fatalf("Renew on fenced coordinator = %v, want ErrFenced", err)
+	}
+	if got := c.met.fenced.Value(); got < 5 {
+		t.Fatalf("fenced counter = %v, want >= 5", got)
+	}
+	if st := c.Status(); st.Epoch != 2 {
+		t.Fatalf("Status.Epoch = %d, want 2", st.Epoch)
+	}
+}
+
+// TestDrainClaimUnavailable: a draining coordinator answers claims
+// with 503 + Retry-After over HTTP, which the Remote surfaces as
+// *UnavailableError with the parsed hint.
+func TestDrainClaimUnavailable(t *testing.T) {
+	sink := newTestSink()
+	c := NewCoordinator(sink, Options{LeaseTTL: 2 * time.Second})
+	defer c.Stop()
+	mux := http.NewServeMux()
+	c.RegisterHTTP(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	c.Drain()
+	resp, err := http.Post(ts.URL+"/v1/leases/claim", "application/json",
+		strings.NewReader(`{"worker":"w1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("claim during drain = %s, want 503", resp.Status)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want %q (the lease TTL)", ra, "2")
+	}
+	var body struct {
+		Error api.Error `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Error.Code != api.CodeUnavailable {
+		t.Fatalf("error code = %q, want %q", body.Error.Code, api.CodeUnavailable)
+	}
+
+	r := &Remote{Base: ts.URL}
+	_, cerr := r.Claim("w1", 0)
+	var ua *UnavailableError
+	if !errors.As(cerr, &ua) || ua.RetryAfter != 2*time.Second {
+		t.Fatalf("Remote claim during drain = %v, want UnavailableError{2s}", cerr)
+	}
+}
+
+// TestFencedOverHTTP: a fenced settle maps to 410 with the "fenced"
+// envelope code, which the Remote distinguishes from a gone lease.
+func TestFencedOverHTTP(t *testing.T) {
+	sink := newTestSink()
+	c := NewCoordinator(sink, Options{Epoch: 3, LeaseTTL: time.Minute})
+	defer c.Stop()
+	mux := http.NewServeMux()
+	c.RegisterHTTP(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	r := &Remote{Base: ts.URL}
+	if err := r.Renew("lease-1-4"); !errors.Is(err, ErrFenced) {
+		t.Fatalf("Remote renew of dead-epoch lease = %v, want ErrFenced", err)
+	}
+	if err := r.Renew("lease-3-99"); !errors.Is(err, ErrLeaseGone) {
+		t.Fatalf("Remote renew of unknown lease = %v, want ErrLeaseGone", err)
+	}
+}
+
+// TestJournalFailoverRoundTrip is the tentpole in miniature, without
+// HTTP: a journaled coordinator makes scheduling decisions and "dies";
+// a successor replays the journal, adopts cells whose results are
+// already durable, re-queues the rest, and finishes the campaign with
+// byte-identical results.
+func TestJournalFailoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	cells := testCells(t, 6)
+	want := referenceResults(t, cells)
+
+	j, st := mustOpenJournal(t, dir)
+	if err := j.Begin(1, st); err != nil {
+		t.Fatal(err)
+	}
+	sink1 := newTestSink()
+	c1 := NewCoordinator(sink1, Options{Epoch: 1, Journal: j, LeaseTTL: time.Minute, MaxAttempts: 2})
+	c1.Submit(cells)
+
+	// One worker computes one batch (3 cells with a single worker) and
+	// completes it; a second batch is claimed but never settled — the
+	// coordinator "dies" with the lease outstanding.
+	lease1, err := c1.Claim("w1", 3)
+	if err != nil || lease1 == nil || len(lease1.Cells) != 3 {
+		t.Fatalf("first claim: %+v, %v", lease1, err)
+	}
+	var results []CellResult
+	for _, cell := range lease1.Cells {
+		res := want[cell.Key()]
+		results = append(results, CellResult{Campaign: cell.Campaign, Index: cell.Index, Result: &res})
+	}
+	if err := c1.Complete(lease1.ID, results); err != nil {
+		t.Fatal(err)
+	}
+	lease2, err := c1.Claim("w1", 2)
+	if err != nil || lease2 == nil {
+		t.Fatalf("second claim: %v", err)
+	}
+	// Crash: no Release, no Complete. The journal is all that survives.
+	c1.Stop()
+	j.Close()
+
+	// The successor replays, adopts what the "store" already has (the
+	// results sink1 persisted), and re-queues the leased-but-unsettled
+	// cells.
+	j2, st2 := mustOpenJournal(t, dir)
+	defer j2.Close()
+	if err := j2.Begin(2, st2); err != nil {
+		t.Fatal(err)
+	}
+	sink2 := newTestSink()
+	c2 := NewCoordinator(sink2, Options{Epoch: 2, Journal: j2, LeaseTTL: time.Minute})
+	defer c2.Stop()
+	adopt := func(c Cell) bool {
+		sink1.mu.Lock()
+		defer sink1.mu.Unlock()
+		_, ok := sink1.done[c.Key()]
+		return ok
+	}
+	if err := c2.Restore(st2, adopt); err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Status(); st.Epoch != 2 || st.Queue != 3 {
+		t.Fatalf("restored status = epoch %d queue %d, want epoch 2 queue 3", st.Epoch, st.Queue)
+	}
+	// An epoch-1 lease arriving at the successor is fenced.
+	if err := c2.Renew(lease2.ID); !errors.Is(err, ErrFenced) {
+		t.Fatalf("old lease at successor = %v, want ErrFenced", err)
+	}
+	// Finish the campaign at epoch 2 and check byte-identical results
+	// across the combined sinks.
+	for {
+		lease, err := c2.Claim("w2", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lease == nil {
+			break
+		}
+		var rs []CellResult
+		pool := caem.NewSimPool()
+		for _, cell := range lease.Cells {
+			res, err := pool.RunScenario(cell.Scenario, cell.Config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs = append(rs, CellResult{Campaign: cell.Campaign, Index: cell.Index, Result: &res})
+		}
+		if err := c2.Complete(lease.ID, rs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, cell := range cells {
+		key := cell.Key()
+		got, ok := sink1.done[key]
+		if !ok {
+			got, ok = sink2.done[key]
+		}
+		if !ok {
+			t.Fatalf("cell %s never settled", key)
+		}
+		if !reflect.DeepEqual(got, want[key]) {
+			t.Fatalf("cell %s result diverged across failover", key)
+		}
+	}
+}
+
+// TestSubmitReconciliation: re-submitting over journal-restored state
+// never double-queues; a journal-settled cell whose result the store
+// lost is un-settled and re-run; a journal-poisoned cell is re-reported
+// to the sink instead of queued.
+func TestSubmitReconciliation(t *testing.T) {
+	cells := testCells(t, 3)
+	sink := &countingSink{testSink: newTestSink()}
+	c := NewCoordinator(sink, Options{LeaseTTL: time.Minute, MaxAttempts: 1})
+	defer c.Stop()
+
+	c.Submit(cells)
+	if st := c.Status(); st.Queue != 3 {
+		t.Fatalf("queue = %d, want 3", st.Queue)
+	}
+	c.Submit(cells) // replay: everything already queued
+	if st := c.Status(); st.Queue != 3 {
+		t.Fatalf("queue after duplicate submit = %d, want 3", st.Queue)
+	}
+
+	// Poison cells[0] (MaxAttempts 1: first failure is terminal), settle
+	// cells[1] normally, leave cells[2] queued.
+	lease, err := c.Claim("w1", 3)
+	if err != nil || len(lease.Cells) != 2 {
+		t.Fatalf("claim: %+v, %v", lease, err)
+	}
+	res := referenceResults(t, cells[1:2])[cells[1].Key()]
+	if err := c.Complete(lease.ID, []CellResult{
+		{Campaign: cells[0].Campaign, Index: cells[0].Index, Error: "boom"},
+		{Campaign: cells[1].Campaign, Index: cells[1].Index, Result: &res},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n := sink.failedN.Load(); n != 1 {
+		t.Fatalf("CellFailed deliveries = %d, want 1", n)
+	}
+
+	// A re-plan resubmits the poisoned cell (its result is absent from
+	// the store): the poison is re-delivered, not re-queued.
+	c.Submit(cells[:1])
+	if n := sink.failedN.Load(); n != 2 {
+		t.Fatalf("CellFailed deliveries after resubmit = %d, want 2", n)
+	}
+	if st := c.Status(); st.Queue != 1 {
+		t.Fatalf("queue = %d, want 1 (poisoned cell must not re-queue)", st.Queue)
+	}
+
+	// The settled cell resubmitted means the store lost it: un-settle
+	// and re-queue.
+	c.Submit(cells[1:2])
+	if st := c.Status(); st.Queue != 2 {
+		t.Fatalf("queue = %d, want 2 (settled-but-lost cell re-queued)", st.Queue)
+	}
+}
+
+// TestClaimBackoff: deterministic, exponential, capped by the lease
+// TTL, and deferent to an explicit Retry-After hint.
+func TestClaimBackoff(t *testing.T) {
+	w := &Worker{Name: "w1"}
+	poll := 200 * time.Millisecond
+	ttl := time.Second
+	prev := time.Duration(0)
+	for n := 1; n <= 10; n++ {
+		d := w.claimBackoff(n, ttl, errors.New("connection refused"), poll)
+		if d != w.claimBackoff(n, ttl, errors.New("connection refused"), poll) {
+			t.Fatalf("claimBackoff(%d) is not deterministic", n)
+		}
+		if d > ttl {
+			t.Fatalf("claimBackoff(%d) = %v exceeds the lease TTL %v", n, d, ttl)
+		}
+		if d < prev && d != ttl {
+			t.Fatalf("claimBackoff(%d) = %v shrank below attempt %d's %v before hitting the cap", n, d, n-1, prev)
+		}
+		prev = d
+	}
+	// With no observed TTL the cap is the 15s default, never exceeded.
+	if d := w.claimBackoff(10, 0, errors.New("x"), poll); d > 15*time.Second {
+		t.Fatalf("uncapped backoff = %v, want <= 15s", d)
+	}
+	// An Unavailable hint is honored under the cap.
+	if d := w.claimBackoff(1, ttl, &UnavailableError{RetryAfter: 500 * time.Millisecond}, poll); d != 500*time.Millisecond {
+		t.Fatalf("hinted backoff = %v, want 500ms", d)
+	}
+	if d := w.claimBackoff(1, ttl, &UnavailableError{RetryAfter: 30 * time.Second}, poll); d != ttl {
+		t.Fatalf("hinted backoff = %v, want capped at %v", d, ttl)
+	}
+}
+
+// TestRemoteFailoverRotation: a Remote with multiple bases rotates off
+// a member that answers fenced/503 and converges on the leader; a
+// leader document re-targets it directly.
+func TestRemoteFailoverRotation(t *testing.T) {
+	sink := newTestSink()
+	c := NewCoordinator(sink, Options{Epoch: 2, LeaseTTL: time.Minute})
+	defer c.Stop()
+	c.Submit(testCells(t, 2))
+	leaderMux := http.NewServeMux()
+	c.RegisterHTTP(leaderMux)
+	leader := httptest.NewServer(leaderMux)
+	defer leader.Close()
+
+	// A deposed member: fences every lease verb, but still knows who
+	// leads.
+	deposedMux := http.NewServeMux()
+	deposedMux.HandleFunc("POST /v1/leases/", func(w http.ResponseWriter, r *http.Request) {
+		api.WriteError(w, http.StatusGone, api.CodeFenced, ErrFenced.Error(), nil)
+	})
+	deposedMux.HandleFunc("GET /v1/cluster/leader", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(LeaderInfo{LeaderURL: leader.URL, Epoch: 2, Role: "standby"})
+	})
+	deposed := httptest.NewServer(deposedMux)
+	defer deposed.Close()
+
+	r := &Remote{Bases: []string{deposed.URL, leader.URL}}
+	if _, err := r.Claim("w1", 0); !errors.Is(err, ErrFenced) {
+		t.Fatalf("claim at deposed member = %v, want ErrFenced", err)
+	}
+	// The fenced response rotated the Remote; the retry lands on the
+	// leader.
+	lease, err := r.Claim("w1", 0)
+	if err != nil || lease == nil || lease.Epoch != 2 {
+		t.Fatalf("claim after rotation = %+v, %v", lease, err)
+	}
+	if err := r.Release(lease.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// ResolveLeader re-targets directly instead of probing in order.
+	r2 := &Remote{Bases: []string{deposed.URL, leader.URL}}
+	info, err := r2.ResolveLeader()
+	if err != nil || info.LeaderURL != leader.URL {
+		t.Fatalf("ResolveLeader = %+v, %v", info, err)
+	}
+	if got := r2.base(); got != leader.URL {
+		t.Fatalf("Remote targets %q after ResolveLeader, want %q", got, leader.URL)
+	}
+}
+
+func mustOpenJournal(t *testing.T, dir string) (*journal.Journal, journal.State) {
+	t.Helper()
+	j, st, err := journal.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j, st
+}

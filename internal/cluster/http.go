@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/api"
@@ -78,7 +81,21 @@ func (c *Coordinator) registerHTTP(mux *http.ServeMux, reg *obs.Registry) {
 		}
 		lease, err := c.Claim(req.Worker, req.Max)
 		if err != nil {
-			api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, err.Error(), nil)
+			switch {
+			case errors.Is(err, ErrDraining):
+				// 503 + Retry-After: workers back off and retry (or fail over
+				// to a standby) instead of tight-looping against a drain.
+				sec := int(c.opts.LeaseTTL.Seconds())
+				if sec < 1 {
+					sec = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(sec))
+				api.WriteError(w, http.StatusServiceUnavailable, api.CodeUnavailable, err.Error(), nil)
+			case errors.Is(err, ErrFenced):
+				api.WriteError(w, http.StatusGone, api.CodeFenced, err.Error(), nil)
+			default:
+				api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, err.Error(), nil)
+			}
 			return
 		}
 		if lease == nil {
@@ -120,6 +137,10 @@ func (c *Coordinator) registerHTTP(mux *http.ServeMux, reg *obs.Registry) {
 
 func settleHTTP(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, ErrFenced):
+		// Same 410 as a gone lease — the worker must drop the batch either
+		// way — but with a distinct code so it also re-resolves the leader.
+		api.WriteError(w, http.StatusGone, api.CodeFenced, err.Error(), nil)
 	case errors.Is(err, ErrLeaseGone):
 		api.WriteError(w, http.StatusGone, api.CodeGone, err.Error(), nil)
 	case err != nil:
@@ -134,11 +155,24 @@ func settleHTTP(w http.ResponseWriter, err error) {
 // paths; joining a pre-/v1 coordinator is not supported (the reverse
 // — a pre-/v1 worker joining this coordinator — works through the
 // legacy aliases).
+//
+// For failover deployments list every coordinator (primary and
+// standbys) in Bases: a connection failure, a fenced response, or a
+// 503 rotates the Remote to the next URL, so a worker converges on
+// whichever member currently leads without any explicit signal.
 type Remote struct {
 	// Base is the coordinator's base URL (no trailing slash needed).
+	// Ignored when Bases is non-empty.
 	Base string
+	// Bases lists every coordinator URL in the cluster, primary first
+	// by convention. The Remote targets one at a time and rotates on
+	// failure.
+	Bases []string
 	// Client overrides http.DefaultClient when non-nil.
 	Client *http.Client
+
+	mu  sync.Mutex
+	cur int
 }
 
 func (r *Remote) client() *http.Client {
@@ -148,26 +182,109 @@ func (r *Remote) client() *http.Client {
 	return http.DefaultClient
 }
 
+func (r *Remote) allBases() []string {
+	if len(r.Bases) > 0 {
+		return r.Bases
+	}
+	return []string{r.Base}
+}
+
+// base returns the currently targeted coordinator URL.
+func (r *Remote) base() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b := r.allBases()
+	return strings.TrimRight(b[r.cur%len(b)], "/")
+}
+
+// rotate advances to the next coordinator URL after a failure talking
+// to the current one. With a single base it is a no-op.
+func (r *Remote) rotate() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := len(r.allBases()); n > 1 {
+		r.cur = (r.cur + 1) % n
+	}
+}
+
+// retarget points the Remote at url when it is one of the configured
+// bases (modulo trailing slash); otherwise it leaves the target alone.
+func (r *Remote) retarget(url string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	want := strings.TrimRight(url, "/")
+	for i, b := range r.allBases() {
+		if strings.TrimRight(b, "/") == want {
+			r.cur = i
+			return
+		}
+	}
+}
+
+// decodeError maps a non-2xx response to the protocol error it
+// carries, branching on the envelope code where the status alone is
+// ambiguous (410 is both "lease gone" and "fenced").
+func decodeError(path string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 2048))
+	var body struct {
+		Error api.Error `json:"error"`
+	}
+	code := ""
+	if json.Unmarshal(msg, &body) == nil {
+		code = body.Error.Code
+	}
+	switch {
+	case code == api.CodeFenced:
+		return ErrFenced
+	case resp.StatusCode == http.StatusGone:
+		return ErrLeaseGone
+	case resp.StatusCode == http.StatusServiceUnavailable:
+		return &UnavailableError{RetryAfter: retryAfterHint(resp)}
+	}
+	return fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+}
+
+// retryAfterHint reads a 503's Retry-After seconds, defaulting to 1s.
+func retryAfterHint(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return time.Second
+}
+
+// checkFailover rotates to the next coordinator URL on errors that
+// mean "this member cannot serve me": connection failures, fenced
+// epochs, and 503s (a standby that has not taken over yet).
+func (r *Remote) checkFailover(err error) {
+	var ua *UnavailableError
+	if errors.Is(err, ErrFenced) || errors.As(err, &ua) {
+		r.rotate()
+	}
+}
+
 // post sends a JSON body and decodes a 2xx response into out (when
-// non-nil). 410 maps to ErrLeaseGone; 204 leaves out untouched.
+// non-nil). 410 maps to ErrLeaseGone or ErrFenced by envelope code,
+// 503 to *UnavailableError; 204 leaves out untouched.
 func (r *Remote) post(path string, body, out any) error {
 	blob, err := json.Marshal(body)
 	if err != nil {
 		return fmt.Errorf("cluster: %w", err)
 	}
-	resp, err := r.client().Post(r.Base+path, "application/json", bytes.NewReader(blob))
+	resp, err := r.client().Post(r.base()+path, "application/json", bytes.NewReader(blob))
 	if err != nil {
+		r.rotate()
 		return fmt.Errorf("cluster: %w", err)
 	}
 	defer resp.Body.Close()
 	switch {
-	case resp.StatusCode == http.StatusGone:
-		return ErrLeaseGone
 	case resp.StatusCode == http.StatusNoContent:
 		return nil
 	case resp.StatusCode >= 300:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("cluster: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+		perr := decodeError(path, resp)
+		r.checkFailover(perr)
+		return perr
 	}
 	if out == nil {
 		io.Copy(io.Discard, resp.Body)
@@ -182,8 +299,9 @@ func (r *Remote) Claim(worker string, max int) (*Lease, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
-	resp, err := r.client().Post(r.Base+"/v1/leases/claim", "application/json", bytes.NewReader(blob))
+	resp, err := r.client().Post(r.base()+"/v1/leases/claim", "application/json", bytes.NewReader(blob))
 	if err != nil {
+		r.rotate()
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
 	defer resp.Body.Close()
@@ -191,14 +309,39 @@ func (r *Remote) Claim(worker string, max int) (*Lease, error) {
 	case resp.StatusCode == http.StatusNoContent:
 		return nil, nil
 	case resp.StatusCode >= 300:
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("cluster: claim: %s: %s", resp.Status, bytes.TrimSpace(msg))
+		perr := decodeError("claim", resp)
+		r.checkFailover(perr)
+		return nil, perr
 	}
 	var lease Lease
 	if err := json.NewDecoder(resp.Body).Decode(&lease); err != nil {
 		return nil, fmt.Errorf("cluster: decoding lease: %w", err)
 	}
 	return &lease, nil
+}
+
+// ResolveLeader asks the currently targeted member (leader or standby)
+// who leads and re-targets the Remote at that URL when it is among the
+// configured bases. Workers call it after a fenced response to skip
+// straight to the new leader instead of probing bases in order.
+func (r *Remote) ResolveLeader() (LeaderInfo, error) {
+	resp, err := r.client().Get(r.base() + "/v1/cluster/leader")
+	if err != nil {
+		r.rotate()
+		return LeaderInfo{}, fmt.Errorf("cluster: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return LeaderInfo{}, decodeError("leader", resp)
+	}
+	var info LeaderInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return LeaderInfo{}, fmt.Errorf("cluster: decoding leader info: %w", err)
+	}
+	if info.LeaderURL != "" {
+		r.retarget(info.LeaderURL)
+	}
+	return info, nil
 }
 
 // Renew implements Queue.
@@ -222,7 +365,7 @@ func (r *Remote) Release(leaseID string, results []CellResult) error {
 func (r *Remote) WaitIdle(timeout, poll time.Duration) (Status, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		resp, err := r.client().Get(r.Base + "/v1/cluster/status")
+		resp, err := r.client().Get(r.base() + "/v1/cluster/status")
 		if err == nil {
 			var st Status
 			derr := json.NewDecoder(resp.Body).Decode(&st)

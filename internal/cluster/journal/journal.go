@@ -1,0 +1,512 @@
+// Package journal is the coordinator's write-ahead log: an append-only
+// JSONL record of every scheduling decision — campaign submissions,
+// lease grants and renewals, settlements, retry counts, and poisons —
+// durable enough that a restarted or successor coordinator rebuilds its
+// exact queue/lease/backoff state instead of re-planning from store
+// contents alone.
+//
+// The on-disk idioms mirror the results store: records are appended
+// with WriteAt at a validated offset and fsynced, and Open truncates a
+// torn tail (a crash mid-append) back to the last whole record. Each
+// leadership epoch writes its own file, epoch-<n>.jsonl, whose first
+// record is a snapshot of the fully-replayed predecessor state; once
+// the new epoch's snapshot is durable, older epoch files are deleted.
+// Replay therefore folds files in epoch order, each snapshot replacing
+// the accumulated state, so recovery converges no matter where a crash
+// interleaved with the hand-off.
+//
+// Durability is graded by what a lost record costs. Submissions,
+// settlements, retry counts, and poisons are fsynced — losing one
+// would re-run settled work, reset a poison budget, or resurrect a
+// poisoned cell. Grants and renewals are appended without fsync: a
+// lost grant merely re-queues cells the next leader would have
+// reclaimed from the dead epoch anyway, and determinism makes the
+// duplicate execution harmless.
+//
+// The journal stores cell payloads as opaque JSON keyed by the cell's
+// queue key; it knows nothing of the cluster package's types, so the
+// cluster coordinator can depend on it without a cycle.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SubmitCell is one queued cell: its queue key plus the opaque payload
+// the coordinator needs to reconstruct it on replay.
+type SubmitCell struct {
+	Key  string          `json:"k"`
+	Cell json.RawMessage `json:"c"`
+}
+
+// State is the replayed journal: everything a successor coordinator
+// needs to resume scheduling exactly where the last leader stopped.
+// Queue holds every unsettled cell in recovery order — ready cells
+// first, then cells reclaimed from the dead epoch's outstanding leases
+// in grant order. Attempts carries absolute per-key failure counts
+// (so a replayed retry cannot double-count), Settled the terminally
+// settled keys, and Poisoned the opaque poison reports.
+type State struct {
+	Epoch    int64
+	Queue    []SubmitCell
+	Settled  map[string]bool
+	Attempts map[string]int
+	Poisoned map[string]json.RawMessage
+
+	// leased tracks granted-but-unsettled payloads during replay so a
+	// dead epoch's outstanding leases can be reclaimed onto the queue.
+	// Always empty in a returned State.
+	leased map[string]json.RawMessage
+}
+
+// hasKey reports whether the key is queued or leased.
+func (st *State) hasKey(key string) bool {
+	if _, ok := st.leased[key]; ok {
+		return true
+	}
+	for _, q := range st.Queue {
+		if q.Key == key {
+			return true
+		}
+	}
+	return false
+}
+
+// takeQueued removes the key from the queue, returning its payload.
+func (st *State) takeQueued(key string) (json.RawMessage, bool) {
+	for i, q := range st.Queue {
+		if q.Key == key {
+			st.Queue = append(st.Queue[:i], st.Queue[i+1:]...)
+			return q.Cell, true
+		}
+	}
+	return nil, false
+}
+
+// record is one JSONL line. T selects the variant; unused fields are
+// omitted.
+type record struct {
+	T string `json:"t"` // snap | submit | grant | renew | settle | retry | poison
+
+	// snap
+	Epoch    int64                      `json:"epoch,omitempty"`
+	Queue    []SubmitCell               `json:"queue,omitempty"`
+	Settled  []string                   `json:"settled,omitempty"`
+	Attempts map[string]int             `json:"attempts,omitempty"`
+	Poisoned map[string]json.RawMessage `json:"poisoned,omitempty"`
+
+	// submit
+	Cells []SubmitCell `json:"cells,omitempty"`
+
+	// grant / renew / settle / retry / poison
+	Lease string          `json:"lease,omitempty"`
+	Keys  []string        `json:"keys,omitempty"`
+	Key   string          `json:"k,omitempty"`
+	N     int             `json:"n,omitempty"`
+	Cell  json.RawMessage `json:"c,omitempty"`
+}
+
+// Metric families owned by this package.
+const (
+	metricAppends   = "caem_journal_appends_total"
+	metricBytes     = "caem_journal_bytes_total"
+	metricFsync     = "caem_journal_fsync_seconds"
+	metricReplayed  = "caem_journal_replayed_records"
+	metricRecovered = "caem_journal_recovered_bytes"
+)
+
+type metrics struct {
+	appends   *obs.Counter
+	bytes     *obs.Counter
+	fsync     *obs.Histogram
+	replayed  *obs.Gauge
+	recovered *obs.Gauge
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	return &metrics{
+		appends: reg.Counter(metricAppends,
+			"Records appended to the coordinator journal."),
+		bytes: reg.Counter(metricBytes,
+			"Bytes appended to the coordinator journal."),
+		fsync: reg.Histogram(metricFsync,
+			"Journal fsync latency in seconds (durable records only).",
+			obs.LatencyBuckets),
+		replayed: reg.Gauge(metricReplayed,
+			"Journal records replayed by the last Open."),
+		recovered: reg.Gauge(metricRecovered,
+			"Torn-tail bytes truncated from the journal by the last Open."),
+	}
+}
+
+// RegisterMetrics registers every metric family this package can emit
+// on reg — the catalog surface used by the obs-check lint.
+func RegisterMetrics(reg *obs.Registry) {
+	newMetrics(reg)
+}
+
+// Journal is an open coordinator write-ahead log. After Open replays
+// the directory, Begin starts the caller's epoch file; the append
+// methods are then safe for concurrent use.
+type Journal struct {
+	dir string
+
+	mu        sync.Mutex
+	f         *os.File // current epoch file, nil until Begin
+	size      int64    // validated length of the current file
+	epoch     int64
+	replayed  int
+	recovered int64
+	met       *metrics
+}
+
+// Open replays every epoch file under dir (creating it if absent) and
+// returns the journal plus the folded state. The newest file's torn
+// tail, if any, is truncated back to the last whole record; older
+// files are read-only and merely stop parsing at a tear. Open does not
+// start an epoch — call Begin before appending.
+func Open(dir string) (*Journal, State, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, State{}, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir}
+	files, err := j.epochFiles()
+	if err != nil {
+		return nil, State{}, err
+	}
+	st := emptyState()
+	for i, name := range files {
+		truncate := i == len(files)-1 // only the live tail is repaired
+		if err := j.replayFile(filepath.Join(dir, name), &st, truncate); err != nil {
+			return nil, State{}, err
+		}
+	}
+	return j, st, nil
+}
+
+func emptyState() State {
+	return State{
+		Settled:  make(map[string]bool),
+		Attempts: make(map[string]int),
+		Poisoned: make(map[string]json.RawMessage),
+		leased:   make(map[string]json.RawMessage),
+	}
+}
+
+// epochFiles lists epoch-*.jsonl names in epoch order.
+func (j *Journal) epochFiles() ([]string, error) {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := epochOf(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Slice(names, func(a, b int) bool {
+		ea, _ := epochOf(names[a])
+		eb, _ := epochOf(names[b])
+		return ea < eb
+	})
+	return names, nil
+}
+
+func epochOf(name string) (int64, bool) {
+	if !strings.HasPrefix(name, "epoch-") || !strings.HasSuffix(name, ".jsonl") {
+		return 0, false
+	}
+	n, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "epoch-"), ".jsonl"), 10, 64)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+func epochFile(epoch int64) string { return fmt.Sprintf("epoch-%d.jsonl", epoch) }
+
+// replayFile folds one epoch file into st, stopping at the first torn
+// or undecodable line. When truncate is set the tear is cut off the
+// file so the next append extends a clean tail.
+func (j *Journal) replayFile(path string, st *State, truncate bool) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	// inflight mirrors the epoch's outstanding leases: grant moves keys
+	// out of the queue, settle/retry/poison remove them, and whatever is
+	// left at EOF belonged to a leader that died — those cells re-queue.
+	inflight := make(map[string][]string) // lease id → keys, insertion-ordered
+	var grantOrder []string
+	valid := int64(0)
+	for len(blob) > 0 {
+		nl := bytes.IndexByte(blob, '\n')
+		if nl < 0 {
+			break // torn tail: no newline
+		}
+		line := blob[:nl]
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			break // torn tail: undecodable line
+		}
+		j.applyRecord(st, rec, inflight, &grantOrder)
+		j.replayed++
+		valid += int64(nl + 1)
+		blob = blob[nl+1:]
+	}
+	if rest := int64(len(blob)); rest > 0 {
+		j.recovered += rest
+		if truncate {
+			if err := os.Truncate(path, valid); err != nil {
+				return fmt.Errorf("journal: truncating torn tail: %w", err)
+			}
+		}
+	}
+	// Reclaim cells this file's dead epoch still had leased, in grant
+	// order: keys settled, retried, or poisoned after their grant have
+	// already left the leased set and are skipped naturally.
+	for _, id := range grantOrder {
+		for _, key := range inflight[id] {
+			if cell, ok := st.leased[key]; ok {
+				delete(st.leased, key)
+				st.Queue = append(st.Queue, SubmitCell{Key: key, Cell: cell})
+			}
+		}
+	}
+	return nil
+}
+
+func (j *Journal) applyRecord(st *State, rec record, inflight map[string][]string, grantOrder *[]string) {
+	switch rec.T {
+	case "snap":
+		// A snapshot replaces everything accumulated so far — it is the
+		// new epoch's authoritative view of its predecessors.
+		*st = emptyState()
+		st.Epoch = rec.Epoch
+		st.Queue = append(st.Queue, rec.Queue...)
+		for _, k := range rec.Settled {
+			st.Settled[k] = true
+		}
+		for k, n := range rec.Attempts {
+			st.Attempts[k] = n
+		}
+		for k, rep := range rec.Poisoned {
+			st.Poisoned[k] = rep
+			st.Settled[k] = true
+		}
+		for id := range inflight {
+			delete(inflight, id)
+		}
+		*grantOrder = (*grantOrder)[:0]
+	case "submit":
+		for _, c := range rec.Cells {
+			if st.Settled[c.Key] || st.hasKey(c.Key) {
+				continue // replayed duplicate
+			}
+			st.Queue = append(st.Queue, c)
+		}
+	case "grant":
+		if _, seen := inflight[rec.Lease]; !seen {
+			*grantOrder = append(*grantOrder, rec.Lease)
+		}
+		for _, key := range rec.Keys {
+			if cell, ok := st.takeQueued(key); ok {
+				st.leased[key] = cell
+				inflight[rec.Lease] = append(inflight[rec.Lease], key)
+			}
+		}
+	case "renew":
+		// Renewals carry no state; they exist so the journal is a
+		// complete lease-lifecycle record for post-mortems.
+	case "settle":
+		for _, key := range rec.Keys {
+			st.Settled[key] = true
+			st.takeQueued(key)
+			delete(st.leased, key)
+		}
+	case "retry":
+		// Absolute count: replaying the same record twice cannot
+		// double-charge the poison budget.
+		if rec.N > st.Attempts[rec.Key] {
+			st.Attempts[rec.Key] = rec.N
+		}
+		// The cell leaves its lease and waits out a backoff; on recovery
+		// it is simply ready again.
+		if cell, ok := st.leased[rec.Key]; ok {
+			delete(st.leased, rec.Key)
+			if !st.Settled[rec.Key] {
+				st.Queue = append(st.Queue, SubmitCell{Key: rec.Key, Cell: cell})
+			}
+		}
+	case "poison":
+		if rec.N > st.Attempts[rec.Key] {
+			st.Attempts[rec.Key] = rec.N
+		}
+		st.Settled[rec.Key] = true
+		st.Poisoned[rec.Key] = rec.Cell
+		st.takeQueued(rec.Key)
+		delete(st.leased, rec.Key)
+	}
+}
+
+// Begin starts the given epoch: it writes a new epoch file whose first
+// record snapshots snap, fsyncs it, points the journal's appends at
+// it, and deletes older epoch files (their content now lives in the
+// snapshot). Safe to call on a fresh journal with an empty state.
+func (j *Journal) Begin(epoch int64, snap State) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	path := filepath.Join(j.dir, epochFile(epoch))
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	rec := record{
+		T:        "snap",
+		Epoch:    epoch,
+		Queue:    snap.Queue,
+		Attempts: snap.Attempts,
+		Poisoned: snap.Poisoned,
+	}
+	for k := range snap.Settled {
+		rec.Settled = append(rec.Settled, k)
+	}
+	sort.Strings(rec.Settled)
+	if j.f != nil {
+		j.f.Close()
+	}
+	j.f, j.size, j.epoch = f, 0, epoch
+	if err := j.appendLocked(rec, true); err != nil {
+		return err
+	}
+	// The snapshot is durable; predecessors are now redundant.
+	files, err := j.epochFiles()
+	if err != nil {
+		return err
+	}
+	for _, name := range files {
+		if e, _ := epochOf(name); e < epoch {
+			os.Remove(filepath.Join(j.dir, name))
+		}
+	}
+	return nil
+}
+
+// appendLocked writes one record line at the validated offset,
+// fsyncing when durable. Caller holds mu.
+func (j *Journal) appendLocked(rec record, durable bool) error {
+	if j.f == nil {
+		return fmt.Errorf("journal: append before Begin")
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	line = append(line, '\n')
+	if _, err := j.f.WriteAt(line, j.size); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if durable {
+		start := time.Now()
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+		if j.met != nil {
+			j.met.fsync.Observe(time.Since(start).Seconds())
+		}
+	}
+	j.size += int64(len(line))
+	if j.met != nil {
+		j.met.appends.Inc()
+		j.met.bytes.Add(float64(len(line)))
+	}
+	return nil
+}
+
+func (j *Journal) append(rec record, durable bool) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(rec, durable)
+}
+
+// Submit records newly queued cells. Durable: losing a submission
+// would lose the cells until the campaign is re-planned.
+func (j *Journal) Submit(cells []SubmitCell) error {
+	return j.append(record{T: "submit", Cells: cells}, true)
+}
+
+// Grant records a lease hand-out. Not fsynced: a lost grant only
+// re-queues cells a successor would reclaim from the dead epoch anyway.
+func (j *Journal) Grant(leaseID string, keys []string) error {
+	return j.append(record{T: "grant", Lease: leaseID, Keys: keys}, false)
+}
+
+// Renew records a heartbeat. Not fsynced; informational only.
+func (j *Journal) Renew(leaseID string) error {
+	return j.append(record{T: "renew", Lease: leaseID}, false)
+}
+
+// Settle records terminal settlement of the given keys. Durable:
+// losing a settlement would re-run settled work after failover.
+func (j *Journal) Settle(keys []string) error {
+	return j.append(record{T: "settle", Keys: keys}, true)
+}
+
+// Retry records a cell failure with its absolute attempt count.
+// Durable: losing it would reset the poison budget across failover.
+func (j *Journal) Retry(key string, attempts int) error {
+	return j.append(record{T: "retry", Key: key, N: attempts}, true)
+}
+
+// Poison records a terminally failed cell with its opaque report.
+// Durable: a resurrected poisoned cell would livelock the successor.
+func (j *Journal) Poison(key string, attempts int, report json.RawMessage) error {
+	return j.append(record{T: "poison", Key: key, N: attempts, Cell: report}, true)
+}
+
+// Epoch returns the epoch Begin started, 0 before Begin.
+func (j *Journal) Epoch() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// ReplayedRecords reports how many records the Open replay folded.
+func (j *Journal) ReplayedRecords() int { return j.replayed }
+
+// RecoveredBytes reports the torn-tail bytes Open dropped.
+func (j *Journal) RecoveredBytes() int64 { return j.recovered }
+
+// Observe attaches the journal's instruments to reg and publishes the
+// replay gauges.
+func (j *Journal) Observe(reg *obs.Registry) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.met = newMetrics(reg)
+	j.met.replayed.Set(float64(j.replayed))
+	j.met.recovered.Set(float64(j.recovered))
+}
+
+// Close closes the current epoch file, if any.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

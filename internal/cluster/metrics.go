@@ -23,11 +23,16 @@ const (
 	metricBatchCells     = "caem_lease_batch_cells"
 	metricWorkerSettled  = "caem_worker_settled_total"
 
-	metricWorkerCells     = "caem_worker_cells_completed_total"
-	metricWorkerFailed    = "caem_worker_cells_failed_total"
-	metricWorkerSimSecs   = "caem_worker_simulated_seconds_total"
-	metricWorkerPoolRuns  = "caem_worker_pool_runs_total"
-	metricWorkerHeartbeat = "caem_worker_heartbeat_rtt_seconds"
+	metricClusterEpoch = "caem_cluster_epoch"
+	metricFenced       = "caem_cluster_fenced_total"
+	metricTakeovers    = "caem_cluster_takeovers_total"
+
+	metricWorkerCells        = "caem_worker_cells_completed_total"
+	metricWorkerFailed       = "caem_worker_cells_failed_total"
+	metricWorkerSimSecs      = "caem_worker_simulated_seconds_total"
+	metricWorkerPoolRuns     = "caem_worker_pool_runs_total"
+	metricWorkerHeartbeat    = "caem_worker_heartbeat_rtt_seconds"
+	metricWorkerClaimRetries = "caem_worker_claim_retries_total"
 )
 
 // coordMetrics holds the coordinator's instrument handles. Every
@@ -48,6 +53,8 @@ type coordMetrics struct {
 	inflight      *obs.Gauge
 	batchCells    *obs.Histogram
 	workerSettled *obs.CounterVec
+	epoch         *obs.Gauge
+	fenced        *obs.Counter
 }
 
 func newCoordMetrics(reg *obs.Registry) *coordMetrics {
@@ -80,17 +87,31 @@ func newCoordMetrics(reg *obs.Registry) *coordMetrics {
 		workerSettled: reg.CounterVec(metricWorkerSettled,
 			"Cells settled per worker — the per-worker throughput series.",
 			"worker"),
+		epoch: reg.Gauge(metricClusterEpoch,
+			"Leadership epoch this coordinator was elected at."),
+		fenced: reg.Counter(metricFenced,
+			"Operations rejected for carrying a dead leadership epoch."),
 	}
+}
+
+// TakeoverCounter returns the takeovers counter on reg — incremented by
+// a standby each time it assumes leadership. Exposed as a helper (the
+// obs registry is register-or-find, so callers share one instrument)
+// because takeovers happen outside any coordinator's lifetime.
+func TakeoverCounter(reg *obs.Registry) *obs.Counter {
+	return reg.Counter(metricTakeovers,
+		"Leadership takeovers completed by a standby coordinator.")
 }
 
 // workerMetrics holds one worker's instrument handles, pre-bound to
 // its worker label so hot-path updates are label-lookup-free.
 type workerMetrics struct {
-	cells    *obs.Counter
-	failed   *obs.Counter
-	simSecs  *obs.Counter
-	poolRuns *obs.Counter
-	hbRTT    *obs.Histogram
+	cells        *obs.Counter
+	failed       *obs.Counter
+	simSecs      *obs.Counter
+	poolRuns     *obs.Counter
+	hbRTT        *obs.Histogram
+	claimRetries *obs.Counter
 }
 
 func newWorkerMetrics(reg *obs.Registry, worker string) *workerMetrics {
@@ -107,6 +128,9 @@ func newWorkerMetrics(reg *obs.Registry, worker string) *workerMetrics {
 		hbRTT: reg.Histogram(metricWorkerHeartbeat,
 			"Round-trip time of lease heartbeat renewals in seconds.",
 			obs.LatencyBuckets),
+		claimRetries: reg.CounterVec(metricWorkerClaimRetries,
+			"Claim attempts that failed or found the coordinator unavailable, per worker.",
+			"worker").With(worker),
 	}
 }
 
@@ -116,5 +140,6 @@ func newWorkerMetrics(reg *obs.Registry, worker string) *workerMetrics {
 func RegisterMetrics(reg *obs.Registry) {
 	newCoordMetrics(reg)
 	newWorkerMetrics(reg, "catalog")
+	TakeoverCounter(reg)
 	obs.RegisterHTTPMetrics(reg)
 }

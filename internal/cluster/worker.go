@@ -69,6 +69,8 @@ func (w *Worker) Run(ctx context.Context) error {
 	if poll <= 0 {
 		poll = 200 * time.Millisecond
 	}
+	claimFails := 0
+	var lastTTL time.Duration // most recent lease TTL; caps the backoff
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil
@@ -80,7 +82,28 @@ func (w *Worker) Run(ctx context.Context) error {
 			return ErrWorkerKilled
 		}
 		lease, err := w.Queue.Claim(w.Name, w.MaxBatch)
-		if err != nil || lease == nil {
+		if err != nil {
+			claimFails++
+			w.met.claimRetries.Inc()
+			if errors.Is(err, ErrFenced) {
+				// The member we reached is not the leader (anymore). Skip
+				// straight to whoever is, when the Queue can tell us.
+				if res, ok := w.Queue.(interface{ ResolveLeader() (LeaderInfo, error) }); ok {
+					if info, rerr := res.ResolveLeader(); rerr == nil {
+						w.log.Info("re-resolved cluster leader",
+							"leader_url", info.LeaderURL, "epoch", info.Epoch)
+					}
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(w.claimBackoff(claimFails, lastTTL, err, poll)):
+			}
+			continue
+		}
+		claimFails = 0
+		if lease == nil {
 			select {
 			case <-ctx.Done():
 				return nil
@@ -88,10 +111,46 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			continue
 		}
+		if ttl := time.Duration(lease.TTLMillis) * time.Millisecond; ttl > 0 {
+			lastTTL = ttl
+		}
 		if err := w.runLease(ctx, pool, lease); err != nil {
 			return err
 		}
 	}
+}
+
+// claimBackoff sizes the wait after the n-th consecutive failed claim:
+// exponential from the poll interval with deterministic jitter, never
+// exceeding the lease TTL — a worker that waits longer than a TTL
+// between probes could miss an entire failover window. A coordinator
+// that answered 503 with a Retry-After hint gets that hint honored
+// (under the same cap) instead of the exponential schedule.
+func (w *Worker) claimBackoff(n int, leaseTTL time.Duration, cause error, poll time.Duration) time.Duration {
+	cap := 15 * time.Second
+	if leaseTTL > 0 && leaseTTL < cap {
+		cap = leaseTTL
+	}
+	var ua *UnavailableError
+	if errors.As(cause, &ua) && ua.RetryAfter > 0 {
+		if ua.RetryAfter < cap {
+			return ua.RetryAfter
+		}
+		return cap
+	}
+	shift := n - 1
+	if shift > 6 {
+		shift = 6
+	}
+	delay := poll << shift
+	if delay > cap {
+		delay = cap
+	}
+	delay += jitter(w.Name, n, delay/2)
+	if delay > cap {
+		delay = cap
+	}
+	return delay
 }
 
 // runLease executes one lease under a heartbeat, then settles it.
@@ -129,8 +188,11 @@ func (w *Worker) runLease(ctx context.Context, pool *caem.SimPool, l *Lease) err
 			start := time.Now()
 			err := w.Queue.Renew(l.ID)
 			w.met.hbRTT.Observe(time.Since(start).Seconds())
-			if errors.Is(err, ErrLeaseGone) {
-				w.log.Warn("lease lost mid-batch", "lease_id", l.ID)
+			if errors.Is(err, ErrLeaseGone) || errors.Is(err, ErrFenced) {
+				// Gone and fenced both mean the batch belongs to someone
+				// else now — a fenced lease's epoch died with its grantor.
+				w.log.Warn("lease lost mid-batch", "lease_id", l.ID,
+					"fenced", errors.Is(err, ErrFenced))
 				gone.Store(true)
 				return
 			}

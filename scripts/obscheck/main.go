@@ -21,6 +21,7 @@ import (
 
 	"repro/caem"
 	"repro/internal/cluster"
+	"repro/internal/cluster/journal"
 	"repro/internal/obs"
 	"repro/internal/store"
 )
@@ -28,6 +29,7 @@ import (
 func main() {
 	reg := obs.NewRegistry()
 	cluster.RegisterMetrics(reg)
+	journal.RegisterMetrics(reg)
 	store.RegisterMetrics(reg)
 	caem.RegisterAggCacheMetrics(reg)
 	obs.RegisterBuildInfo(reg, "obscheck")
