@@ -350,7 +350,13 @@ func serveMode(opts serveOptions) int {
 	}
 	srv, err := newServerWith(st, serverConfig{
 		workers:   opts.workers,
-		lease:     cluster.Options{LeaseTTL: opts.leaseTTL, MaxBatch: opts.maxBatch, Epoch: epoch, Journal: jnl},
+		lease: cluster.Options{
+			LeaseTTL: opts.leaseTTL,
+			MaxBatch: opts.maxBatch,
+			Epoch:    epoch,
+			Journal:  jnl,
+			Guard:    func() error { return lock.Verify(epoch) },
+		},
 		metrics:   reg,
 		logger:    logger,
 		version:   version,
@@ -367,17 +373,27 @@ func serveMode(opts serveOptions) int {
 		"addr", bound, "store", st.Dir(), "workers", opts.workers,
 		"epoch", epoch, "cells_on_disk", st.Len(), "version", version)
 
-	// Renew the lock at TTL/3. Losing it (a standby legitimately deposed
-	// us after a long stall) fences the coordinator: every write carrying
-	// our epoch answers 410 from here on, and workers re-target.
+	// Renew the lock at TTL/3. Only a definitive deposition (ErrLockLost:
+	// another holder or epoch owns the lock) fences immediately; a
+	// transient renewal failure — claim contention, a slow filesystem —
+	// retries at the next tick, because self-deposing on a hiccup while
+	// the lock file still names us serves 410s with no successor to take
+	// the work. If transient failures persist past the last successfully
+	// written deadline, the lease we hold on disk has lapsed and a
+	// standby may legitimately take over at any moment, so we fence then.
 	renewStop := make(chan struct{})
 	renewDone := make(chan struct{})
+	lockTTL := opts.lockTTL
+	if lockTTL <= 0 {
+		lockTTL = 3 * time.Second
+	}
 	go func() {
 		defer close(renewDone)
-		period := opts.lockTTL / 3
+		period := lockTTL / 3
 		if period <= 0 {
 			period = time.Second
 		}
+		deadline := time.Now().Add(lockTTL)
 		t := time.NewTicker(period)
 		defer t.Stop()
 		for {
@@ -386,10 +402,22 @@ func serveMode(opts serveOptions) int {
 				return
 			case <-t.C:
 			}
-			if err := lock.Renew(epoch); err != nil {
+			err := lock.Renew(epoch)
+			switch {
+			case err == nil:
+				deadline = time.Now().Add(lockTTL)
+			case errors.Is(err, cluster.ErrLockLost):
 				logger.Error("leader lock lost; fencing", "epoch", epoch, "error", err.Error())
 				srv.coord.Fence()
 				return
+			case time.Now().After(deadline):
+				logger.Error("leader lock renewals failing past the lease deadline; fencing",
+					"epoch", epoch, "error", err.Error())
+				srv.coord.Fence()
+				return
+			default:
+				logger.Warn("leader lock renewal failed; retrying",
+					"epoch", epoch, "error", err.Error())
 			}
 		}
 	}()

@@ -44,6 +44,16 @@ type Options struct {
 	// queue, lease, retry, and poison state after this one dies. The
 	// caller must have called Journal.Begin for this epoch.
 	Journal *journal.Journal
+	// Guard, when non-nil, is the resource-level fence check consulted
+	// before the coordinator grants a lease or settles one — the paths
+	// that lead to durable writes on shared state. It returns nil while
+	// this process's leadership lease is verifiably live; ErrLockLost
+	// fences the coordinator permanently. cmd/caem-serve wires it to
+	// LeaderLock.Verify, so a leader that stalled past its lock TTL and
+	// resumed is fenced synchronously at the write — not at its next
+	// renew tick, by which time it could already have interleaved store
+	// appends with its successor's.
+	Guard func() error
 	// Metrics receives the coordinator's instruments. Nil gets a private
 	// registry, so instrumentation never needs nil checks; callers who
 	// want a /metrics endpoint pass the registry they expose.
@@ -205,6 +215,33 @@ func (c *Coordinator) fenceCheckLocked(leaseID string) error {
 		}
 	}
 	return nil
+}
+
+// verifyLeadershipLocked runs the Options.Guard resource check before
+// a mutation that leads to durable writes. ErrLockLost fences the
+// coordinator permanently and answers ErrFenced; any other guard error
+// (a transient fault reading the lock) rejects just this operation —
+// refusing one settle is cheap, the lease expiry re-queues its cells,
+// whereas writing to a store a successor may concurrently be appending
+// to could corrupt it. Caller holds mu.
+func (c *Coordinator) verifyLeadershipLocked() error {
+	if c.opts.Guard == nil {
+		return nil
+	}
+	err := c.opts.Guard()
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, ErrLockLost) {
+		c.fenced = true
+		c.met.fenced.Inc()
+		c.log.Error("coordinator fenced: leadership verification failed",
+			"epoch", c.opts.Epoch, "error", err.Error())
+		return ErrFenced
+	}
+	c.log.Warn("leadership verification inconclusive; rejecting the write",
+		"epoch", c.opts.Epoch, "error", err.Error())
+	return err
 }
 
 // Drain stops granting new leases: every subsequent Claim answers
@@ -457,6 +494,11 @@ func (c *Coordinator) Claim(worker string, max int) (*Lease, error) {
 		c.syncGaugesLocked()
 		return nil, nil
 	}
+	// About to grant: verify leadership at the lock file first, so a
+	// zombie leader stops handing out work it has no right to settle.
+	if err := c.verifyLeadershipLocked(); err != nil {
+		return nil, err
+	}
 
 	n := (len(c.queue) + 2*len(c.workers) - 1) / (2 * len(c.workers))
 	if n < 1 {
@@ -562,6 +604,14 @@ func (c *Coordinator) settle(leaseID string, results []CellResult, partial bool)
 	l, ok := c.leases[leaseID]
 	if !ok {
 		return ErrLeaseGone
+	}
+	// Settlement is where results reach the shared store (Sink.CellDone
+	// → PutCell). Verify leadership at the lock file before any of it:
+	// a leader deposed between renew ticks must not append to segments
+	// its successor is also writing. Rejecting here leaves the lease in
+	// place — if we are wrong to reject, expiry re-queues the cells.
+	if err := c.verifyLeadershipLocked(); err != nil {
+		return err
 	}
 	delete(c.leases, leaseID)
 	w := c.workers[l.worker]

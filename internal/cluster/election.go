@@ -39,12 +39,14 @@ var ErrLockLost = errors.New("cluster: leader lock lost (deposed)")
 // epoch. Every lease the coordinator grants carries the epoch, so a
 // deposed leader's writes are detectable (and fenced) forever.
 //
-// Atomicity without flock: all read-validate-write cycles serialize
-// through an O_CREATE|O_EXCL sidecar (<path>.claim). A claimer that
-// dies inside the critical section leaves the sidecar behind; claim
-// files older than the TTL are presumed abandoned and are removed.
-// The lock document itself is replaced via write-to-temp + rename, so
-// readers never observe a torn lock.
+// Atomicity: every read-validate-write cycle serializes through an
+// exclusive claim on the <path>.claim sidecar — on unix a kernel
+// flock, which the OS releases the instant a claimer dies, however
+// abruptly, so a crashed claimer can never block its successors and
+// there is no stale-claim sweep for two takeovers to race through
+// (see acquireClaim for the per-platform mechanism). The lock document
+// itself is replaced via write-to-temp + rename, so readers never
+// observe a torn lock.
 type LeaderLock struct {
 	// Path is the lock file location, conventionally
 	// <store>/cluster/leader.lock, shared by primary and standby.
@@ -90,45 +92,32 @@ func ReadLockFile(path string) (LockInfo, error) {
 }
 
 // withClaim runs fn while holding the claim sidecar — the mutual
-// exclusion for every read-validate-write of the lock document.
+// exclusion for every read-validate-write of the lock document. A
+// claimer that cannot take the claim promptly (the critical section is
+// a handful of file operations, held for microseconds) reports
+// ErrLockHeld and the caller polls again on its own schedule.
 func (l *LeaderLock) withClaim(fn func() error) error {
-	claim := l.Path + ".claim"
 	if err := os.MkdirAll(filepath.Dir(l.Path), 0o755); err != nil {
 		return fmt.Errorf("cluster: %w", err)
 	}
-	for attempt := 0; ; attempt++ {
-		f, err := os.OpenFile(claim, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
-		if err == nil {
-			f.Close()
-			break
-		}
-		if !os.IsExist(err) {
-			return fmt.Errorf("cluster: %w", err)
-		}
-		// A claimer died mid-claim if the sidecar outlived a TTL; remove
-		// it and retry once. A younger sidecar is live contention — the
-		// caller polls again on its own schedule.
-		st, serr := os.Stat(claim)
-		if serr == nil && l.clock().Sub(st.ModTime()) <= l.ttl() {
-			return ErrLockHeld
-		}
-		if attempt > 0 {
-			return ErrLockHeld
-		}
-		os.Remove(claim)
+	release, err := l.acquireClaim()
+	if err != nil {
+		return err
 	}
-	defer os.Remove(claim)
+	defer release()
 	return fn()
 }
 
 // writeLocked atomically replaces the lock document. Caller holds the
-// claim sidecar.
+// claim sidecar. The temp name is per-process so that even a claim
+// breach on a platform without kernel locks cannot interleave two
+// writers' bytes — rename keeps the document whole either way.
 func (l *LeaderLock) writeLocked(info LockInfo) error {
 	blob, err := json.Marshal(info)
 	if err != nil {
 		return fmt.Errorf("cluster: %w", err)
 	}
-	tmp := l.Path + ".tmp"
+	tmp := fmt.Sprintf("%s.tmp.%d", l.Path, os.Getpid())
 	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
 		return fmt.Errorf("cluster: %w", err)
 	}
@@ -189,6 +178,34 @@ func (l *LeaderLock) Renew(epoch int64) error {
 		cur.URL = l.URL
 		return l.writeLocked(cur)
 	})
+}
+
+// Verify confirms this process still holds the lock at epoch with an
+// unexpired deadline — the synchronous, resource-level fence check run
+// before durable writes to shared state. The renew loop notices
+// deposition only at its next tick; a leader that stalled past its TTL
+// and then resumed could otherwise keep writing to the shared store in
+// the same window as the successor that took over. Verify reads the
+// lock document directly (it is replaced atomically, so no claim is
+// needed to read it); if our own deadline lapsed without a successor
+// appearing, it renews inline so the write proceeds under a live
+// lease. ErrLockLost means the caller has been deposed and must fence
+// itself before touching shared state.
+func (l *LeaderLock) Verify(epoch int64) error {
+	cur, err := ReadLockFile(l.Path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return ErrLockLost
+		}
+		return err
+	}
+	if cur.Holder != l.Holder || cur.Epoch != epoch {
+		return ErrLockLost
+	}
+	if cur.Expired(l.clock()) {
+		return l.Renew(epoch)
+	}
+	return nil
 }
 
 // Release expires the lock immediately if still held at the given

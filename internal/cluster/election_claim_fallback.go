@@ -1,0 +1,52 @@
+//go:build !unix
+
+package cluster
+
+import (
+	"fmt"
+	"os"
+)
+
+// acquireClaim on platforms without flock falls back to an
+// O_CREATE|O_EXCL sidecar with a TTL staleness sweep. A claimer that
+// died mid-claim leaves the sidecar behind; sidecars older than the
+// TTL are presumed abandoned. The takeover of a stale sidecar goes
+// through an atomic rename to a per-process name, so at most one
+// contender proceeds per stale sidecar, and a fresh sidecar that
+// appeared between the stat and the steal is restored untouched. This
+// is best-effort — without a kernel lock the takeover cannot be made
+// fully race-free; unix builds use flock instead.
+func (l *LeaderLock) acquireClaim() (func(), error) {
+	claim := l.Path + ".claim"
+	for attempt := 0; ; attempt++ {
+		f, err := os.OpenFile(claim, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err == nil {
+			f.Close()
+			return func() { os.Remove(claim) }, nil
+		}
+		if !os.IsExist(err) {
+			return nil, fmt.Errorf("cluster: %w", err)
+		}
+		st, serr := os.Stat(claim)
+		if serr == nil && l.clock().Sub(st.ModTime()) <= l.ttl() {
+			return nil, ErrLockHeld
+		}
+		if attempt > 0 {
+			return nil, ErrLockHeld
+		}
+		// Steal the stale sidecar atomically: exactly one contender's
+		// rename of the abandoned file succeeds; the losers see ENOENT
+		// and back off.
+		stale := fmt.Sprintf("%s.stale.%d", claim, os.Getpid())
+		if os.Rename(claim, stale) != nil {
+			return nil, ErrLockHeld
+		}
+		if st, err := os.Stat(stale); err == nil && l.clock().Sub(st.ModTime()) <= l.ttl() {
+			// The file at the claim path was replaced between the stat and
+			// the rename — we stole a live claim. Put it back and yield.
+			os.Rename(stale, claim)
+			return nil, ErrLockHeld
+		}
+		os.Remove(stale)
+	}
+}

@@ -1,0 +1,50 @@
+//go:build unix
+
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"time"
+)
+
+// claimWait bounds how long a claimer polls for the claim flock before
+// reporting contention. The critical section is a handful of file
+// operations — microseconds — so exhausting the wait means the holder
+// is stalled (e.g. SIGSTOP mid-claim); degrading to ErrLockHeld lets
+// the caller retry on its own schedule instead of deadlocking.
+const claimWait = 250 * time.Millisecond
+
+// acquireClaim takes an exclusive kernel lock (flock) on the claim
+// sidecar. The kernel releases the lock when the holding process dies,
+// however abruptly, so a crashed claimer never leaves a stale claim
+// behind — which is what makes takeover atomic: there is no staleness
+// heuristic for two sweepers to evaluate concurrently, remove each
+// other's claims, and both enter the critical section at the same
+// epoch.
+func (l *LeaderLock) acquireClaim() (func(), error) {
+	f, err := os.OpenFile(l.Path+".claim", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	deadline := time.Now().Add(claimWait)
+	for {
+		err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+		if err == nil {
+			return func() {
+				syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+				f.Close()
+			}, nil
+		}
+		if err != syscall.EWOULDBLOCK && err != syscall.EINTR {
+			f.Close()
+			return nil, fmt.Errorf("cluster: claim flock: %w", err)
+		}
+		if time.Now().After(deadline) {
+			f.Close()
+			return nil, ErrLockHeld
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

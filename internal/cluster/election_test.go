@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"time"
 )
@@ -94,9 +96,10 @@ func TestLeaderLockExpiry(t *testing.T) {
 	}
 }
 
-// TestLeaderLockStaleClaim: a claim sidecar abandoned by a crashed
-// claimer (older than the TTL) is swept aside; a fresh one blocks.
-func TestLeaderLockStaleClaim(t *testing.T) {
+// TestLeaderLockCrashedClaimer: a claim sidecar left behind by a dead
+// claimer does not block acquisition — the kernel released the flock
+// with the process, so the file's mere existence means nothing.
+func TestLeaderLockCrashedClaimer(t *testing.T) {
 	clk := newFakeClock()
 	path := filepath.Join(t.TempDir(), "leader.lock")
 	lock := lockAt(path, "primary", clk)
@@ -108,19 +111,127 @@ func TestLeaderLockStaleClaim(t *testing.T) {
 	if err := os.WriteFile(claim, nil, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	// A live sidecar (age < TTL) means real contention.
-	if err := os.Chtimes(claim, clk.t, clk.t); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := lock.TryAcquire(); !errors.Is(err, ErrLockHeld) {
-		t.Fatalf("acquired through a live claim sidecar: %v", err)
-	}
-	// Age it past the TTL: presumed abandoned, removed, acquisition wins.
-	old := clk.t.Add(-2 * time.Second)
-	if err := os.Chtimes(claim, old, old); err != nil {
-		t.Fatal(err)
-	}
 	if epoch, err := lock.TryAcquire(); err != nil || epoch != 1 {
-		t.Fatalf("TryAcquire over stale claim = %d, %v; want 1, nil", epoch, err)
+		t.Fatalf("TryAcquire over an unlocked claim file = %d, %v; want 1, nil", epoch, err)
+	}
+}
+
+// TestLeaderLockClaimContention: while one claimer holds the claim, a
+// contender's TryAcquire degrades to ErrLockHeld instead of blocking
+// forever; once the holder releases, the contender acquires.
+func TestLeaderLockClaimContention(t *testing.T) {
+	clk := newFakeClock()
+	path := filepath.Join(t.TempDir(), "leader.lock")
+	a := lockAt(path, "a", clk)
+	b := lockAt(path, "b", clk)
+
+	entered := make(chan struct{})
+	exit := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- a.withClaim(func() error {
+			close(entered)
+			<-exit
+			return nil
+		})
+	}()
+	<-entered
+	if _, err := b.TryAcquire(); !errors.Is(err, ErrLockHeld) {
+		t.Fatalf("TryAcquire against a held claim = %v, want ErrLockHeld", err)
+	}
+	close(exit)
+	if err := <-done; err != nil {
+		t.Fatalf("withClaim: %v", err)
+	}
+	if epoch, err := b.TryAcquire(); err != nil || epoch != 1 {
+		t.Fatalf("TryAcquire after release = %d, %v; want 1, nil", epoch, err)
+	}
+}
+
+// TestLeaderLockConcurrentTakeover: many contenders racing to take over
+// an expired lock produce exactly one winner and exactly one epoch bump
+// — the serialization the claim exists to provide. (Under the old
+// stale-claim sweep, two sweepers could remove each other's sidecars
+// and both win the same epoch.)
+func TestLeaderLockConcurrentTakeover(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "leader.lock")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seed := &LeaderLock{Path: path, Holder: "dead", TTL: time.Minute}
+	if err := seed.writeLocked(LockInfo{
+		Epoch:    4,
+		Holder:   "dead",
+		Deadline: time.Now().Add(-time.Hour).UnixMilli(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const contenders = 8
+	wins := make(chan int64, contenders)
+	var wg sync.WaitGroup
+	for i := 0; i < contenders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			l := &LeaderLock{Path: path, Holder: fmt.Sprintf("c%d", i), TTL: time.Minute}
+			if epoch, err := l.TryAcquire(); err == nil {
+				wins <- epoch
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(wins)
+	var got []int64
+	for e := range wins {
+		got = append(got, e)
+	}
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("winners = %v, want exactly one at epoch 5", got)
+	}
+	info, err := ReadLockFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch != 5 {
+		t.Fatalf("final epoch = %d, want 5", info.Epoch)
+	}
+}
+
+// TestLeaderLockVerify covers the synchronous fence check: a live
+// holder passes, a lapsed-but-unchallenged holder renews inline, and a
+// deposed holder gets ErrLockLost.
+func TestLeaderLockVerify(t *testing.T) {
+	clk := newFakeClock()
+	path := filepath.Join(t.TempDir(), "leader.lock")
+	primary := lockAt(path, "primary", clk)
+	standby := lockAt(path, "standby", clk)
+
+	epoch, err := primary.TryAcquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Verify(epoch); err != nil {
+		t.Fatalf("Verify while live: %v", err)
+	}
+	if err := primary.Verify(epoch + 1); !errors.Is(err, ErrLockLost) {
+		t.Fatalf("Verify at the wrong epoch = %v, want ErrLockLost", err)
+	}
+	// Deadline lapsed but no successor appeared: Verify renews inline so
+	// the guarded write proceeds under a live lease.
+	clk.advance(1100 * time.Millisecond)
+	if err := primary.Verify(epoch); err != nil {
+		t.Fatalf("Verify after lapse without successor: %v", err)
+	}
+	if info, err := ReadLockFile(path); err != nil || info.Expired(clk.t) {
+		t.Fatalf("lock not renewed inline: %+v, %v", info, err)
+	}
+	// A successor took over: the zombie's Verify must fence it.
+	clk.advance(1100 * time.Millisecond)
+	if _, err := standby.TryAcquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := primary.Verify(epoch); !errors.Is(err, ErrLockLost) {
+		t.Fatalf("zombie Verify = %v, want ErrLockLost", err)
 	}
 }

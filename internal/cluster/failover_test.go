@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"sync/atomic"
@@ -379,6 +380,88 @@ func TestRemoteFailoverRotation(t *testing.T) {
 	}
 	if got := r2.base(); got != leader.URL {
 		t.Fatalf("Remote targets %q after ResolveLeader, want %q", got, leader.URL)
+	}
+
+	// A worker that only knows the deposed member still converges: the
+	// advertised leader URL is adopted even though it was never in the
+	// configured bases.
+	r3 := &Remote{Bases: []string{deposed.URL}}
+	info, err = r3.ResolveLeader()
+	if err != nil || info.LeaderURL != leader.URL {
+		t.Fatalf("ResolveLeader from deposed-only bases = %+v, %v", info, err)
+	}
+	if got := r3.base(); got != leader.URL {
+		t.Fatalf("Remote targets %q after adopting the advertised leader, want %q", got, leader.URL)
+	}
+	if lease, err := r3.Claim("w2", 0); err != nil || lease == nil {
+		t.Fatalf("claim via adopted leader URL = %+v, %v", lease, err)
+	}
+}
+
+// TestGuardFencesZombieSettle: the write-time leadership guard. A
+// coordinator whose renew loop has not yet noticed deposition (the
+// SIGSTOP-then-resume zombie) is fenced synchronously at the first
+// grant or settle after a successor takes the lock — its stale results
+// never reach the sink.
+func TestGuardFencesZombieSettle(t *testing.T) {
+	clk := newFakeClock()
+	path := filepath.Join(t.TempDir(), "leader.lock")
+	lock := lockAt(path, "primary", clk)
+	epoch, err := lock.TryAcquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sink := newTestSink()
+	c := NewCoordinator(sink, Options{
+		Epoch:    epoch,
+		LeaseTTL: time.Minute,
+		Guard:    func() error { return lock.Verify(epoch) },
+	})
+	defer c.Stop()
+	cells := testCells(t, 4)
+	want := referenceResults(t, cells)
+	c.Submit(cells)
+
+	// While we hold the lock, the guard is invisible: claims and settles
+	// proceed.
+	lease1, err := c.Claim("w1", 2)
+	if err != nil || lease1 == nil {
+		t.Fatalf("claim while leading: %+v, %v", lease1, err)
+	}
+	var rs []CellResult
+	for _, cell := range lease1.Cells {
+		res := want[cell.Key()]
+		rs = append(rs, CellResult{Campaign: cell.Campaign, Index: cell.Index, Result: &res})
+	}
+	if err := c.Complete(lease1.ID, rs); err != nil {
+		t.Fatalf("complete while leading: %v", err)
+	}
+	lease2, err := c.Claim("w1", 2)
+	if err != nil || lease2 == nil {
+		t.Fatalf("second claim: %+v, %v", lease2, err)
+	}
+
+	// The coordinator stalls past its TTL; a standby takes the lock. The
+	// renew loop hasn't run — only the guard stands between the zombie's
+	// in-flight settle and the store.
+	clk.advance(1100 * time.Millisecond)
+	standby := lockAt(path, "standby", clk)
+	if _, err := standby.TryAcquire(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Complete(lease2.ID, nil); !errors.Is(err, ErrFenced) {
+		t.Fatalf("zombie settle = %v, want ErrFenced", err)
+	}
+	if _, err := c.Claim("w1", 0); !errors.Is(err, ErrFenced) {
+		t.Fatalf("zombie claim = %v, want ErrFenced", err)
+	}
+	// Only the pre-takeover batch reached the sink.
+	sink.mu.Lock()
+	n := len(sink.done)
+	sink.mu.Unlock()
+	if n != len(lease1.Cells) {
+		t.Fatalf("sink has %d cells, want %d (zombie writes must not land)", n, len(lease1.Cells))
 	}
 }
 

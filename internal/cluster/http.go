@@ -207,18 +207,31 @@ func (r *Remote) rotate() {
 	}
 }
 
-// retarget points the Remote at url when it is one of the configured
-// bases (modulo trailing slash); otherwise it leaves the target alone.
+// retarget points the Remote at url. A url matching one of the
+// configured bases (modulo trailing slash) is selected in place; an
+// unknown url — a leader advertising an address that was not in the
+// worker's -join list, common when the cluster re-addresses across a
+// failover — is adopted into Bases and targeted, so ResolveLeader
+// converges on the advertised leader instead of blindly rotating
+// through stale configured members.
 func (r *Remote) retarget(url string) {
+	want := strings.TrimRight(url, "/")
+	if want == "" {
+		return
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	want := strings.TrimRight(url, "/")
 	for i, b := range r.allBases() {
 		if strings.TrimRight(b, "/") == want {
 			r.cur = i
 			return
 		}
 	}
+	if len(r.Bases) == 0 {
+		r.Bases = append(r.Bases, strings.TrimRight(r.Base, "/"))
+	}
+	r.Bases = append(r.Bases, want)
+	r.cur = len(r.Bases) - 1
 }
 
 // decodeError maps a non-2xx response to the protocol error it

@@ -391,6 +391,14 @@ func (j *Journal) Begin(epoch int64, snap State) error {
 	if err := j.appendLocked(rec, true); err != nil {
 		return err
 	}
+	// Make the new epoch file's directory entry durable BEFORE unlinking
+	// predecessors: fsyncing the record's content alone leaves the
+	// creation in the directory's dirty page, and a crash could persist
+	// the unlinks while losing the creation — zero epoch files, total
+	// loss of the state the WAL exists to preserve.
+	if err := syncDir(j.dir); err != nil {
+		return err
+	}
 	// The snapshot is durable; predecessors are now redundant.
 	files, err := j.epochFiles()
 	if err != nil {
@@ -400,6 +408,21 @@ func (j *Journal) Begin(epoch int64, snap State) error {
 		if e, _ := epochOf(name); e < epoch {
 			os.Remove(filepath.Join(j.dir, name))
 		}
+	}
+	return syncDir(j.dir)
+}
+
+// syncDir fsyncs the directory itself, making file creations and
+// unlinks inside it durable — the content fsync in appendLocked covers
+// only the file's bytes, not its directory entry.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("journal: sync dir: %w", err)
 	}
 	return nil
 }

@@ -85,9 +85,13 @@ func (w *Worker) Run(ctx context.Context) error {
 		if err != nil {
 			claimFails++
 			w.met.claimRetries.Inc()
-			if errors.Is(err, ErrFenced) {
-				// The member we reached is not the leader (anymore). Skip
-				// straight to whoever is, when the Queue can tell us.
+			var ua *UnavailableError
+			if errors.Is(err, ErrFenced) || errors.As(err, &ua) {
+				// The member we reached is not the leader: fenced means it
+				// was deposed, 503 means it is a standby (or draining).
+				// Either way, skip straight to whoever leads, when the
+				// Queue can tell us — a worker joined only to standbys
+				// would otherwise poll 503s forever.
 				if res, ok := w.Queue.(interface{ ResolveLeader() (LeaderInfo, error) }); ok {
 					if info, rerr := res.ResolveLeader(); rerr == nil {
 						w.log.Info("re-resolved cluster leader",
