@@ -6,7 +6,7 @@ GO ?= go
 #   make build VERSION=v1.2.3
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 
-.PHONY: all build test race vet lint chaos failover bench bench-smoke bench-gate bench-compare profile determinism resume-check docs-check obs-check api-check figures scenarios examples clean
+.PHONY: all build test race vet lint chaos failover fuzz bench bench-smoke bench-gate bench-compare profile determinism resume-check docs-check obs-check api-check figures scenarios examples clean
 
 all: build test vet
 
@@ -41,6 +41,24 @@ failover:
 vet:
 	$(GO) vet ./...
 
+# Property-based fuzzing gate. Each fuzzer's seed corpus (under
+# testdata/fuzz/) already runs as deterministic subtests in plain
+# `go test`; this target explores BEYOND the corpus for a bounded
+# budget per fuzzer (go's fuzz engine allows one -fuzz target per
+# invocation, hence three runs):
+#   FuzzSpecLoad            — adversarial JSON never panics the loader
+#   FuzzGeneratorValidity   — every generated spec loads and regenerates
+#                             byte-identically
+#   FuzzScenarioDeterminism — generated scenarios run bit-identically
+#                             across serial, parallel, and pooled+Reset
+#                             execution
+# Override the budget: make fuzz FUZZTIME=2m
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzSpecLoad$$' -fuzztime $(FUZZTIME) ./internal/scenario/
+	$(GO) test -run '^$$' -fuzz '^FuzzGeneratorValidity$$' -fuzztime $(FUZZTIME) ./internal/scenario/gen/
+	$(GO) test -run '^$$' -fuzz '^FuzzScenarioDeterminism$$' -fuzztime $(FUZZTIME) ./caem/
+
 # Fast-fail lint pass: formatting, vet, and staticcheck when available
 # (CI installs it; locally it is optional).
 lint:
@@ -63,7 +81,7 @@ bench-smoke:
 # simulated second, the scenario engine, the Figure 9 replication grid,
 # the obs instrument hot path, and the store query/aggregate-cache
 # paths behind /v1 results) must stay within BENCH_GATE_FACTOR x the
-# committed BENCH_6.json baseline on ns/op and BENCH_ALLOC_FACTOR x
+# committed BENCH_7.json baseline on ns/op and BENCH_ALLOC_FACTOR x
 # on allocs/op. The time bound is loose by design: the baseline was
 # recorded on one machine and CI runners differ and are noisy, so the
 # gate catches order-of-magnitude regressions (allocation storms,
@@ -80,7 +98,7 @@ BENCH_GATE_FACTOR ?= 2.5
 BENCH_ALLOC_FACTOR ?= 2.0
 BENCH_EXACT_ALLOCS ?= ^(BenchmarkSimulatedSecond/|BenchmarkMetricsHotPath$$|BenchmarkAggregateCached$$)
 bench-gate:
-	$(GO) run ./scripts/benchgate -baseline BENCH_6.json -factor $(BENCH_GATE_FACTOR) -allocfactor $(BENCH_ALLOC_FACTOR) -exactallocs '$(BENCH_EXACT_ALLOCS)'
+	$(GO) run ./scripts/benchgate -baseline BENCH_7.json -factor $(BENCH_GATE_FACTOR) -allocfactor $(BENCH_ALLOC_FACTOR) -exactallocs '$(BENCH_EXACT_ALLOCS)'
 
 # Bench comparator (CI artifact): run the gated benchmarks and print a
 # benchstat-style delta table against the committed baseline. Never
@@ -88,7 +106,7 @@ bench-gate:
 # not a gate.
 bench-compare:
 	@mkdir -p out
-	$(GO) run ./scripts/benchgate -baseline BENCH_6.json -gate=false -report out/bench-compare.txt
+	$(GO) run ./scripts/benchgate -baseline BENCH_7.json -gate=false -report out/bench-compare.txt
 
 # Capture pprof CPU + allocation profiles for the gated benchmarks into
 # out/profiles/. Inspect with `go tool pprof out/profiles/<name>.cpu`.

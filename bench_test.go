@@ -14,6 +14,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/queueing"
 	"repro/internal/scenario"
+	"repro/internal/scenario/gen"
 	"repro/internal/sim"
 )
 
@@ -125,6 +126,43 @@ func BenchmarkScenarioSecond(b *testing.B) {
 }
 
 func benchFloat(v float64) *float64 { return &v }
+
+// BenchmarkGeneratedScenarioSecond measures one simulated second at
+// full scale under a DENSE generated timeline — the gen package's
+// "dense"-style mix (churn, bursty load, stormy weather, mobility,
+// interference, sink outages) at 4x event density — so the overhead of
+// the scenario engine's event hooks, link-row invalidation, and
+// interference bookkeeping is regression-gated on a timeline far
+// busier than BenchmarkScenarioSecond's hand-rolled cycle.
+func BenchmarkGeneratedScenarioSecond(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Horizon = sim.Time(b.N) * sim.Second
+	cfg.SampleInterval = 1000 * sim.Second
+	cfg.BaseStationForwarding = true
+
+	d := float64(b.N)
+	if d < 60 {
+		d = 60 // the generator's minimum horizon
+	}
+	fam := gen.Family{
+		Name:  "bench-dense",
+		Nodes: cfg.Nodes, FieldWidthM: cfg.FieldWidth, FieldHeightM: cfg.FieldHeight,
+		DurationSeconds: d,
+		ChurnRate:       3, LoadShape: "bursty", Weather: "stormy",
+		Heterogeneity: 0.4, EventDensity: 4,
+		MobilityRate: 3, InterferenceRate: 2, SinkOutages: 2,
+	}
+	spec, err := gen.Generate(fam, 0, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := scenario.Compile(spec, &cfg); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	core.New(cfg).Run()
+}
 
 // BenchmarkMetricsHotPath measures one round of the instrument updates
 // the cluster and store emit per settled cell — counter Inc/Add, gauge

@@ -119,6 +119,10 @@ type Advanced struct {
 	MaxRetries int `json:"maxRetries,omitempty"`
 	// StartupTimeMicros is the data radio's sleep→active time.
 	StartupTimeMicros float64 `json:"startupTimeMicros,omitempty"`
+	// BaseStationForwarding enables the paper's base-station forwarding
+	// extension: cluster heads aggregate and periodically forward to the
+	// sink, and sink-down scenario events become metric-visible.
+	BaseStationForwarding bool `json:"baseStationForwarding,omitempty"`
 }
 
 // Config parameterizes one simulation run. DefaultConfig returns the
@@ -249,6 +253,7 @@ func (c Config) simConfig() (core.Config, error) {
 	if a.StartupTimeMicros > 0 {
 		sc.Device.DataStartupTime = sim.Time(a.StartupTimeMicros + 0.5)
 	}
+	sc.BaseStationForwarding = a.BaseStationForwarding
 	return sc, nil
 }
 

@@ -117,6 +117,81 @@ func TestResumeEquivalence(t *testing.T) {
 	}
 }
 
+// TestGeneratedCampaignResume is the generated-scenario half of the
+// checkpoint/resume differential: a campaign over GenerateScenarios
+// specs is halted at a checkpoint, the store is closed and reopened (a
+// process death), and the specs are REGENERATED from the same
+// (family, count, seed) spelling — the resumed campaign must restore
+// the checkpointed cells by content hash and finish byte-identical to
+// an uninterrupted run. This is what lets caem-sim -gen and the
+// caem-serve "generate" field persist only the generator inputs.
+func TestGeneratedCampaignResume(t *testing.T) {
+	base := DefaultConfig()
+	base.DurationSeconds = 12
+	base.Workers = 2
+	protos := []Protocol{PureLEACH, Scheme1}
+	seeds := []uint64{1, 2}
+
+	gen := func() []Scenario {
+		scs, err := GenerateScenarios("mixed", 2, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return scs
+	}
+
+	fresh, err := RunCampaign(base, gen(), protos, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, err := RunCampaignWith(base, gen(), protos, seeds, CampaignOptions{
+		Store: st, Resume: true, MaxRuns: 3, Campaign: "gen-resume",
+	})
+	if !errors.Is(err, ErrCampaignHalted) {
+		t.Fatalf("checkpointed campaign returned %v, want ErrCampaignHalted", err)
+	}
+	if len(partial) != 3 || st.Len() != 3 {
+		t.Fatalf("checkpoint completed %d cells with %d stored, want 3/3", len(partial), st.Len())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: reopen the store and regenerate the specs from scratch.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	resumed, err := RunCampaignWith(base, gen(), protos, seeds, CampaignOptions{
+		Store: st2, Resume: true, Campaign: "gen-resume",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := 0
+	for _, c := range resumed {
+		if c.Restored {
+			restored++
+		}
+	}
+	if restored != 3 {
+		t.Fatalf("resumed campaign restored %d cells, want the 3 checkpointed ones (regenerated specs rehashed differently?)", restored)
+	}
+	if got, want := summaries(t, resumed), summaries(t, fresh); got != want {
+		t.Fatalf("generated-campaign resume diverged from uninterrupted run:\n got %s\nwant %s", got, want)
+	}
+	if !reflect.DeepEqual(AggregateCampaign(fresh), AggregateCampaign(resumed)) {
+		t.Fatal("generated-campaign aggregates diverged after resume")
+	}
+}
+
 // TestResumeSurvivesStoreReopen: the same differential across a real
 // store close/reopen — what a killed-and-restarted process does.
 func TestResumeSurvivesStoreReopen(t *testing.T) {

@@ -42,19 +42,29 @@ type (
 	ChannelShift = scenario.ChannelShift
 )
 
+// ScenarioRegion is an axis-aligned rectangle in field coordinates,
+// used by move (scatter area) and interference (burst footprint) events.
+type ScenarioRegion = scenario.Region
+
 // Timeline event kinds (see the ScenarioEventType constants of
 // internal/scenario for semantics): node lifecycle (EventKill,
 // EventRevive), energy (EventTopUp), traffic (EventSetRate,
-// EventScaleRate, EventRampRate, EventBurst), channel (EventChannel).
+// EventScaleRate, EventRampRate, EventBurst), channel (EventChannel),
+// mobility (EventMove), interference (EventInterference), and sink
+// (EventSinkDown, EventSinkUp).
 const (
-	EventKill      = scenario.EventKill
-	EventRevive    = scenario.EventRevive
-	EventTopUp     = scenario.EventTopUp
-	EventSetRate   = scenario.EventSetRate
-	EventScaleRate = scenario.EventScaleRate
-	EventRampRate  = scenario.EventRampRate
-	EventBurst     = scenario.EventBurst
-	EventChannel   = scenario.EventChannel
+	EventKill         = scenario.EventKill
+	EventRevive       = scenario.EventRevive
+	EventTopUp        = scenario.EventTopUp
+	EventSetRate      = scenario.EventSetRate
+	EventScaleRate    = scenario.EventScaleRate
+	EventRampRate     = scenario.EventRampRate
+	EventBurst        = scenario.EventBurst
+	EventChannel      = scenario.EventChannel
+	EventMove         = scenario.EventMove
+	EventInterference = scenario.EventInterference
+	EventSinkDown     = scenario.EventSinkDown
+	EventSinkUp       = scenario.EventSinkUp
 )
 
 // LoadScenario decodes and validates a scenario spec from JSON. Unknown

@@ -349,7 +349,7 @@ func serveMode(opts serveOptions) int {
 		return 1
 	}
 	srv, err := newServerWith(st, serverConfig{
-		workers:   opts.workers,
+		workers: opts.workers,
 		lease: cluster.Options{
 			LeaseTTL: opts.leaseTTL,
 			MaxBatch: opts.maxBatch,

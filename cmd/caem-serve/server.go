@@ -33,6 +33,12 @@ type campaignRequest struct {
 	Scenarios []string `json:"scenarios,omitempty"`
 	// Specs carries inline scenario specs (the scenarios/SPEC.md schema).
 	Specs []json.RawMessage `json:"specs,omitempty"`
+	// Generate expands preset generator families, each entry spelled
+	// "family:count[:seed]" (seed defaults to 1). Generation is
+	// deterministic, so the spelling stands in for the expanded specs in
+	// the canonical request: recovery after a restart regenerates
+	// byte-identical scenarios and the same cell hashes.
+	Generate []string `json:"generate,omitempty"`
 	// Protocols lists protocol names (ParseProtocol spellings); empty
 	// means all three.
 	Protocols []string `json:"protocols,omitempty"`
@@ -609,8 +615,15 @@ func resolveScenarios(req campaignRequest) ([]caem.Scenario, error) {
 		}
 		scs = append(scs, sc)
 	}
+	for i, g := range req.Generate {
+		gen, err := caem.ParseGenerate(g)
+		if err != nil {
+			return nil, fmt.Errorf("generate[%d]: %w", i, err)
+		}
+		scs = append(scs, gen...)
+	}
 	if len(scs) == 0 {
-		return nil, fmt.Errorf("campaign needs at least one scenario (scenarios or specs)")
+		return nil, fmt.Errorf("campaign needs at least one scenario (scenarios, specs, or generate)")
 	}
 	return scs, nil
 }

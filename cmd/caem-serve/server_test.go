@@ -237,6 +237,9 @@ func TestServeInlineSpecAndErrors(t *testing.T) {
 		"unknown protocol": `{"scenarios":["node-churn"],"protocols":["tdma"]}`,
 		"unknown field":    `{"scenarios":["node-churn"],"turbo":true}`,
 		"bad config":       `{"scenarios":["node-churn"],"config":{"nodes":-5}}`,
+		"unknown family":   `{"generate":["no-such-family:2"]}`,
+		"bad gen count":    `{"generate":["mixed:0"]}`,
+		"bad gen spec":     `{"generate":["mixed"]}`,
 	} {
 		resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(body))
 		if err != nil {
@@ -263,6 +266,70 @@ func TestServeInlineSpecAndErrors(t *testing.T) {
 	getJSON(t, ts.URL+"/campaigns", &list)
 	if len(list.Campaigns) != 1 {
 		t.Fatalf("list has %d campaigns, want 1", len(list.Campaigns))
+	}
+}
+
+// TestServeGeneratedCampaignRecovers: a campaign submitted with the
+// "generate" spelling persists only the spelling, not the expanded
+// specs. Because generation is deterministic, a restarted service
+// regenerates byte-identical scenarios, rehashes to the same cells, and
+// restores every result from the store without re-running anything.
+func TestServeGeneratedCampaignRecovers(t *testing.T) {
+	dir := t.TempDir()
+	srv, ts, st := startServer(t, dir)
+
+	req := `{
+	  "generate": ["mixed:2:42"],
+	  "protocols": ["scheme1"],
+	  "seeds": [3],
+	  "config": {"durationSeconds": 10}
+	}`
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created campaignStatus
+	json.NewDecoder(resp.Body).Decode(&created)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || created.Total != 2 {
+		t.Fatalf("generated POST = %d %+v", resp.StatusCode, created)
+	}
+	for _, c := range created.Cells {
+		if !strings.HasPrefix(c.Scenario, "gen/mixed/42/") {
+			t.Fatalf("generated cell has scenario %q", c.Scenario)
+		}
+	}
+	status := waitDone(t, ts.URL, created.ID)
+	if status.State != "done" || status.Completed != 2 {
+		t.Fatalf("generated campaign settled as %+v", status)
+	}
+	var results resultsDoc
+	getJSON(t, ts.URL+"/campaigns/"+created.ID+"/results", &results)
+
+	ts.Close()
+	srv.Close()
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, ts2, st2 := startServer(t, dir)
+	defer func() { ts2.Close(); srv2.Close(); st2.Close() }()
+	recovered := waitDone(t, ts2.URL, created.ID)
+	if recovered.State != "done" || recovered.Completed != 2 {
+		t.Fatalf("recovered generated campaign = %+v", recovered)
+	}
+	for _, c := range recovered.Cells {
+		if c.Status != "restored" {
+			t.Fatalf("cell %s/%s/%d = %s after restart, want restored (rehash mismatch?)",
+				c.Scenario, c.Protocol, c.Seed, c.Status)
+		}
+	}
+	var results2 resultsDoc
+	getJSON(t, ts2.URL+"/campaigns/"+created.ID+"/results", &results2)
+	b1, _ := json.Marshal(results)
+	b2, _ := json.Marshal(results2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("generated results diverged across restart:\n pre %s\npost %s", b1, b2)
 	}
 }
 

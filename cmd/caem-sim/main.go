@@ -8,16 +8,26 @@
 //	caem-sim -scenario my-world.json -protocol all -seeds 3
 //	caem-sim -scenario node-churn -protocol all -seeds 5 -store out/mystore
 //	caem-sim -scenario node-churn -protocol all -seeds 5 -store out/mystore -resume
+//	caem-sim -list-families
+//	caem-sim -gen mixed:8:42 -protocol all -seeds 3 -store out/sweep
 //
 // Protocols: leach (pure LEACH baseline), scheme1 (CAEM with adaptive
 // threshold), scheme2 (CAEM with fixed highest threshold); "all" (with
-// -scenario) runs the full protocol grid as a campaign.
+// -scenario or -gen) runs the full protocol grid as a campaign.
 //
 // Scenarios are declarative dynamic-world specs (node churn, traffic
-// ramps and bursts, channel weather, battery service) layered over the
-// configuration; -scenario accepts a curated library name or a path to a
-// JSON spec file. A scenario file's embedded config overrides apply
-// first; explicitly passed flags override the scenario.
+// ramps and bursts, channel weather, mobility, interference, sink
+// outages, battery service) layered over the configuration; -scenario
+// accepts a curated library name or a path to a JSON spec file. A
+// scenario file's embedded config overrides apply first; explicitly
+// passed flags override the scenario.
+//
+// -gen family:count[:seed] expands a preset generator family (see
+// -list-families) into count deterministic scenarios and sweeps them as
+// a campaign. Generation is a pure function of (family, index, seed):
+// the same spelling always reproduces byte-identical specs, so a
+// generated campaign persists, halts, and resumes through -store
+// exactly like a curated one.
 //
 // Campaign persistence: -store writes every completed cell to an
 // append-only results store as it finishes, and -resume skips cells the
@@ -65,6 +75,8 @@ func main() {
 
 		scenarioName  = flag.String("scenario", "", "dynamic-world scenario: a library name (see -list-scenarios) or a JSON spec file path")
 		listScenarios = flag.Bool("list-scenarios", false, "list the curated scenario library and exit")
+		genSpec       = flag.String("gen", "", "generate scenarios family:count[:seed] and sweep them as a campaign (see -list-families; seed defaults to 1)")
+		listFamilies  = flag.Bool("list-families", false, "list the preset scenario-generator families and exit")
 
 		logFormat = flag.String("log-format", "text", "diagnostic log format: text or json")
 		verbose   = flag.Bool("v", false, "enable debug logging")
@@ -85,6 +97,10 @@ func main() {
 		printScenarioLibrary()
 		return
 	}
+	if *listFamilies {
+		printGeneratorFamilies()
+		return
+	}
 
 	// Which flags the user actually set: a scenario's embedded config
 	// overrides must not be clobbered by flag defaults.
@@ -102,25 +118,40 @@ func main() {
 	}
 
 	var (
-		scenario    caem.Scenario
+		scs         []caem.Scenario
 		hasScenario bool
 	)
 	cfg := caem.DefaultConfig()
-	if *scenarioName != "" {
-		var err error
-		scenario, err = loadScenario(*scenarioName)
+	switch {
+	case *scenarioName != "" && *genSpec != "":
+		log.Error("-scenario and -gen are mutually exclusive")
+		os.Exit(2)
+	case *scenarioName != "":
+		sc, err := loadScenario(*scenarioName)
 		if err != nil {
 			log.Error("loading scenario failed", "scenario", *scenarioName, "error", err.Error())
 			os.Exit(2)
 		}
+		scs = []caem.Scenario{sc}
+	case *genSpec != "":
+		var err error
+		if scs, err = caem.ParseGenerate(*genSpec); err != nil {
+			log.Error("generating scenarios failed", "gen", *genSpec, "error", err.Error())
+			os.Exit(2)
+		}
+	}
+	if len(scs) > 0 {
+		// Every scenario of a generated sweep embeds the same family
+		// topology, so the first spec resolves the base config for all.
 		hasScenario = true
-		if cfg, err = caem.ScenarioConfig(scenario); err != nil {
-			log.Error("resolving scenario config failed", "scenario", scenario.Name, "error", err.Error())
+		var err error
+		if cfg, err = caem.ScenarioConfig(scs[0]); err != nil {
+			log.Error("resolving scenario config failed", "scenario", scs[0].Name, "error", err.Error())
 			os.Exit(2)
 		}
 	}
 	if allProtocols && !hasScenario {
-		log.Error("-protocol all needs -scenario (campaign mode)")
+		log.Error("-protocol all needs -scenario or -gen (campaign mode)")
 		os.Exit(2)
 	}
 
@@ -157,11 +188,12 @@ func main() {
 		os.Exit(2)
 	}
 	if *storeDir != "" && !hasScenario {
-		log.Error("-store needs -scenario (campaign mode)")
+		log.Error("-store needs -scenario or -gen (campaign mode)")
 		os.Exit(2)
 	}
 
-	campaign := hasScenario && (allProtocols || *seeds > 1 || *storeDir != "")
+	// Generated sweeps are always campaigns: -gen exists to run grids.
+	campaign := hasScenario && (allProtocols || *seeds > 1 || *storeDir != "" || len(scs) > 1 || *genSpec != "")
 
 	// Reject incompatible replication flags before touching the trace
 	// file: os.Create truncates, and a rejected invocation must not
@@ -196,14 +228,15 @@ func main() {
 
 	switch {
 	case campaign:
-		runCampaign(scenario, cfg, allProtocols, cfg.Seed, *seeds, *workers, *storeDir, *resume, *haltAfter)
+		runCampaign(scs, cfg, allProtocols, cfg.Seed, *seeds, *workers, *storeDir, *resume, *haltAfter)
 	case *seeds > 1:
 		runReplicates(cfg, cfg.Seed, *seeds, *workers)
 	case hasScenario:
-		fmt.Printf("scenario          %s (%d timeline events)\n", scenario.Name, scenario.EventCount())
-		res, err := caem.RunScenario(scenario, cfg)
+		sc := scs[0]
+		fmt.Printf("scenario          %s (%d timeline events)\n", sc.Name, sc.EventCount())
+		res, err := caem.RunScenario(sc, cfg)
 		if err != nil {
-			log.Error("scenario run failed", "scenario", scenario.Name, "error", err.Error())
+			log.Error("scenario run failed", "scenario", sc.Name, "error", err.Error())
 			os.Exit(1)
 		}
 		printRun(res, *perNode)
@@ -241,6 +274,13 @@ func printScenarioLibrary() {
 	}
 }
 
+func printGeneratorFamilies() {
+	fmt.Printf("%-20s %s\n", "family", "description")
+	for _, f := range caem.GeneratorFamilies() {
+		fmt.Printf("%-20s %s\n", f.Name, f.Description)
+	}
+}
+
 func printRun(res caem.Result, perNode bool) {
 	fmt.Print(res.Summary())
 	if perNode {
@@ -257,11 +297,12 @@ func printRun(res caem.Result, perNode bool) {
 }
 
 // runCampaign expands the scenario × protocol × seed grid and prints one
-// row per cell plus per-protocol aggregates. With a store directory the
-// campaign persists cells as they complete (and, with resume, restores
-// already-stored cells instead of re-running them); a halt-after
-// checkpoint stops early with the completed prefix safely on disk.
-func runCampaign(sc caem.Scenario, cfg caem.Config, allProtocols bool, firstSeed uint64, nSeeds, workers int, storeDir string, resume bool, haltAfter int) {
+// row per cell plus per-(scenario, protocol) aggregates. With a store
+// directory the campaign persists cells as they complete (and, with
+// resume, restores already-stored cells instead of re-running them); a
+// halt-after checkpoint stops early with the completed prefix safely on
+// disk.
+func runCampaign(scs []caem.Scenario, cfg caem.Config, allProtocols bool, firstSeed uint64, nSeeds, workers int, storeDir string, resume bool, haltAfter int) {
 	protocols := []caem.Protocol{cfg.Protocol}
 	if allProtocols {
 		protocols = caem.Protocols()
@@ -289,10 +330,10 @@ func runCampaign(sc caem.Scenario, cfg caem.Config, allProtocols bool, firstSeed
 		}
 		opts.Store = st
 	}
-	cells, err := caem.RunCampaignWith(cfg, []caem.Scenario{sc}, protocols, seedList, opts)
+	cells, err := caem.RunCampaignWith(cfg, scs, protocols, seedList, opts)
 	if errors.Is(err, caem.ErrCampaignHalted) {
 		log.Info("campaign checkpointed; continue with -resume",
-			"stored", len(cells), "total", len(protocols)*nSeeds, "store", storeDir)
+			"stored", len(cells), "total", len(scs)*len(protocols)*nSeeds, "store", storeDir)
 		return
 	}
 	if err != nil {
@@ -300,15 +341,27 @@ func runCampaign(sc caem.Scenario, cfg caem.Config, allProtocols bool, firstSeed
 		os.Exit(1)
 	}
 
-	fmt.Printf("campaign: scenario %s, %d protocol(s) x %d seed(s)\n\n", sc.Name, len(protocols), len(seedList))
+	switch len(scs) {
+	case 1:
+		fmt.Printf("campaign: scenario %s, %d protocol(s) x %d seed(s)\n\n", scs[0].Name, len(protocols), len(seedList))
+	default:
+		fmt.Printf("campaign: %d scenario(s) x %d protocol(s) x %d seed(s)\n\n", len(scs), len(protocols), len(seedList))
+	}
+	// Widen the scenario column to the longest name in the sweep.
+	scW := 8
+	for _, sc := range scs {
+		if len(sc.Name) > scW {
+			scW = len(sc.Name)
+		}
+	}
 	if len(seedList) > 1 {
 		// Replicated campaigns publish the statistical summary — one row
 		// per (scenario, protocol) cell group, mean ± 95% CI — not the
 		// raw per-seed rows.
-		fmt.Println("protocol      seeds  consumed(J)      delivery(%)    delay(ms)      energy/pkt(mJ)")
+		fmt.Printf("%-*s  protocol      seeds  consumed(J)      delivery(%%)    delay(ms)      energy/pkt(mJ)\n", scW, "scenario")
 		for _, a := range caem.AggregateCampaign(cells) {
-			fmt.Printf("%-12s  %5d  %-15s  %-13s  %-13s  %s\n",
-				a.Protocol, a.Seeds,
+			fmt.Printf("%-*s  %-12s  %5d  %-15s  %-13s  %-13s  %s\n",
+				scW, a.Scenario, a.Protocol, a.Seeds,
 				a.ConsumedJ.Format(2),
 				a.DeliveryRate.Scaled(100).Format(1),
 				a.MeanDelayMs.Format(1),
@@ -316,10 +369,10 @@ func runCampaign(sc caem.Scenario, cfg caem.Config, allProtocols bool, firstSeed
 		}
 		return
 	}
-	fmt.Println("protocol      seed  consumed(J)  delivered  delivery  delay(ms)  alive")
+	fmt.Printf("%-*s  protocol      seed  consumed(J)  delivered  delivery  delay(ms)  alive\n", scW, "scenario")
 	for _, c := range cells {
-		fmt.Printf("%-12s  %4d  %11.2f  %9d  %7.1f%%  %9.1f  %5d\n",
-			c.Protocol, c.Seed, c.Result.TotalConsumedJ, c.Result.Delivered,
+		fmt.Printf("%-*s  %-12s  %4d  %11.2f  %9d  %7.1f%%  %9.1f  %5d\n",
+			scW, c.Scenario, c.Protocol, c.Seed, c.Result.TotalConsumedJ, c.Result.Delivered,
 			100*c.Result.DeliveryRate, c.Result.MeanDelayMs, c.Result.AliveAtEnd)
 	}
 }

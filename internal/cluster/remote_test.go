@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"errors"
+	"net/http"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRemoteRotationOrder: table-driven unit coverage of the Remote's
+// base-selection state machine — which errors advance the cursor, in
+// what order, and how retarget() overrides the rotation.
+func TestRemoteRotationOrder(t *testing.T) {
+	unavailable := &UnavailableError{RetryAfter: time.Second}
+	cases := []struct {
+		name  string
+		bases []string
+		steps func(r *Remote)
+		want  string
+	}{
+		{
+			name:  "initial target is the first base",
+			bases: []string{"http://a", "http://b", "http://c"},
+			steps: func(r *Remote) {},
+			want:  "http://a",
+		},
+		{
+			name:  "rotate cycles in declaration order",
+			bases: []string{"http://a", "http://b", "http://c"},
+			steps: func(r *Remote) { r.rotate() },
+			want:  "http://b",
+		},
+		{
+			name:  "rotation wraps past the last base",
+			bases: []string{"http://a", "http://b", "http://c"},
+			steps: func(r *Remote) { r.rotate(); r.rotate(); r.rotate() },
+			want:  "http://a",
+		},
+		{
+			name:  "single base never rotates",
+			bases: []string{"http://only"},
+			steps: func(r *Remote) { r.rotate(); r.rotate() },
+			want:  "http://only",
+		},
+		{
+			name:  "fenced rotates",
+			bases: []string{"http://a", "http://b"},
+			steps: func(r *Remote) { r.checkFailover(ErrFenced) },
+			want:  "http://b",
+		},
+		{
+			name:  "unavailable rotates",
+			bases: []string{"http://a", "http://b"},
+			steps: func(r *Remote) { r.checkFailover(unavailable) },
+			want:  "http://b",
+		},
+		{
+			name:  "wrapped unavailable rotates",
+			bases: []string{"http://a", "http://b"},
+			steps: func(r *Remote) { r.checkFailover(errors.Join(errors.New("claim"), unavailable)) },
+			want:  "http://b",
+		},
+		{
+			name:  "lease-gone stays put",
+			bases: []string{"http://a", "http://b"},
+			steps: func(r *Remote) { r.checkFailover(ErrLeaseGone) },
+			want:  "http://a",
+		},
+		{
+			name:  "generic errors stay put",
+			bases: []string{"http://a", "http://b"},
+			steps: func(r *Remote) { r.checkFailover(errors.New("boom")) },
+			want:  "http://a",
+		},
+		{
+			name:  "retarget selects a known base in place",
+			bases: []string{"http://a", "http://b", "http://c"},
+			steps: func(r *Remote) { r.retarget("http://c") },
+			want:  "http://c",
+		},
+		{
+			name:  "retarget normalizes trailing slashes",
+			bases: []string{"http://a", "http://b/"},
+			steps: func(r *Remote) { r.retarget("http://b") },
+			want:  "http://b",
+		},
+		{
+			name:  "retarget adopts an unknown leader URL",
+			bases: []string{"http://a"},
+			steps: func(r *Remote) { r.retarget("http://new-leader") },
+			want:  "http://new-leader",
+		},
+		{
+			name:  "empty retarget is ignored",
+			bases: []string{"http://a", "http://b"},
+			steps: func(r *Remote) { r.retarget("") },
+			want:  "http://a",
+		},
+		{
+			name:  "rotation resumes in order after retarget",
+			bases: []string{"http://a", "http://b", "http://c"},
+			steps: func(r *Remote) { r.retarget("http://b"); r.rotate() },
+			want:  "http://c",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := &Remote{Bases: c.bases}
+			c.steps(r)
+			if got := r.base(); got != c.want {
+				t.Errorf("base() = %q, want %q", got, c.want)
+			}
+		})
+	}
+}
+
+// TestRetryAfterHint: table-driven parse of the 503 Retry-After header
+// into the *UnavailableError hint claimBackoff honors. Anything the
+// header cannot cleanly express falls back to the 1s default.
+func TestRetryAfterHint(t *testing.T) {
+	cases := []struct {
+		name   string
+		header string
+		want   time.Duration
+	}{
+		{"no header defaults to 1s", "", time.Second},
+		{"integer seconds honored", "5", 5 * time.Second},
+		{"one second", "1", time.Second},
+		{"long hint honored verbatim", "120", 120 * time.Second},
+		{"zero falls back", "0", time.Second},
+		{"negative falls back", "-3", time.Second},
+		{"garbage falls back", "soon", time.Second},
+		{"http-date form falls back", "Fri, 07 Aug 2026 00:00:00 GMT", time.Second},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			resp := &http.Response{Header: http.Header{}}
+			if c.header != "" {
+				resp.Header.Set("Retry-After", c.header)
+			}
+			if got := retryAfterHint(resp); got != c.want {
+				t.Errorf("retryAfterHint(%q) = %v, want %v", c.header, got, c.want)
+			}
+		})
+	}
+
+	// The hint flows through claimBackoff: honored verbatim under the
+	// TTL cap, clamped at it above.
+	w := &Worker{Name: "w1"}
+	ttl := 2 * time.Second
+	for _, c := range []struct {
+		hint time.Duration
+		want time.Duration
+	}{
+		{500 * time.Millisecond, 500 * time.Millisecond},
+		{ttl - time.Millisecond, ttl - time.Millisecond},
+		{ttl + time.Second, ttl},
+		{time.Minute, ttl},
+	} {
+		got := w.claimBackoff(3, ttl, &UnavailableError{RetryAfter: c.hint}, 100*time.Millisecond)
+		if got != c.want {
+			t.Errorf("claimBackoff with hint %v = %v, want %v", c.hint, got, c.want)
+		}
+	}
+}
+
+// TestVerifyInlineRenewExtendsDeadline pins the exact contract of the
+// lapsed-but-unchallenged branch of LeaderLock.Verify: the inline renew
+// keeps the holder and epoch and pushes the deadline a full TTL past
+// the injected clock.
+func TestVerifyInlineRenewExtendsDeadline(t *testing.T) {
+	clk := newFakeClock()
+	path := filepath.Join(t.TempDir(), "leader.lock")
+	l := lockAt(path, "primary", clk)
+	epoch, err := l.TryAcquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stall well past the deadline with no successor in sight.
+	clk.advance(5 * l.TTL)
+	if err := l.Verify(epoch); err != nil {
+		t.Fatalf("Verify after lapse without successor = %v, want inline renew", err)
+	}
+	info, err := ReadLockFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Holder != "primary" || info.Epoch != epoch {
+		t.Fatalf("inline renew rewrote identity: %+v", info)
+	}
+	if want := clk.t.Add(l.TTL).UnixMilli(); info.Deadline != want {
+		t.Fatalf("renewed deadline = %d, want %d (now + TTL)", info.Deadline, want)
+	}
+}

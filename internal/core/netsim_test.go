@@ -446,7 +446,7 @@ func TestResultSummaryAndDebugHelpers(t *testing.T) {
 
 func TestTraceKindStrings(t *testing.T) {
 	kinds := TraceKinds()
-	if len(kinds) != 11 {
+	if len(kinds) != 14 {
 		t.Fatalf("trace kinds = %d", len(kinds))
 	}
 	seen := map[string]bool{}

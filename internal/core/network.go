@@ -150,13 +150,25 @@ type Network struct {
 	election       *leach.Election
 	electionStream rng.Stream
 	scratchStream  rng.Stream // transient stream state (placement, link init)
-	clusters       []*cluster
-	clusterPool    []*cluster // reusable cluster slots with their tone closures
-	assign         leach.Assignment
-	headsBuf       []int
-	queueScratch   []int
-	roundGen       uint64
-	rounds         int
+	mobilityStream rng.Stream // move-event scatter draws (world events)
+
+	// interference is the channel-layer penalty field for cross-network
+	// interference bursts; interferenceByID remembers which nodes each
+	// active burst caught, so the burst-end event releases exactly the
+	// penalties its start imposed even if nodes moved in between.
+	interference     channel.InterferenceField
+	interferenceByID map[uint64][]int
+
+	// sinkDown suspends base-station forwarding while a sink outage
+	// world event is in effect (heads keep aggregating).
+	sinkDown     bool
+	clusters     []*cluster
+	clusterPool  []*cluster // reusable cluster slots with their tone closures
+	assign       leach.Assignment
+	headsBuf     []int
+	queueScratch []int
+	roundGen     uint64
+	rounds       int
 
 	// Reusable handlers and the burst free list: the steady-state event
 	// loop schedules only preallocated closures.
@@ -316,6 +328,11 @@ func (net *Network) init(cfg Config) {
 		net.startRoundFn = net.startRound
 	}
 
+	net.src.InitStream(&net.mobilityStream, "mobility", 0)
+	net.interference.Reset(cfg.Nodes)
+	clear(net.interferenceByID)
+	net.sinkDown = false
+
 	net.src.InitStream(&net.electionStream, "election", 0)
 	ecfg := leach.Config{HeadFraction: cfg.HeadFraction, Nodes: cfg.Nodes}
 	if net.election == nil {
@@ -373,6 +390,30 @@ func (net *Network) linkFor(a, b int) *channel.Link {
 // propagation parameters).
 func (net *Network) resetLinks() {
 	clear(net.linkInit)
+}
+
+// resetLinksOf discards the cached link realizations touching node i —
+// the per-row analogue of resetLinks, used when a mobility event moves a
+// single node: only its links changed distance, so only they
+// re-materialize (from the same per-pair streams, at the new geometry).
+func (net *Network) resetLinksOf(i int) {
+	for b := i + 1; b < net.linkN; b++ {
+		net.linkInit[i*net.linkN+b] = false
+	}
+	for a := 0; a < i; a++ {
+		net.linkInit[a*net.linkN+i] = false
+	}
+}
+
+// snrBetween returns the effective data-channel SNR between two nodes at
+// now: the link's propagation state minus any active interference
+// penalty at either endpoint.
+func (net *Network) snrBetween(a, b int, now sim.Time) float64 {
+	snr := net.linkFor(a, b).SNRdB(now)
+	if p := net.interference.PenaltyDB(a, b); p != 0 {
+		snr -= p
+	}
+	return snr
 }
 
 // Run executes the simulation and returns the collected results.
@@ -522,9 +563,12 @@ func (net *Network) forwardTick(cl *cluster, gen uint64) {
 	reschedule := func(delay sim.Time) {
 		net.eng.Schedule(delay, func() { net.forwardTick(cl, gen) })
 	}
-	if cl.state != mac.HeadIdle || cl.activeTx != nil || cl.aggBits < 1 {
-		// Busy, or nothing worth a transmission yet.
-		if cl.aggBits >= 1 {
+	if net.sinkDown || cl.state != mac.HeadIdle || cl.activeTx != nil || cl.aggBits < 1 {
+		// Sink outage, busy, or nothing worth a transmission yet. During
+		// an outage the aggregate keeps accumulating and the tick polls
+		// at the unhurried interval; the first tick after recovery
+		// flushes the backlog.
+		if !net.sinkDown && cl.aggBits >= 1 {
 			reschedule(50 * sim.Millisecond)
 		} else {
 			reschedule(net.cfg.ForwardInterval)
@@ -736,7 +780,7 @@ func (net *Network) onTonePulse(cl *cluster, gen uint64, state mac.HeadState) {
 // estimation error (Config.CSINoiseSigmaDB), and the estimator's
 // calibration/quantization.
 func (net *Network) estimateCSI(n *node, cl *cluster, now sim.Time) float64 {
-	snr := net.linkFor(n.idx, cl.head.idx).SNRdB(now)
+	snr := net.snrBetween(n.idx, cl.head.idx, now)
 	if net.cfg.CSINoiseSigmaDB > 0 {
 		snr += net.cfg.CSINoiseSigmaDB * n.csiStream.NormFloat64()
 	}
@@ -877,7 +921,7 @@ func (net *Network) sendPacket(cl *cluster, tx *burst, gen uint64) {
 	// The receive tones (every 10 ms) let the sender re-adapt its error
 	// protection per packet: mode selection uses the true instantaneous
 	// CSI (§III.A assumption 3 keeps it constant over the packet).
-	csi := net.linkFor(n.idx, cl.head.idx).SNRdB(now)
+	csi := net.snrBetween(n.idx, cl.head.idx, now)
 	mode, ok := net.cfg.Modes.PickMode(csi)
 	if !ok {
 		// Below the lowest class. CAEM policies only reach here when the

@@ -37,21 +37,33 @@ const (
 	TraceDeath
 	// TraceRevive marks a dead node returning to service (world event).
 	TraceRevive
+	// TraceMove marks a node re-placement (world event); Value is the
+	// distance moved in whole metres.
+	TraceMove
+	// TraceInterference marks an interference burst boundary; Value is
+	// the affected node count, Detail "start" or "end".
+	TraceInterference
+	// TraceSink marks a base-station outage boundary; Detail is "down"
+	// or "up".
+	TraceSink
 	numTraceKinds
 )
 
 var traceKindNames = [...]string{
-	TraceRound:       "round",
-	TraceSensorState: "sensor-state",
-	TraceHeadState:   "head-state",
-	TraceBurstStart:  "burst-start",
-	TraceDelivered:   "delivered",
-	TraceChannelFail: "channel-fail",
-	TraceCollision:   "collision",
-	TraceDrop:        "drop",
-	TraceDeferral:    "deferral",
-	TraceDeath:       "death",
-	TraceRevive:      "revive",
+	TraceRound:        "round",
+	TraceSensorState:  "sensor-state",
+	TraceHeadState:    "head-state",
+	TraceBurstStart:   "burst-start",
+	TraceDelivered:    "delivered",
+	TraceChannelFail:  "channel-fail",
+	TraceCollision:    "collision",
+	TraceDrop:         "drop",
+	TraceDeferral:     "deferral",
+	TraceDeath:        "death",
+	TraceRevive:       "revive",
+	TraceMove:         "move",
+	TraceInterference: "interference",
+	TraceSink:         "sink",
 }
 
 func (k TraceKind) String() string {

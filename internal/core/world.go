@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/channel"
+	"repro/internal/geom"
 	"repro/internal/mac"
 	"repro/internal/sim"
 )
@@ -140,6 +141,119 @@ func (w *World) ScaleArrivalRate(i int, factor float64) {
 		panic(fmt.Sprintf("core: negative rate factor %v for node %d", factor, i))
 	}
 	w.SetArrivalRate(i, w.net.nodes[i].source.RatePerSecond*factor)
+}
+
+// MoveNode re-places node i at (x, y) — vehicle-mounted or relocated
+// hardware, a mobility trace step. Every cached link realization
+// touching the node is discarded and re-materializes lazily at the new
+// distance from the pair's original deterministic stream (the same
+// invalidation path weather events use, restricted to one row/column of
+// the link matrix). Dead nodes move too: the new position takes effect
+// if the node is later revived. It panics on a position outside the
+// field — the scenario compiler validates targets up front.
+func (w *World) MoveNode(i int, x, y float64) {
+	net := w.net
+	field := geom.Field{Width: net.cfg.FieldWidth, Height: net.cfg.FieldHeight}
+	p := geom.Point{X: x, Y: y}
+	if !field.Contains(p) {
+		panic(fmt.Sprintf("core: world event moved node %d to (%v, %v), outside the %vx%v field",
+			i, x, y, net.cfg.FieldWidth, net.cfg.FieldHeight))
+	}
+	n := net.nodes[i]
+	d := n.pos.Distance(p)
+	net.positions[i] = p
+	n.pos = p
+	net.resetLinksOf(i)
+	net.emit(TraceMove, i, int(d), "")
+}
+
+// MoveNodeWithin re-places node i uniformly at random inside the given
+// rectangle, drawing from the dedicated mobility stream so the draw —
+// like every other stochastic process — is a pure function of the
+// master seed and the event order.
+func (w *World) MoveNodeWithin(i int, x, y, width, height float64) {
+	st := &w.net.mobilityStream
+	px := x + st.Float64()*width
+	py := y + st.Float64()*height
+	w.MoveNode(i, px, py)
+}
+
+// StartInterference begins a cross-network interference burst: every
+// node currently positioned inside the rectangle suffers penaltyDB of
+// SNR loss on all its links until EndInterference is called with the
+// same id. Membership is fixed at burst start — a node that moves out
+// keeps its penalty (the interferer tracks the neighbourhood, not the
+// node), and the end event releases exactly what the start imposed. The
+// id must be unique among in-flight bursts; the scenario compiler
+// derives it from the event's position in the timeline.
+func (w *World) StartInterference(id uint64, x, y, width, height float64, penaltyDB float64) {
+	net := w.net
+	if net.interferenceByID == nil {
+		net.interferenceByID = make(map[uint64][]int)
+	}
+	if _, dup := net.interferenceByID[id]; dup {
+		panic(fmt.Sprintf("core: interference burst id %d already active", id))
+	}
+	var affected []int
+	for i, p := range net.positions {
+		if p.X >= x && p.X < x+width && p.Y >= y && p.Y < y+height {
+			affected = append(affected, i)
+			net.interference.Add(i, penaltyDB)
+		}
+	}
+	net.interferenceByID[id] = affected
+	net.emit(TraceInterference, -1, len(affected), "start")
+}
+
+// EndInterference releases the penalties burst id imposed. Ending an
+// unknown id is a no-op (the burst may have caught no nodes worth
+// recording, but an empty burst is still registered, so in practice
+// this only tolerates ends racing a horizon cut).
+func (w *World) EndInterference(id uint64, penaltyDB float64) {
+	net := w.net
+	affected, ok := net.interferenceByID[id]
+	if !ok {
+		return
+	}
+	for _, i := range affected {
+		net.interference.Remove(i, penaltyDB)
+	}
+	delete(net.interferenceByID, id)
+	net.emit(TraceInterference, -1, len(affected), "end")
+}
+
+// InterferencePenaltyDB returns the SNR penalty currently imposed on the
+// link between nodes a and b (0 when no burst covers either endpoint).
+func (w *World) InterferencePenaltyDB(a, b int) float64 {
+	return w.net.interference.PenaltyDB(a, b)
+}
+
+// SetSinkDown fails (true) or recovers (false) the base station. While
+// the sink is down, cluster heads keep aggregating but the forwarding
+// extension transmits nothing; the backlog flushes after recovery. The
+// outage is metric-visible only with Config.BaseStationForwarding
+// enabled, but the trace event is emitted regardless. Setting the
+// current state again is a no-op (no trace event).
+func (w *World) SetSinkDown(down bool) {
+	net := w.net
+	if net.sinkDown == down {
+		return
+	}
+	net.sinkDown = down
+	detail := "up"
+	if down {
+		detail = "down"
+	}
+	net.emit(TraceSink, -1, 0, detail)
+}
+
+// SinkDown reports whether a sink outage is currently in effect.
+func (w *World) SinkDown() bool { return w.net.sinkDown }
+
+// Position returns node i's current field coordinates.
+func (w *World) Position(i int) (x, y float64) {
+	p := w.net.positions[i]
+	return p.X, p.Y
 }
 
 // UpdateChannel mutates the deployment-wide propagation parameters

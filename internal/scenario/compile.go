@@ -81,7 +81,10 @@ func Compile(s Spec, cfg *core.Config) error {
 func compileEvent(ev Event, cfg *core.Config, baseRates []float64) ([]core.WorldEvent, error) {
 	at := sim.FromSeconds(ev.AtSeconds)
 	idx := []int(nil)
-	if ev.Type != EventChannel {
+	switch ev.Type {
+	case EventChannel, EventInterference, EventSinkDown, EventSinkUp:
+		// Deployment-wide (or region-addressed): no node selection.
+	default:
 		var err error
 		idx, err = ev.Nodes.Resolve(cfg.Nodes)
 		if err != nil {
@@ -198,8 +201,72 @@ func compileEvent(ev Event, cfg *core.Config, baseRates []float64) ([]core.World
 		return []core.WorldEvent{{At: at, Apply: func(w *core.World) {
 			w.UpdateChannel(func(p *channel.Params) { shift.apply(p) })
 		}}}, nil
+
+	case EventMove:
+		if ev.Region != nil {
+			r := *ev.Region
+			if err := regionInField(r, cfg); err != nil {
+				return nil, err
+			}
+			return []core.WorldEvent{{At: at, Apply: func(w *core.World) {
+				for _, i := range idx {
+					w.MoveNodeWithin(i, r.X, r.Y, r.Width, r.Height)
+				}
+			}}}, nil
+		}
+		x, y := *ev.X, *ev.Y
+		if x < 0 || x > cfg.FieldWidth || y < 0 || y > cfg.FieldHeight {
+			return nil, fmt.Errorf("target (%v, %v) outside the %vx%v field",
+				x, y, cfg.FieldWidth, cfg.FieldHeight)
+		}
+		return []core.WorldEvent{{At: at, Apply: func(w *core.World) {
+			for _, i := range idx {
+				w.MoveNode(i, x, y)
+			}
+		}}}, nil
+
+	case EventInterference:
+		r := *ev.Region
+		if err := regionInField(r, cfg); err != nil {
+			return nil, err
+		}
+		db := ev.PenaltyDB
+		// The burst id ties the end event to exactly the nodes the start
+		// caught. len(cfg.World) at compile time is unique per declared
+		// event (every event appends at least one world event), immutable,
+		// and identical on every run of the compiled config.
+		id := uint64(len(cfg.World))
+		end := at + sim.FromSeconds(ev.DurationSeconds)
+		return []core.WorldEvent{
+			{At: at, Apply: func(w *core.World) {
+				w.StartInterference(id, r.X, r.Y, r.Width, r.Height, db)
+			}},
+			{At: end, Apply: func(w *core.World) {
+				w.EndInterference(id, db)
+			}},
+		}, nil
+
+	case EventSinkDown:
+		return []core.WorldEvent{{At: at, Apply: func(w *core.World) {
+			w.SetSinkDown(true)
+		}}}, nil
+
+	case EventSinkUp:
+		return []core.WorldEvent{{At: at, Apply: func(w *core.World) {
+			w.SetSinkDown(false)
+		}}}, nil
 	}
 	return nil, fmt.Errorf("unknown event type %q", ev.Type)
+}
+
+// regionInField checks the region lies within the run's field, so a
+// scatter or burst footprint can never address space nodes cannot occupy.
+func regionInField(r Region, cfg *core.Config) error {
+	if r.X+r.Width > cfg.FieldWidth || r.Y+r.Height > cfg.FieldHeight {
+		return fmt.Errorf("region [%v, %v)x[%v, %v) exceeds the %vx%v field",
+			r.X, r.X+r.Width, r.Y, r.Y+r.Height, cfg.FieldWidth, cfg.FieldHeight)
+	}
+	return nil
 }
 
 // apply writes the shift's non-nil fields onto p.

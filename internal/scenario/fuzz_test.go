@@ -1,0 +1,84 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// validSpecJSON is a well-formed spec exercising every event category;
+// the fuzzer mutates it (and the near-miss seeds below) into the
+// adversarial inputs Load must survive.
+const validSpecJSON = `{
+  "name": "fuzz-seed",
+  "description": "all twelve event types",
+  "nodes": [
+    {"nodes": {"from": 0, "to": 4}, "rateScale": 2},
+    {"nodes": {"indices": [7]}, "energyJ": 1.5}
+  ],
+  "timeline": [
+    {"at": 5, "type": "kill", "nodes": {"indices": [1, 2]}},
+    {"at": 10, "type": "revive", "nodes": {"indices": [1]}, "energyJ": 2},
+    {"at": 12, "type": "top-up", "energyJ": 0.5},
+    {"at": 15, "type": "set-rate", "ratePerSecond": 9},
+    {"at": 18, "type": "scale-rate", "scale": 0.5},
+    {"at": 20, "type": "ramp-rate", "ratePerSecond": 20, "durationSeconds": 10, "steps": 4},
+    {"at": 32, "type": "burst", "scale": 3, "durationSeconds": 5},
+    {"at": 40, "type": "channel", "channel": {"dopplerHz": 8}},
+    {"at": 45, "type": "move", "nodes": {"indices": [3]}, "x": 10, "y": 20},
+    {"at": 50, "type": "move", "nodes": {"from": 0, "to": 6}, "region": {"x": 5, "y": 5, "width": 30, "height": 30}},
+    {"at": 55, "type": "interference", "region": {"x": 0, "y": 0, "width": 40, "height": 40}, "penaltyDB": 9, "durationSeconds": 8},
+    {"at": 60, "type": "sink-down"},
+    {"at": 70, "type": "sink-up"}
+  ]
+}`
+
+// FuzzSpecLoad is the schema-robustness property: for ANY input bytes,
+// Load either returns a validated spec or a clean error — it never
+// panics. And any spec Load accepts must survive a marshal → Load round
+// trip, so accepted specs are always re-serializable.
+func FuzzSpecLoad(f *testing.F) {
+	f.Add(validSpecJSON)
+	// Near-misses: structurally plausible JSON that must error cleanly.
+	for _, s := range []string{
+		``,
+		`{}`,
+		`null`,
+		`[1,2,3]`,
+		`{"name":"x"}`,
+		`{"name":"x","timeline":null}`,
+		`{"name":"x","timeline":[null]}`,
+		`{"name":"x","timeline":[{"at":-1,"type":"kill"}]}`,
+		`{"name":"x","timeline":[{"at":1,"type":"explode"}]}`,
+		`{"name":"x","timeline":[{"at":1,"type":"kill","nodse":{}}]}`,
+		`{"name":"x","timeline":[{"at":1,"type":"kill","nodes":{"from":"a"}}]}`,
+		`{"name":"x","timeline":[{"at":1e999,"type":"kill"}]}`,
+		`{"name":"x","timeline":[{"at":1,"type":"move"}]}`,
+		`{"name":"x","timeline":[{"at":1,"type":"move","x":3}]}`,
+		`{"name":"x","timeline":[{"at":1,"type":"move","x":3,"y":4,"region":{"width":9,"height":9}}]}`,
+		`{"name":"x","timeline":[{"at":1,"type":"move","region":{"width":-1,"height":9}}]}`,
+		`{"name":"x","timeline":[{"at":1,"type":"interference"}]}`,
+		`{"name":"x","timeline":[{"at":1,"type":"interference","region":{"width":9,"height":9}}]}`,
+		`{"name":"x","timeline":[{"at":1,"type":"interference","region":{"width":9,"height":9},"penaltyDB":-2,"durationSeconds":5}]}`,
+		`{"name":"x","timeline":[{"at":1,"type":"sink-down","unknown":true}]}`,
+		`{"name":"x","nodes":[{}]}`,
+		`{"name":"x","nodes":[{"nodes":{"indices":[-1]}}]}`,
+		`{"name":"x","config":{"nodes":"many"}}`,
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, blob string) {
+		s, err := Load(strings.NewReader(blob))
+		if err != nil {
+			return // a clean rejection is a pass; only panics fail
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		if _, err := Load(bytes.NewReader(out)); err != nil {
+			t.Fatalf("accepted spec rejected after round trip: %v\n in  %s\n out %s", err, blob, out)
+		}
+	})
+}

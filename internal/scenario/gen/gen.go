@@ -1,0 +1,505 @@
+// Package gen is the deterministic scenario generator: it expands a
+// parameterized Family plus a (index, seed) pair into unlimited
+// distinct-but-valid scenario.Specs, so campaigns can sweep
+// scenario-space the way they sweep seeds.
+//
+// Generation is a pure function: Generate(family, index, seed) draws
+// every value from one rng stream keyed by (seed, family name, index),
+// so the same inputs always produce a byte-identical spec — which is
+// what lets a campaign store re-derive a generated scenario's content
+// hash after a restart, and lets the fuzz harness treat any generated
+// spec as a reproducible test case.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/scenario"
+)
+
+// Family parameterizes one scenario family. The knobs set the expected
+// event mix; the generator turns them into a concrete timeline per
+// (index, seed). Zero values mean the documented defaults.
+type Family struct {
+	// Name identifies the family (generation stream key and spec-name
+	// prefix).
+	Name string
+	// Description is a one-line human summary.
+	Description string
+
+	// Nodes is the network size (default 64).
+	Nodes int
+	// FieldWidthM, FieldHeightM are the deployment area (default 100x100).
+	FieldWidthM  float64
+	FieldHeightM float64
+	// DurationSeconds is the simulated horizon the timeline fills
+	// (default 600).
+	DurationSeconds float64
+
+	// ChurnRate is the expected node-failure events per 100 simulated
+	// seconds; each failure may be followed by a revive, and service
+	// crews add occasional battery topups at half the churn rate.
+	ChurnRate float64
+	// LoadShape picks the traffic trajectory: "steady" (no load events),
+	// "diurnal" (ramp waves), "bursty" (random multiplicative bursts), or
+	// "ramping" (one long monotone ramp).
+	LoadShape string
+	// Weather picks the channel regime: "calm" (no channel events),
+	// "variable" (mild parameter shifts), or "stormy" (frequent harsh
+	// shifts).
+	Weather string
+	// Heterogeneity is the fraction of nodes (0..1) given per-node
+	// rate/energy rules at t = 0.
+	Heterogeneity float64
+	// EventDensity scales every event rate at once (default 1).
+	EventDensity float64
+	// MobilityRate is the expected move events per 100 simulated seconds.
+	MobilityRate float64
+	// InterferenceRate is the expected interference bursts per 100
+	// simulated seconds.
+	InterferenceRate float64
+	// SinkOutages is the number of sink down/up pairs across the run.
+	SinkOutages int
+}
+
+// withDefaults returns the family with zero knobs filled in.
+func (f Family) withDefaults() Family {
+	if f.Nodes == 0 {
+		f.Nodes = 64
+	}
+	if f.FieldWidthM == 0 {
+		f.FieldWidthM = 100
+	}
+	if f.FieldHeightM == 0 {
+		f.FieldHeightM = 100
+	}
+	if f.DurationSeconds == 0 {
+		f.DurationSeconds = 600
+	}
+	if f.LoadShape == "" {
+		f.LoadShape = "steady"
+	}
+	if f.Weather == "" {
+		f.Weather = "calm"
+	}
+	if f.EventDensity == 0 {
+		f.EventDensity = 1
+	}
+	return f
+}
+
+// Validate reports the first invalid knob, or nil.
+func (f Family) Validate() error {
+	g := f.withDefaults()
+	switch {
+	case g.Name == "":
+		return fmt.Errorf("gen: family needs a name")
+	case g.Nodes < 4:
+		return fmt.Errorf("gen: family %q: need at least 4 nodes, got %d", g.Name, g.Nodes)
+	case g.FieldWidthM <= 0 || g.FieldHeightM <= 0:
+		return fmt.Errorf("gen: family %q: non-positive field", g.Name)
+	case g.DurationSeconds < 60:
+		return fmt.Errorf("gen: family %q: duration %v below 60 s", g.Name, g.DurationSeconds)
+	case g.ChurnRate < 0 || g.MobilityRate < 0 || g.InterferenceRate < 0:
+		return fmt.Errorf("gen: family %q: negative event rate", g.Name)
+	case g.Heterogeneity < 0 || g.Heterogeneity > 1:
+		return fmt.Errorf("gen: family %q: heterogeneity %v outside [0, 1]", g.Name, g.Heterogeneity)
+	case g.EventDensity <= 0:
+		return fmt.Errorf("gen: family %q: non-positive event density %v", g.Name, g.EventDensity)
+	case g.SinkOutages < 0:
+		return fmt.Errorf("gen: family %q: negative sink outages", g.Name)
+	}
+	switch g.LoadShape {
+	case "steady", "diurnal", "bursty", "ramping":
+	default:
+		return fmt.Errorf("gen: family %q: unknown load shape %q", g.Name, g.LoadShape)
+	}
+	switch g.Weather {
+	case "calm", "variable", "stormy":
+	default:
+		return fmt.Errorf("gen: family %q: unknown weather %q", g.Name, g.Weather)
+	}
+	return nil
+}
+
+// Families returns the preset families, covering all seven event
+// categories between them.
+func Families() []Family {
+	return []Family{
+		{
+			Name:        "mixed",
+			Description: "a bit of everything: churn, bursts, weather, mobility, interference, one sink outage",
+			ChurnRate:   1.5, LoadShape: "bursty", Weather: "variable",
+			Heterogeneity: 0.2, MobilityRate: 1, InterferenceRate: 0.8, SinkOutages: 1,
+		},
+		{
+			Name:        "churn-heavy",
+			Description: "relentless node failures and repairs on steady load",
+			ChurnRate:   6, LoadShape: "steady", Weather: "calm", Heterogeneity: 0.1,
+		},
+		{
+			Name:         "mobile",
+			Description:  "nodes on the move: re-placements dominate, mild weather",
+			MobilityRate: 5, InterferenceRate: 0.5, LoadShape: "steady", Weather: "variable",
+		},
+		{
+			Name:             "interference-storm",
+			Description:      "overlapping interference bursts under stormy propagation",
+			InterferenceRate: 4, Weather: "stormy", LoadShape: "bursty",
+		},
+		{
+			Name:        "sink-flaky",
+			Description: "repeated base-station outages over diurnal load",
+			SinkOutages: 3, LoadShape: "diurnal", ChurnRate: 0.5,
+		},
+		{
+			Name:        "load-waves",
+			Description: "heterogeneous nodes riding diurnal traffic waves",
+			LoadShape:   "diurnal", Heterogeneity: 0.5, Weather: "calm",
+		},
+		{
+			Name:        "dense",
+			Description: "stress mix: every category at high density",
+			ChurnRate:   3, LoadShape: "bursty", Weather: "stormy",
+			Heterogeneity: 0.4, EventDensity: 4,
+			MobilityRate: 3, InterferenceRate: 2, SinkOutages: 2,
+		},
+	}
+}
+
+// Find returns the preset family with the given name.
+func Find(name string) (Family, error) {
+	for _, f := range Families() {
+		if f.Name == name {
+			return f, nil
+		}
+	}
+	names := make([]string, 0, len(Families()))
+	for _, f := range Families() {
+		names = append(names, f.Name)
+	}
+	return Family{}, fmt.Errorf("gen: unknown family %q (have %v)", name, names)
+}
+
+// genEvent pairs a generated event with its draw order, so the final
+// time sort is stable against equal (rounded) timestamps.
+type genEvent struct {
+	seq int
+	ev  scenario.Event
+}
+
+// generator bundles the stream and accumulating timeline.
+type generator struct {
+	st     *rng.Stream
+	f      Family
+	events []genEvent
+}
+
+// round3 truncates to millisecond/10^-3 precision so generated specs
+// serialize tidily and identically everywhere.
+func round3(v float64) float64 { return math.Round(v*1000) / 1000 }
+
+func (g *generator) add(ev scenario.Event) {
+	g.events = append(g.events, genEvent{seq: len(g.events), ev: ev})
+}
+
+// count draws a Poisson event count for a per-100s rate over the run.
+func (g *generator) count(ratePer100s float64) int {
+	mean := ratePer100s * g.f.DurationSeconds / 100 * g.f.EventDensity
+	if mean <= 0 {
+		return 0
+	}
+	return g.st.Poisson(mean)
+}
+
+// uniform draws from [lo, hi).
+func (g *generator) uniform(lo, hi float64) float64 {
+	return lo + g.st.Float64()*(hi-lo)
+}
+
+// someNodes draws a small random node selection: either a strided range
+// or explicit indices.
+func (g *generator) someNodes() scenario.Selector {
+	n := g.f.Nodes
+	if g.st.Float64() < 0.5 {
+		from := g.st.Intn(n - 1)
+		to := from + 1 + g.st.Intn(n-from-1)
+		every := 1 + g.st.Intn(3)
+		return scenario.Selector{From: from, To: to, Every: every}
+	}
+	k := 1 + g.st.Intn(max(1, n/10))
+	seen := make(map[int]bool, k)
+	idx := make([]int, 0, k)
+	for len(idx) < k {
+		i := g.st.Intn(n)
+		if !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	sort.Ints(idx)
+	return scenario.Selector{Indices: idx}
+}
+
+// someRegion draws a rectangle covering at least ~20% of each field
+// dimension, fully inside the field.
+func (g *generator) someRegion() scenario.Region {
+	w := g.uniform(0.2*g.f.FieldWidthM, g.f.FieldWidthM)
+	h := g.uniform(0.2*g.f.FieldHeightM, g.f.FieldHeightM)
+	x := g.uniform(0, g.f.FieldWidthM-w)
+	y := g.uniform(0, g.f.FieldHeightM-h)
+	return scenario.Region{X: round3(x), Y: round3(y), Width: round3(w), Height: round3(h)}
+}
+
+// Generate expands the family at (index, seed) into a complete valid
+// spec. It is a pure function of its arguments: the same triple always
+// returns a byte-identical spec.
+func Generate(f Family, index int, seed uint64) (scenario.Spec, error) {
+	if err := f.Validate(); err != nil {
+		return scenario.Spec{}, err
+	}
+	if index < 0 {
+		return scenario.Spec{}, fmt.Errorf("gen: negative index %d", index)
+	}
+	f = f.withDefaults()
+	g := &generator{
+		st: rng.NewSource(seed).Stream("scenario-gen/"+f.Name, uint64(index)),
+		f:  f,
+	}
+
+	spec := scenario.Spec{
+		Name:        fmt.Sprintf("gen/%s/%d/%d", f.Name, seed, index),
+		Description: fmt.Sprintf("generated from family %q (index %d, seed %d)", f.Name, index, seed),
+		Config:      configJSON(f),
+		Nodes:       g.nodeRules(),
+	}
+
+	g.churn()
+	g.load()
+	g.weather()
+	g.mobility()
+	g.interference()
+	g.sink()
+
+	sort.SliceStable(g.events, func(i, j int) bool {
+		if g.events[i].ev.AtSeconds != g.events[j].ev.AtSeconds {
+			return g.events[i].ev.AtSeconds < g.events[j].ev.AtSeconds
+		}
+		return g.events[i].seq < g.events[j].seq
+	})
+	spec.Timeline = make([]scenario.Event, len(g.events))
+	for i, e := range g.events {
+		spec.Timeline[i] = e.ev
+	}
+
+	if err := spec.Validate(); err != nil {
+		return scenario.Spec{}, fmt.Errorf("gen: family %q produced an invalid spec: %w", f.Name, err)
+	}
+	return spec, nil
+}
+
+// configJSON renders the family's topology as a partial public-config
+// overlay (the caem.Config JSON keys scenarios/SPEC.md documents).
+func configJSON(f Family) []byte {
+	return fmt.Appendf(nil,
+		`{"nodes": %d, "fieldWidthM": %s, "fieldHeightM": %s, "durationSeconds": %s}`,
+		f.Nodes, num(f.FieldWidthM), num(f.FieldHeightM), num(f.DurationSeconds))
+}
+
+// num formats a float the way encoding/json would.
+func num(v float64) string { return fmt.Sprintf("%g", v) }
+
+// nodeRules emits the heterogeneity mix: a leading fraction of the
+// index space gets scaled rates, a trailing fraction scaled batteries.
+func (g *generator) nodeRules() []scenario.NodeRule {
+	if g.f.Heterogeneity <= 0 {
+		return nil
+	}
+	k := int(math.Round(g.f.Heterogeneity * float64(g.f.Nodes)))
+	if k < 1 {
+		k = 1
+	}
+	rules := []scenario.NodeRule{{
+		Nodes:     scenario.Selector{From: 0, To: k},
+		RateScale: round3(g.uniform(0.25, 3)),
+	}}
+	if g.st.Float64() < 0.7 {
+		rules = append(rules, scenario.NodeRule{
+			Nodes:       scenario.Selector{From: g.f.Nodes - k, To: g.f.Nodes},
+			EnergyScale: round3(g.uniform(0.5, 2)),
+		})
+	}
+	return rules
+}
+
+// churn emits kill events, mostly-paired revives, and service topups.
+func (g *generator) churn() {
+	d := g.f.DurationSeconds
+	for i, n := 0, g.count(g.f.ChurnRate); i < n; i++ {
+		at := round3(g.uniform(0.05*d, 0.8*d))
+		sel := g.someNodes()
+		g.add(scenario.Event{AtSeconds: at, Type: scenario.EventKill, Nodes: sel})
+		if g.st.Float64() < 0.7 {
+			back := round3(at + g.uniform(5, 0.15*d))
+			g.add(scenario.Event{AtSeconds: back, Type: scenario.EventRevive, Nodes: sel})
+		}
+	}
+	for i, n := 0, g.count(g.f.ChurnRate*0.5); i < n; i++ {
+		g.add(scenario.Event{
+			AtSeconds: round3(g.uniform(0.1*d, 0.9*d)),
+			Type:      scenario.EventTopUp,
+			Nodes:     g.someNodes(),
+			EnergyJ:   round3(g.uniform(0.5, 2)),
+		})
+	}
+}
+
+// load emits the traffic trajectory for the family's shape.
+func (g *generator) load() {
+	d := g.f.DurationSeconds
+	switch g.f.LoadShape {
+	case "steady":
+		// No load events: the base rate carries the run.
+	case "diurnal":
+		waves := 2 + g.st.Intn(3)
+		for w := 0; w < waves; w++ {
+			at := round3(g.uniform(0, 0.8*d))
+			peak := round3(g.uniform(4, 12))
+			g.add(scenario.Event{
+				AtSeconds:       at,
+				Type:            scenario.EventRampRate,
+				RatePerSecond:   &peak,
+				DurationSeconds: round3(g.uniform(0.05*d, 0.15*d)),
+				Steps:           4 + g.st.Intn(7),
+			})
+		}
+	case "bursty":
+		for i, n := 0, g.count(2); i < n; i++ {
+			ev := scenario.Event{
+				AtSeconds:       round3(g.uniform(0, 0.9*d)),
+				Type:            scenario.EventBurst,
+				Scale:           round3(g.uniform(1.5, 4)),
+				DurationSeconds: round3(g.uniform(0.02*d, 0.1*d)),
+			}
+			if g.st.Float64() < 0.5 {
+				ev.Nodes = g.someNodes()
+			}
+			g.add(ev)
+		}
+	case "ramping":
+		target := round3(g.uniform(6, 15))
+		g.add(scenario.Event{
+			AtSeconds:       round3(g.uniform(0, 0.2*d)),
+			Type:            scenario.EventRampRate,
+			RatePerSecond:   &target,
+			DurationSeconds: round3(g.uniform(0.3*d, 0.6*d)),
+			Steps:           8,
+		})
+	}
+}
+
+// weather emits channel-parameter shifts for the family's regime. The
+// drawn values stay inside channel.Params.Validate's accepted ranges,
+// so every generated shift passes the compile-time pre-flight.
+func (g *generator) weather() {
+	d := g.f.DurationSeconds
+	var n int
+	harsh := false
+	switch g.f.Weather {
+	case "calm":
+		return
+	case "variable":
+		n = g.count(1.5)
+	case "stormy":
+		n = g.count(3)
+		harsh = true
+	}
+	for i := 0; i < n; i++ {
+		shift := &scenario.ChannelShift{}
+		pick := g.st.Intn(4)
+		switch pick {
+		case 0:
+			v := round3(g.uniform(2.2, 3.5))
+			if harsh {
+				v = round3(g.uniform(3, 4.5))
+			}
+			shift.PathLossExponent = &v
+		case 1:
+			v := round3(g.uniform(2, 8))
+			if harsh {
+				v = round3(g.uniform(6, 12))
+			}
+			shift.ShadowingSigmaDB = &v
+		case 2:
+			v := round3(g.uniform(18, 35))
+			if harsh {
+				v = round3(g.uniform(12, 25))
+			}
+			shift.ReferenceSNRdB = &v
+		case 3:
+			v := round3(g.uniform(1, 30))
+			shift.DopplerHz = &v
+		}
+		g.add(scenario.Event{
+			AtSeconds: round3(g.uniform(0, 0.95*d)),
+			Type:      scenario.EventChannel,
+			Channel:   shift,
+		})
+	}
+}
+
+// mobility emits move events: mostly region scatters, sometimes a
+// single-node point move.
+func (g *generator) mobility() {
+	d := g.f.DurationSeconds
+	for i, n := 0, g.count(g.f.MobilityRate); i < n; i++ {
+		at := round3(g.uniform(0.02*d, 0.95*d))
+		if g.st.Float64() < 0.7 {
+			r := g.someRegion()
+			g.add(scenario.Event{
+				AtSeconds: at,
+				Type:      scenario.EventMove,
+				Nodes:     g.someNodes(),
+				Region:    &r,
+			})
+		} else {
+			x := round3(g.uniform(0, g.f.FieldWidthM))
+			y := round3(g.uniform(0, g.f.FieldHeightM))
+			g.add(scenario.Event{
+				AtSeconds: at,
+				Type:      scenario.EventMove,
+				Nodes:     scenario.Selector{Indices: []int{g.st.Intn(g.f.Nodes)}},
+				X:         &x, Y: &y,
+			})
+		}
+	}
+}
+
+// interference emits penalty bursts over random footprints.
+func (g *generator) interference() {
+	d := g.f.DurationSeconds
+	for i, n := 0, g.count(g.f.InterferenceRate); i < n; i++ {
+		r := g.someRegion()
+		g.add(scenario.Event{
+			AtSeconds:       round3(g.uniform(0, 0.9*d)),
+			Type:            scenario.EventInterference,
+			Region:          &r,
+			PenaltyDB:       round3(g.uniform(3, 20)),
+			DurationSeconds: round3(g.uniform(0.02*d, 0.2*d)),
+		})
+	}
+}
+
+// sink emits outage down/up pairs.
+func (g *generator) sink() {
+	d := g.f.DurationSeconds
+	for i := 0; i < g.f.SinkOutages; i++ {
+		down := round3(g.uniform(0.1*d, 0.8*d))
+		up := round3(down + g.uniform(0.02*d, 0.15*d))
+		g.add(scenario.Event{AtSeconds: down, Type: scenario.EventSinkDown})
+		g.add(scenario.Event{AtSeconds: up, Type: scenario.EventSinkUp})
+	}
+}

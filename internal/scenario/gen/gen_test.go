@@ -1,0 +1,183 @@
+package gen
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// TestGenerateReproducible is the generator's core contract: the same
+// (family, index, seed) triple yields a byte-identical spec, and
+// different indices yield distinct specs.
+func TestGenerateReproducible(t *testing.T) {
+	for _, f := range Families() {
+		a, err := Generate(f, 3, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		b, err := Generate(f, 3, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		ja, _ := json.Marshal(a)
+		jb, _ := json.Marshal(b)
+		if !bytes.Equal(ja, jb) {
+			t.Errorf("%s: same inputs produced different specs", f.Name)
+		}
+		c, err := Generate(f, 4, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		jc, _ := json.Marshal(c)
+		if bytes.Equal(ja, jc) {
+			t.Errorf("%s: indices 3 and 4 produced identical specs", f.Name)
+		}
+		d, err := Generate(f, 3, 43)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		jd, _ := json.Marshal(d)
+		if bytes.Equal(ja, jd) {
+			t.Errorf("%s: seeds 42 and 43 produced identical specs", f.Name)
+		}
+	}
+}
+
+// TestGeneratedSpecsRoundTrip checks generated specs survive the strict
+// loader (marshal → Load → Validate) and compile onto a core config.
+func TestGeneratedSpecsRoundTrip(t *testing.T) {
+	for _, f := range Families() {
+		for idx := 0; idx < 4; idx++ {
+			s, err := Generate(f, idx, 7)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", f.Name, idx, err)
+			}
+			blob, err := json.Marshal(s)
+			if err != nil {
+				t.Fatalf("%s/%d: marshal: %v", f.Name, idx, err)
+			}
+			loaded, err := scenario.Load(bytes.NewReader(blob))
+			if err != nil {
+				t.Fatalf("%s/%d: load: %v", f.Name, idx, err)
+			}
+			cfg := core.DefaultConfig()
+			cfg.Nodes = f.withDefaults().Nodes
+			cfg.FieldWidth = f.withDefaults().FieldWidthM
+			cfg.FieldHeight = f.withDefaults().FieldHeightM
+			if err := scenario.Compile(loaded, &cfg); err != nil {
+				t.Fatalf("%s/%d: compile: %v", f.Name, idx, err)
+			}
+		}
+	}
+}
+
+// TestFamiliesCoverAllCategories proves the preset families between them
+// exercise all seven event categories.
+func TestFamiliesCoverAllCategories(t *testing.T) {
+	categories := map[scenario.EventType]string{
+		scenario.EventKill: "lifecycle", scenario.EventRevive: "lifecycle",
+		scenario.EventTopUp:   "energy",
+		scenario.EventSetRate: "traffic", scenario.EventScaleRate: "traffic",
+		scenario.EventRampRate: "traffic", scenario.EventBurst: "traffic",
+		scenario.EventChannel:      "channel",
+		scenario.EventMove:         "mobility",
+		scenario.EventInterference: "interference",
+		scenario.EventSinkDown:     "sink", scenario.EventSinkUp: "sink",
+	}
+	seen := map[string]bool{}
+	for _, f := range Families() {
+		for idx := 0; idx < 8; idx++ {
+			s, err := Generate(f, idx, 1)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", f.Name, idx, err)
+			}
+			for _, ev := range s.Timeline {
+				seen[categories[ev.Type]] = true
+			}
+		}
+	}
+	for _, want := range []string{"lifecycle", "energy", "traffic", "channel", "mobility", "interference", "sink"} {
+		if !seen[want] {
+			t.Errorf("no preset family generated a %s event", want)
+		}
+	}
+}
+
+// TestFamilyValidate rejects bad knobs.
+func TestFamilyValidate(t *testing.T) {
+	bad := []Family{
+		{},                               // no name
+		{Name: "x", Nodes: 2},            // too few nodes
+		{Name: "x", DurationSeconds: 10}, // too short
+		{Name: "x", LoadShape: "sawtooth"},
+		{Name: "x", Weather: "apocalyptic"},
+		{Name: "x", Heterogeneity: 1.5},
+		{Name: "x", ChurnRate: -1},
+		{Name: "x", EventDensity: -2},
+		{Name: "x", SinkOutages: -1},
+	}
+	for i, f := range bad {
+		if err := f.Validate(); err == nil {
+			t.Errorf("bad family %d validated", i)
+		}
+		if _, err := Generate(f, 0, 1); err == nil {
+			t.Errorf("bad family %d generated", i)
+		}
+	}
+	if _, err := Generate(Families()[0], -1, 1); err == nil {
+		t.Error("negative index generated")
+	}
+	if _, err := Find("no-such-family"); err == nil {
+		t.Error("unknown family found")
+	}
+	for _, f := range Families() {
+		if err := f.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", f.Name, err)
+		}
+		got, err := Find(f.Name)
+		if err != nil || got.Name != f.Name {
+			t.Errorf("Find(%s) = %v, %v", f.Name, got.Name, err)
+		}
+	}
+}
+
+// FuzzGeneratorValidity is the property-based half of the generator
+// contract: for ANY preset family and (index, seed) pair, the generated
+// spec must marshal, re-load through the strict schema loader without
+// error, and regenerate byte-identically.
+func FuzzGeneratorValidity(f *testing.F) {
+	for fi := range Families() {
+		f.Add(uint8(fi), 0, uint64(1))
+		f.Add(uint8(fi), 17, uint64(0xdeadbeef))
+	}
+	f.Add(uint8(200), 5, uint64(9)) // family index wraps
+	f.Fuzz(func(t *testing.T, familyIdx uint8, index int, seed uint64) {
+		fams := Families()
+		fam := fams[int(familyIdx)%len(fams)]
+		if index < 0 {
+			index = -(index + 1)
+		}
+		s, err := Generate(fam, index, seed)
+		if err != nil {
+			t.Fatalf("generate(%s, %d, %d): %v", fam.Name, index, seed, err)
+		}
+		blob, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if _, err := scenario.Load(bytes.NewReader(blob)); err != nil {
+			t.Fatalf("generated spec rejected by loader: %v\n%s", err, blob)
+		}
+		s2, err := Generate(fam, index, seed)
+		if err != nil {
+			t.Fatalf("regenerate: %v", err)
+		}
+		blob2, _ := json.Marshal(s2)
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("generation not reproducible for (%s, %d, %d)", fam.Name, index, seed)
+		}
+	})
+}

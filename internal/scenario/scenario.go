@@ -7,9 +7,10 @@ import (
 	"sort"
 )
 
-// EventType names a timeline event kind. The types cover four categories
+// EventType names a timeline event kind. The types cover seven categories
 // of world change: node lifecycle (kill, revive), energy (topup), traffic
-// (set-rate, scale-rate, ramp-rate, burst), and channel (channel).
+// (set-rate, scale-rate, ramp-rate, burst), channel (channel), mobility
+// (move), interference (interference), and sink (sink-down, sink-up).
 type EventType string
 
 const (
@@ -37,6 +38,20 @@ const (
 	// EventChannel shifts the deployment-wide propagation parameters
 	// (Doppler, shadowing, path loss, link budget).
 	EventChannel EventType = "channel"
+	// EventMove re-places the selected nodes: either all to an explicit
+	// (x, y) point, or each uniformly within a region. Affected link
+	// realizations are discarded and re-materialize at the new distances.
+	EventMove EventType = "move"
+	// EventInterference imposes a cross-network interference burst: every
+	// node inside Region at the burst start suffers PenaltyDB of SNR loss
+	// on all its links for DurationSeconds.
+	EventInterference EventType = "interference"
+	// EventSinkDown fails the base station: cluster heads keep
+	// aggregating but cannot forward until the sink recovers.
+	EventSinkDown EventType = "sink-down"
+	// EventSinkUp returns the base station to service; forwarding resumes
+	// with whatever aggregate accumulated during the outage.
+	EventSinkUp EventType = "sink-up"
 )
 
 // eventTypes is the closed set of valid types.
@@ -44,6 +59,8 @@ var eventTypes = map[EventType]bool{
 	EventKill: true, EventRevive: true, EventTopUp: true,
 	EventSetRate: true, EventScaleRate: true, EventRampRate: true,
 	EventBurst: true, EventChannel: true,
+	EventMove: true, EventInterference: true,
+	EventSinkDown: true, EventSinkUp: true,
 }
 
 // Selector picks a subset of node indices. The zero value selects every
@@ -122,6 +139,16 @@ func (c ChannelShift) empty() bool {
 		c.PathLossExponent == nil && c.ReferenceSNRdB == nil && c.RicianK == nil
 }
 
+// Region is an axis-aligned rectangle in field coordinates (metres). Move
+// events scatter nodes into it; interference events affect the nodes
+// inside it. Compile checks it against the run's field dimensions.
+type Region struct {
+	X      float64 `json:"x"`
+	Y      float64 `json:"y"`
+	Width  float64 `json:"width"`
+	Height float64 `json:"height"`
+}
+
 // Event is one timeline entry. Which fields apply depends on Type; the
 // rest must stay zero (Validate enforces the required ones).
 type Event struct {
@@ -151,6 +178,28 @@ type Event struct {
 
 	// Channel carries the channel-event parameter shift.
 	Channel *ChannelShift `json:"channel,omitempty"`
+
+	// X, Y is the move-event target point (both or neither; exclusive
+	// with Region).
+	X *float64 `json:"x,omitempty"`
+	Y *float64 `json:"y,omitempty"`
+	// Region is the move-event scatter area or the interference-burst
+	// footprint.
+	Region *Region `json:"region,omitempty"`
+	// PenaltyDB is the interference-burst SNR loss in dB.
+	PenaltyDB float64 `json:"penaltyDB,omitempty"`
+}
+
+// validate checks the region's shape; position against the field happens
+// at Compile time, when the field dimensions are known.
+func (r Region) validate(where string) error {
+	if r.Width <= 0 || r.Height <= 0 {
+		return fmt.Errorf("%s: region needs positive width and height", where)
+	}
+	if r.X < 0 || r.Y < 0 {
+		return fmt.Errorf("%s: region origin (%v, %v) outside the field", where, r.X, r.Y)
+	}
+	return nil
 }
 
 // NodeRule applies per-node heterogeneity at t = 0: absolute or scaled
@@ -276,6 +325,34 @@ func (s Spec) Validate() error {
 			if ev.Channel == nil || ev.Channel.empty() {
 				return fmt.Errorf("%s: needs a channel shift with at least one field", where)
 			}
+		case EventMove:
+			point := ev.X != nil || ev.Y != nil
+			if point && (ev.X == nil || ev.Y == nil) {
+				return fmt.Errorf("%s: needs both x and y for a point target", where)
+			}
+			if point == (ev.Region != nil) {
+				return fmt.Errorf("%s: needs exactly one of a point target (x, y) or a region", where)
+			}
+			if ev.Region != nil {
+				if err := ev.Region.validate(where); err != nil {
+					return err
+				}
+			}
+		case EventInterference:
+			if ev.Region == nil {
+				return fmt.Errorf("%s: needs a region", where)
+			}
+			if err := ev.Region.validate(where); err != nil {
+				return err
+			}
+			if ev.PenaltyDB <= 0 {
+				return fmt.Errorf("%s: needs a positive penaltyDB", where)
+			}
+			if ev.DurationSeconds <= 0 {
+				return fmt.Errorf("%s: needs a positive durationSeconds", where)
+			}
+		case EventSinkDown, EventSinkUp:
+			// Deployment-wide, no parameters.
 		}
 	}
 	return nil

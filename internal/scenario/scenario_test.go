@@ -123,6 +123,16 @@ func TestValidateRejections(t *testing.T) {
 		{Name: "x", Timeline: []Event{{AtSeconds: 1, Type: EventChannel}}},
 		{Name: "x", Timeline: []Event{{AtSeconds: 1, Type: EventChannel, Channel: &ChannelShift{}}}},
 		{Name: "x", Nodes: []NodeRule{{}}},
+		// move: needs exactly one of (x,y) or region.
+		{Name: "x", Timeline: []Event{{AtSeconds: 1, Type: EventMove}}},
+		{Name: "x", Timeline: []Event{{AtSeconds: 1, Type: EventMove, X: fp(5)}}},
+		{Name: "x", Timeline: []Event{{AtSeconds: 1, Type: EventMove, X: fp(5), Y: fp(5), Region: &Region{X: 0, Y: 0, Width: 10, Height: 10}}}},
+		{Name: "x", Timeline: []Event{{AtSeconds: 1, Type: EventMove, Region: &Region{Width: -1, Height: 10}}}},
+		// interference: needs a region, a positive penalty, and a duration.
+		{Name: "x", Timeline: []Event{{AtSeconds: 1, Type: EventInterference}}},
+		{Name: "x", Timeline: []Event{{AtSeconds: 1, Type: EventInterference, Region: &Region{Width: 10, Height: 10}, DurationSeconds: 5}}},
+		{Name: "x", Timeline: []Event{{AtSeconds: 1, Type: EventInterference, Region: &Region{Width: 10, Height: 10}, PenaltyDB: 6}}},
+		{Name: "x", Timeline: []Event{{AtSeconds: 1, Type: EventInterference, Region: &Region{Width: 10}, PenaltyDB: 6, DurationSeconds: 5}}},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {

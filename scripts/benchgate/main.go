@@ -1,8 +1,8 @@
 // Command benchgate is the CI bench-regression guard and comparator: it
-// runs the gated benchmarks (ns per simulated second for the static and
-// scenario engines, the Figure 9 replication grid, the obs instrument
-// hot path, and the store query/aggregate-cache paths behind the /v1
-// results API) and checks both time (ns/op) and allocation
+// runs the gated benchmarks (ns per simulated second for the static,
+// scenario, and generated-scenario engines, the Figure 9 replication
+// grid, the obs instrument hot path, and the store query/aggregate-cache
+// paths behind the /v1 results API) and checks both time (ns/op) and allocation
 // (allocs/op) results against the committed baseline. The time factor
 // is deliberately loose — CI runners are noisy shared machines — so
 // only order-of-magnitude regressions (an accidentally quadratic hot
@@ -15,9 +15,9 @@
 //
 // Usage (from the repository root):
 //
-//	go run ./scripts/benchgate -baseline BENCH_6.json -factor 2.5 -allocfactor 2.0 \
+//	go run ./scripts/benchgate -baseline BENCH_7.json -factor 2.5 -allocfactor 2.0 \
 //	    -exactallocs '^(BenchmarkSimulatedSecond/|BenchmarkMetricsHotPath$|BenchmarkAggregateCached$)'
-//	go run ./scripts/benchgate -baseline BENCH_6.json -gate=false -report out/bench-compare.txt
+//	go run ./scripts/benchgate -baseline BENCH_7.json -gate=false -report out/bench-compare.txt
 //
 // The second form is `make bench-compare`: it never fails the build; it
 // prints (and optionally writes) a benchstat-style delta table of the
@@ -54,6 +54,9 @@ type baseline struct {
 		ScenarioSecond struct {
 			Result metric `json:"result"`
 		} `json:"BenchmarkScenarioSecond"`
+		GeneratedScenarioSecond struct {
+			Result metric `json:"result"`
+		} `json:"BenchmarkGeneratedScenarioSecond"`
 		Figure9 struct {
 			Result metric `json:"result"`
 		} `json:"BenchmarkFigure9_NodesAlive"`
@@ -80,7 +83,7 @@ type series struct {
 }
 
 var gatedSeries = []series{
-	{pattern: "^(BenchmarkSimulatedSecond|BenchmarkScenarioSecond)$", benchtime: "1000x"},
+	{pattern: "^(BenchmarkSimulatedSecond|BenchmarkScenarioSecond|BenchmarkGeneratedScenarioSecond)$", benchtime: "1000x"},
 	{pattern: "^BenchmarkFigure9_NodesAlive$", benchtime: "3x"},
 	{pattern: "^BenchmarkMetricsHotPath$", benchtime: "100000x"},
 	{pattern: "^BenchmarkQueryTopK$", benchtime: "100x"},
@@ -89,7 +92,7 @@ var gatedSeries = []series{
 
 func main() {
 	var (
-		baselinePath = flag.String("baseline", "BENCH_6.json", "committed baseline JSON with the reference values")
+		baselinePath = flag.String("baseline", "BENCH_7.json", "committed baseline JSON with the reference values")
 		factor       = flag.Float64("factor", 2.5, "fail when measured ns/op exceeds factor x baseline")
 		allocFactor  = flag.Float64("allocfactor", 2.0, "fail when measured allocs/op exceeds allocfactor x baseline (allocation counts are nearly deterministic, so this is tighter than the time factor)")
 		exactAllocs  = flag.String("exactallocs", "", "regexp of benchmark names whose measured allocs/op must equal the baseline exactly — no factor slack (empty disables)")
@@ -202,6 +205,9 @@ func loadBaseline(path string) (map[string]metric, error) {
 	}
 	if v := b.Benchmarks.ScenarioSecond.Result; v.NsOp > 0 {
 		refs["BenchmarkScenarioSecond"] = v
+	}
+	if v := b.Benchmarks.GeneratedScenarioSecond.Result; v.NsOp > 0 {
+		refs["BenchmarkGeneratedScenarioSecond"] = v
 	}
 	if v := b.Benchmarks.Figure9.Result; v.NsOp > 0 {
 		refs["BenchmarkFigure9_NodesAlive"] = v
